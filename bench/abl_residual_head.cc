@@ -1,0 +1,65 @@
+// Ablation: residual-over-flowSim output head vs absolute prediction head.
+//
+// This implementation predicts a log-space correction added to flowSim's
+// own bucketed percentiles (DESIGN.md §4). The ablation trains an absolute
+// head of identical architecture on the same data and compares held-out
+// p99 accuracy.
+#include "bench/common.h"
+#include "core/dataset.h"
+
+using namespace m3;
+using namespace m3::bench;
+
+namespace {
+
+double EvalP99Err(M3Model& model, const std::vector<Sample>& eval, bool use_baseline) {
+  std::vector<double> errs;
+  for (const Sample& s : eval) {
+    const auto pred =
+        model.Predict(s.fg_feat, s.bg_seq, s.spec, true, use_baseline ? &s.baseline : nullptr);
+    for (int b = 0; b < kNumOutputBuckets; ++b) {
+      if (!s.gt.has[static_cast<std::size_t>(b)]) continue;
+      const double t99 = s.gt.pct[static_cast<std::size_t>(b)][98];
+      if (t99 > 0) errs.push_back(AbsErrPct(pred[static_cast<std::size_t>(b)][98], t99));
+    }
+  }
+  return Mean(errs);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: residual vs absolute output head ===\n");
+  DatasetOptions dopts;
+  dopts.num_scenarios = 200;
+  dopts.num_fg = 400;
+  dopts.seed = 515;
+  std::printf("generating shared train set (%d scenarios)...\n", dopts.num_scenarios);
+  std::fflush(stdout);
+  const auto train_set = MakeSyntheticDataset(dopts);
+
+  DatasetOptions eopts = dopts;
+  eopts.num_scenarios = 40;
+  eopts.seed = 616;
+  const auto eval_set = MakeSyntheticDataset(eopts);
+
+  TrainOptions topts;
+  topts.epochs = 30;
+
+  M3Model residual;
+  topts.use_baseline = true;
+  const TrainReport r1 = TrainModel(residual, train_set, topts);
+
+  M3Model absolute;
+  topts.use_baseline = false;
+  const TrainReport r2 = TrainModel(absolute, train_set, topts);
+
+  std::printf("final val loss: residual=%.3f absolute=%.3f\n",
+              r1.val_loss.empty() ? 0.0 : r1.val_loss.back(),
+              r2.val_loss.empty() ? 0.0 : r2.val_loss.back());
+  std::printf("held-out mean |p99 err|: residual=%.1f%%  absolute=%.1f%%\n",
+              EvalP99Err(residual, eval_set, true), EvalP99Err(absolute, eval_set, false));
+  std::printf("claim: the residual head converges faster and generalizes better at\n"
+              "equal training budget (it is exact wherever flowSim already is)\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation: flow-weighted path sampling (§3.2) vs uniform path sampling.
+//
+// The estimator pools foreground flows of sampled paths; weighting the
+// sample by foreground flow count makes that pool a flow-weighted sample of
+// the network. Uniform path sampling over-represents near-empty paths and
+// needs far more samples for the same tail accuracy.
+#include "bench/common.h"
+#include "pathdecomp/decompose.h"
+#include "pathdecomp/sampling.h"
+#include "pktsim/simulator.h"
+
+using namespace m3;
+using namespace m3::bench;
+
+namespace {
+
+std::vector<std::size_t> SampleUniform(const PathDecomposition& decomp, int k, Rng& rng) {
+  std::vector<std::size_t> out;
+  out.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    out.push_back(rng.NextBounded(decomp.num_paths()));
+  }
+  return out;
+}
+
+double SampleP99(const PathDecomposition& decomp, const std::vector<std::size_t>& sample,
+                 const std::vector<FlowResult>& truth) {
+  std::vector<double> sldn;
+  for (std::size_t idx : sample) {
+    for (FlowId f : decomp.path(idx).fg_flows) {
+      sldn.push_back(truth[static_cast<std::size_t>(f)].slowdown);
+    }
+  }
+  return sldn.empty() ? 0.0 : Percentile(std::move(sldn), 99);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: weighted vs uniform path sampling ===\n");
+  const int trials = 8;
+
+  std::vector<double> weighted_err, uniform_err;
+  int mix_i = 0;
+  for (const Mix& mix : Table1Mixes()) {
+    BuiltMix built = BuildMix(mix, DefaultFlows(), 3100 + static_cast<std::uint64_t>(mix_i++));
+    const auto truth = RunPacketSim(built.ft->topo(), built.wl.flows, built.cfg);
+    const double p99_true = P99Slowdown(truth);
+    PathDecomposition decomp(built.ft->topo(), built.wl.flows);
+
+    for (int t = 0; t < trials; ++t) {
+      Rng rng(static_cast<std::uint64_t>(10 * mix_i + t));
+      const auto w = SamplePaths(decomp, 100, rng);
+      Rng rng2(static_cast<std::uint64_t>(10 * mix_i + t));
+      const auto u = SampleUniform(decomp, 100, rng2);
+      weighted_err.push_back(AbsErrPct(SampleP99(decomp, w, truth), p99_true));
+      uniform_err.push_back(AbsErrPct(SampleP99(decomp, u, truth), p99_true));
+    }
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n100-path sample, |p99 err| vs full flow set (%d trials x 3 mixes):\n",
+              trials);
+  std::printf("  weighted: median=%5.1f%%  p90=%5.1f%%\n", Percentile(weighted_err, 50),
+              Percentile(weighted_err, 90));
+  std::printf("  uniform:  median=%5.1f%%  p90=%5.1f%%\n", Percentile(uniform_err, 50),
+              Percentile(uniform_err, 90));
+  std::printf("paper claim: flow-count weighting beats uniform sampling at equal budget.\n"
+              "note: the two converge when most paths carry ~1 foreground flow (sparse\n"
+              "scaled-down workloads); weighting pays off as path populations diverge.\n");
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Shared helpers for the benchmark harness.
+//
+// Every bench binary regenerates one table or figure from the paper at a
+// reduced default scale so the whole suite runs in minutes on one CPU.
+// Set M3_SCALE=N (default 1) to multiply workload sizes, and M3_PATHS /
+// M3_FLOWS to override directly. Paper reference values are printed in a
+// `paper=` column where the paper states a number; see EXPERIMENTS.md for
+// the recorded comparison.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <sys/stat.h>
+
+#include "core/estimator.h"
+#include "core/trainer.h"
+#include "parsimon/parsimon.h"
+#include "topo/fat_tree.h"
+#include "util/stats.h"
+#include "workload/generator.h"
+#include "workload/size_dist.h"
+
+namespace m3::bench {
+
+inline int EnvInt(const char* name, int def) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : def;
+}
+
+inline int Scale() { return std::max(1, EnvInt("M3_SCALE", 1)); }
+
+/// Default workload size for full-network benches.
+inline int DefaultFlows() { return EnvInt("M3_FLOWS", 20000 * Scale()); }
+
+/// Default number of sampled paths.
+inline int DefaultPaths() { return EnvInt("M3_PATHS", 100 * Scale()); }
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// A named full-network scenario: topology + workload + config.
+struct Mix {
+  std::string name;
+  std::string tm_name;
+  std::string workload;
+  double oversub;
+  double max_load;
+  double sigma;
+};
+
+struct BuiltMix {
+  std::unique_ptr<FatTree> ft;
+  GeneratedWorkload wl;
+  NetConfig cfg;
+};
+
+inline BuiltMix BuildMix(const Mix& mix, int num_flows, std::uint64_t seed = 1) {
+  BuiltMix out;
+  out.ft = std::make_unique<FatTree>(FatTreeConfig::Small(mix.oversub));
+  const auto tm = TrafficMatrix::ByName(mix.tm_name, out.ft->num_racks(),
+                                        out.ft->config().racks_per_pod);
+  const auto sizes = MakeProductionDist(mix.workload);
+  WorkloadSpec spec;
+  spec.num_flows = num_flows;
+  spec.max_load = mix.max_load;
+  spec.burstiness_sigma = mix.sigma;
+  spec.seed = seed;
+  out.wl = GenerateWorkload(*out.ft, tm, *sizes, spec);
+  out.cfg = NetConfig();  // DCTCP defaults (Parsimon's fast mode is DCTCP-only)
+  return out;
+}
+
+/// The paper's Table 1 mixes (scaled flow counts).
+inline std::vector<Mix> Table1Mixes() {
+  return {
+      {"Mix 1", "A", "CacheFollower", 4.0, 0.42, 1.5},
+      {"Mix 2", "B", "WebServer", 1.0, 0.28, 1.5},
+      {"Mix 3", "C", "WebServer", 2.0, 0.74, 1.5},
+  };
+}
+
+inline bool FileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+/// Loads the shared checkpoint, or quick-trains one (and caches it) when
+/// missing so every bench binary is self-contained.
+inline M3Model& DefaultModel() {
+  static M3Model model;
+  static bool ready = false;
+  if (!ready) {
+    const char* env = std::getenv("M3_MODEL");
+    const std::string path = env ? env : "models/m3_default.ckpt";
+    if (FileExists(path)) {
+      model.Load(path);
+      std::printf("# model: loaded %s\n", path.c_str());
+    } else {
+      std::printf("# model: %s missing; quick-training a small model (run "
+                  "tools/train_m3 for the full one)...\n",
+                  path.c_str());
+      std::fflush(stdout);
+      DatasetOptions dopts;
+      dopts.num_scenarios = 150;
+      dopts.num_fg = 400;
+      const auto samples = MakeSyntheticDataset(dopts);
+      TrainOptions topts;
+      topts.epochs = 30;
+      TrainModel(model, samples, topts);
+      model.Save(path);
+      std::printf("# model: quick-trained and cached at %s\n", path.c_str());
+    }
+    ready = true;
+  }
+  return model;
+}
+
+/// |relative error| of an estimate vs truth, as a percentage.
+inline double AbsErrPct(double estimate, double truth) {
+  return 100.0 * std::abs(RelativeError(estimate, truth));
+}
+
+/// p99 slowdown over all flows of a result set.
+inline double P99Slowdown(const std::vector<FlowResult>& results) {
+  std::vector<double> sldn;
+  sldn.reserve(results.size());
+  for (const auto& r : results) sldn.push_back(r.slowdown);
+  return Percentile(std::move(sldn), 99.0);
+}
+
+inline const char* BucketLabel(int b) {
+  switch (b) {
+    case 0: return "(0,1KB]";
+    case 1: return "(1KB,10KB]";
+    case 2: return "(10KB,50KB]";
+    case 3: return "(50KB,inf)";
+  }
+  return "?";
+}
+
+}  // namespace m3::bench

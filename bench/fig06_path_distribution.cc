@@ -1,0 +1,58 @@
+// Figure 6: FCT slowdown distributions per flow-size bucket on a 4-hop
+// parking-lot path: ground truth (packet sim) vs flowSim vs m3.
+//
+// Paper claim: flowSim underestimates slowdowns, badly for small flows at
+// the tail; m3's ML correction tracks the ground truth across buckets,
+// including short-flow tails.
+#include "bench/common.h"
+#include "core/dataset.h"
+
+using namespace m3;
+using namespace m3::bench;
+
+int main() {
+  std::printf("=== Fig 6: per-bucket slowdown distribution on a 4-hop path ===\n");
+  M3Model& model = DefaultModel();
+
+  // A Meta-workload-like path scenario: production sizes via the closest
+  // parametric theta is NOT used here; we build the path directly from a
+  // synthetic spec with a heavy mix, matching the figure's setup.
+  double fs_err_sum = 0.0, m3_err_sum = 0.0;
+  int n_cases = 0;
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    SyntheticSpec spec;
+    spec.num_links = 4;
+    spec.family = ParametricFamily::kLogNormal;
+    spec.theta = 15000.0;
+    spec.sigma = 1.8;
+    spec.max_load = 0.6;
+    spec.num_fg = 1500 * Scale();
+    spec.bg_ratio = 2.0;
+    spec.seed = seed;
+    const PathScenario sc = BuildSyntheticScenario(spec);
+    NetConfig cfg;  // DCTCP
+    const Sample s = BuildSample(sc, cfg);
+    const auto pred = model.Predict(s.fg_feat, s.bg_seq, s.spec, true, &s.baseline);
+
+    std::printf("--- path seed %llu ---\n", static_cast<unsigned long long>(seed));
+    std::printf("%-12s %22s %22s %22s\n", "bucket", "ns3-like(p50/p90/p99)",
+                "flowSim(p50/p90/p99)", "m3(p50/p90/p99)");
+    for (int b = 0; b < kNumOutputBuckets; ++b) {
+      if (!s.gt.has[static_cast<std::size_t>(b)]) continue;
+      const auto& gt = s.gt.pct[static_cast<std::size_t>(b)];
+      const auto& fs = s.flowsim.pct[static_cast<std::size_t>(b)];
+      const auto& m3p = pred[static_cast<std::size_t>(b)];
+      std::printf("%-12s %6.2f %6.2f %7.2f %6.2f %6.2f %7.2f %6.2f %6.2f %7.2f\n",
+                  BucketLabel(b), gt[49], gt[89], gt[98], fs[49], fs[89], fs[98],
+                  m3p[49], m3p[89], m3p[98]);
+      fs_err_sum += AbsErrPct(fs[98], gt[98]);
+      m3_err_sum += AbsErrPct(m3p[98], gt[98]);
+      ++n_cases;
+    }
+    std::fflush(stdout);
+  }
+  std::printf("\nmean |p99 err| across buckets: flowSim=%.1f%%  m3=%.1f%%\n",
+              fs_err_sum / n_cases, m3_err_sum / n_cases);
+  std::printf("paper: flowSim underestimates short-flow tails; m3 corrects them\n");
+  return 0;
+}

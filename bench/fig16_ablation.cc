@@ -1,0 +1,93 @@
+// Figure 16: ablation of m3's components on synthetic Table-2 paths:
+// flowSim alone vs "m3 w/o context" (background features zeroed) vs full
+// m3, by path length and flow-size bucket.
+//
+// Paper claim: flowSim underestimates badly (errors to -80%, worst for
+// small flows / long paths); the ML model corrects it; context features
+// improve accuracy by ~33% on average and reduce variance.
+#include <map>
+
+#include "bench/common.h"
+#include "core/dataset.h"
+#include "core/trainer.h"
+
+using namespace m3;
+using namespace m3::bench;
+
+int main() {
+  const int num_eval = std::max(20, 12 * Scale());
+  std::printf("=== Fig 16: component ablation on %d synthetic paths ===\n", num_eval);
+  M3Model& model = DefaultModel();
+
+  // A no-context model trained the same way (quick, cached separately).
+  static M3Model no_ctx_model;
+  {
+    const std::string path = "models/m3_noctx.ckpt";
+    if (FileExists(path)) {
+      no_ctx_model.Load(path);
+      std::printf("# no-context model: loaded %s\n", path.c_str());
+    } else {
+      std::printf("# training no-context ablation model...\n");
+      std::fflush(stdout);
+      DatasetOptions dopts;
+      dopts.num_scenarios = 150;
+      dopts.num_fg = 400;
+      dopts.seed = 77;
+      const auto train_samples = MakeSyntheticDataset(dopts);
+      TrainOptions topts;
+      topts.epochs = 30;
+      topts.use_context = false;
+      TrainModel(no_ctx_model, train_samples, topts);
+      no_ctx_model.Save(path);
+    }
+  }
+
+  DatasetOptions eopts;
+  eopts.num_scenarios = num_eval;
+  eopts.num_fg = 800;
+  // The paper's Fig 16 evaluates dense paths (20000 fg flows each); sparse
+  // paths make per-bucket p99 targets statistically meaningless.
+  eopts.vary_num_fg = false;
+  eopts.seed = 4242;  // held out from both training seeds
+  const auto eval = MakeSyntheticDataset(eopts);
+
+  std::vector<double> fs_err, noctx_err, m3_err;
+  std::map<int, std::array<std::vector<double>, 3>> by_len;
+  for (const Sample& s : eval) {
+    const auto full = model.Predict(s.fg_feat, s.bg_seq, s.spec, true, &s.baseline);
+    const auto noctx = no_ctx_model.Predict(s.fg_feat, s.bg_seq, s.spec, false, &s.baseline);
+    const int len = s.bg_seq.rows();
+    for (int b = 0; b < kNumOutputBuckets; ++b) {
+      if (!s.gt.has[static_cast<std::size_t>(b)]) continue;
+      const double t99 = s.gt.pct[static_cast<std::size_t>(b)][98];
+      if (t99 <= 0) continue;
+      const double e_fs = s.flowsim.has[static_cast<std::size_t>(b)]
+                              ? AbsErrPct(s.flowsim.pct[static_cast<std::size_t>(b)][98], t99)
+                              : 100.0;
+      const double e_nc = AbsErrPct(noctx[static_cast<std::size_t>(b)][98], t99);
+      const double e_m3 = AbsErrPct(full[static_cast<std::size_t>(b)][98], t99);
+      fs_err.push_back(e_fs);
+      noctx_err.push_back(e_nc);
+      m3_err.push_back(e_m3);
+      by_len[len][0].push_back(e_fs);
+      by_len[len][1].push_back(e_nc);
+      by_len[len][2].push_back(e_m3);
+    }
+  }
+
+  std::printf("\n|p99 err| overall: flowSim mean=%.1f%% median=%.1f%%  |  m3-no-context "
+              "mean=%.1f%% median=%.1f%%  |  m3 mean=%.1f%% median=%.1f%%\n",
+              Mean(fs_err), Percentile(fs_err, 50), Mean(noctx_err),
+              Percentile(noctx_err, 50), Mean(m3_err), Percentile(m3_err, 50));
+  std::printf("stddev:            flowSim %.1f%%        m3-no-context %.1f%%       m3 %.1f%%\n",
+              StdDev(fs_err), StdDev(noctx_err), StdDev(m3_err));
+  std::printf("by path length (median):\n");
+  for (auto& [len, errs] : by_len) {
+    std::printf("  %d hops: flowSim %.1f%%  no-context %.1f%%  m3 %.1f%% (n=%zu)\n", len,
+                Percentile(errs[0], 50), Percentile(errs[1], 50), Percentile(errs[2], 50),
+                errs[0].size());
+  }
+  std::printf("paper: ML correction removes flowSim's bias; context features improve\n"
+              "accuracy by ~33%% on average and cut variance\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Capacity planning: how much oversubscription can this workload tolerate?
+//
+// Uses m3 to estimate tail latency on the same workload across core
+// oversubscription levels (spine counts), the kind of topology what-if the
+// paper motivates (adding/removing switches, §2.1).
+#include <cstdio>
+
+#include "core/dataset.h"
+#include "core/estimator.h"
+#include "core/trainer.h"
+#include "topo/fat_tree.h"
+#include "workload/generator.h"
+#include "workload/size_dist.h"
+
+using namespace m3;
+
+int main() {
+  M3Model model;
+  try {
+    model.Load("models/m3_default.ckpt");
+  } catch (const std::exception&) {
+    std::printf("training a quick model first...\n");
+    DatasetOptions dopts;
+    dopts.num_scenarios = 100;
+    dopts.num_fg = 300;
+    const auto samples = MakeSyntheticDataset(dopts);
+    TrainOptions topts;
+    topts.epochs = 20;
+    TrainModel(model, samples, topts);
+  }
+
+  std::printf("%-8s %-8s | %10s %10s %10s %10s | %10s\n", "oversub", "spines", "S.p99",
+              "M.p99", "L.p99", "XL.p99", "combined");
+  for (double oversub : {1.0, 2.0, 4.0}) {
+    const FatTree ft(FatTreeConfig::Small(oversub));
+    const auto tm = TrafficMatrix::MatrixA(ft.num_racks(), ft.config().racks_per_pod);
+    const auto sizes = MakeCacheFollower();
+    WorkloadSpec wspec;
+    wspec.num_flows = 10000;
+    wspec.max_load = 0.6;
+    wspec.burstiness_sigma = 2.0;
+    wspec.seed = 99;
+    const GeneratedWorkload wl = GenerateWorkload(ft, tm, *sizes, wspec);
+
+    NetConfig cfg;  // DCTCP defaults
+    M3Options opts;
+    opts.num_paths = 60;
+    const NetworkEstimate est = RunM3(ft.topo(), wl.flows, cfg, model, opts);
+    const auto p99 = est.BucketP99();
+    std::printf("%6.0f:1 %8d | %10.2f %10.2f %10.2f %10.2f | %10.2f\n", oversub,
+                ft.config().spines_per_plane, p99[0], p99[1], p99[2], p99[3],
+                est.CombinedP99());
+  }
+  std::printf("\nreading: pick the highest oversubscription whose p99 meets your SLO;\n"
+              "rerun with your own traffic matrix and flow sizes.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Using flowSim directly as a library: characterize how a workload's
+// slowdown profile responds to burstiness, without any ML or packet
+// simulation. This is the featurization insight of §2.2 in ~40 lines.
+#include <cstdio>
+
+#include "core/feature_map.h"
+#include "flowsim/flowsim.h"
+#include "util/stats.h"
+#include "topo/parking_lot.h"
+#include "workload/arrivals.h"
+#include "workload/size_dist.h"
+
+using namespace m3;
+
+int main() {
+  const auto sizes = MakeCacheFollower();
+  std::printf("flowSim slowdown profile, single 10G link, CacheFollower @ 50%% load\n\n");
+  std::printf("%-8s | %10s %10s %10s\n", "sigma", "p50(all)", "p99(small)", "p99(large)");
+
+  for (double sigma : {1.0, 1.5, 2.0}) {
+    ParkingLot lot(1, GbpsToBpns(10.0), 1000, /*hosts_at_ends=*/true);
+    Rng rng(static_cast<std::uint64_t>(sigma * 100));
+    Rng size_rng = rng.Fork(1);
+    Rng arr_rng = rng.Fork(2);
+
+    const int n = 20000;
+    std::vector<Flow> flows;
+    double total_bytes = 0;
+    const Route route = lot.RouteBetween(lot.switch_at(0), 0, lot.switch_at(1), 1);
+    for (int i = 0; i < n; ++i) {
+      Flow f;
+      f.id = static_cast<FlowId>(i);
+      f.src = lot.switch_at(0);
+      f.dst = lot.switch_at(1);
+      f.size = sizes->Sample(size_rng);
+      f.path = route;
+      total_bytes += static_cast<double>(f.size);
+      flows.push_back(std::move(f));
+    }
+    const Ns duration = static_cast<Ns>(total_bytes / GbpsToBpns(10.0) / 0.5);
+    const auto arrivals =
+        ScaleArrivals(NormalizedLogNormalArrivals(n, sigma, arr_rng), duration);
+    for (int i = 0; i < n; ++i) flows[static_cast<std::size_t>(i)].arrival = arrivals[static_cast<std::size_t>(i)];
+
+    const auto res = RunFlowSim(lot.topo(), flows);
+    std::vector<SizedSlowdown> pairs;
+    for (const auto& r : res) pairs.push_back({r.size, r.slowdown});
+    const TargetDist dist = BuildTarget(pairs);
+
+    std::vector<double> all;
+    for (const auto& r : res) all.push_back(r.slowdown);
+    std::printf("%-8.1f | %10.2f %10.2f %10.2f\n", sigma, Percentile(all, 50),
+                dist.has[0] ? dist.pct[0][98] : 0.0, dist.has[3] ? dist.pct[3][98] : 0.0);
+  }
+  std::printf("\nhigher sigma (burstier arrivals) inflates tails even at equal load --\n"
+              "this is what makes flowSim output a rich workload feature (Fig. 3).\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Quickstart: estimate network-wide tail latency with m3 in five steps.
+//
+//   1. Build a topology (a 256-host fat tree).
+//   2. Generate a workload (traffic matrix x flow sizes x burstiness x load).
+//   3. Load (or quick-train) an m3 model.
+//   4. Run the m3 estimator: path decomposition -> flowSim -> ML correction
+//      -> network-wide aggregation.
+//   5. Query slowdown percentiles per flow-size class.
+//
+// For a small workload we also run the full packet simulation so you can
+// see the estimate against the ground truth.
+#include <cstdio>
+
+#include "core/dataset.h"
+#include "core/estimator.h"
+#include "core/trainer.h"
+#include "pktsim/simulator.h"
+#include "util/stats.h"
+#include "topo/fat_tree.h"
+#include "workload/generator.h"
+#include "workload/size_dist.h"
+
+using namespace m3;
+
+namespace {
+
+M3Model LoadOrTrainModel() {
+  M3Model model;
+  const std::string path = "models/m3_default.ckpt";
+  try {
+    model.Load(path);
+    std::printf("loaded model checkpoint %s\n", path.c_str());
+  } catch (const std::exception&) {
+    std::printf("no checkpoint found; quick-training a small model (~1 min)...\n");
+    DatasetOptions dopts;
+    dopts.num_scenarios = 100;
+    dopts.num_fg = 300;
+    const auto samples = MakeSyntheticDataset(dopts);
+    TrainOptions topts;
+    topts.epochs = 20;
+    TrainModel(model, samples, topts);
+  }
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  // 1. Topology: 32 racks, 256 hosts, 2:1 oversubscribed core.
+  const FatTree ft(FatTreeConfig::Small(/*oversub=*/2.0));
+  std::printf("topology: %d hosts, %d racks, %zu links\n", ft.num_hosts(), ft.num_racks(),
+              ft.topo().num_links());
+
+  // 2. Workload: WebServer sizes on a near-uniform matrix, bursty arrivals,
+  //    busiest link at 50% utilization.
+  const auto tm = TrafficMatrix::MatrixB(ft.num_racks(), ft.config().racks_per_pod);
+  const auto sizes = MakeWebServer();
+  WorkloadSpec wspec;
+  wspec.num_flows = 10000;
+  wspec.max_load = 0.5;
+  wspec.burstiness_sigma = 1.5;
+  wspec.seed = 42;
+  const GeneratedWorkload wl = GenerateWorkload(ft, tm, *sizes, wspec);
+  std::printf("workload: %zu flows, realized max link load %.1f%%\n", wl.flows.size(),
+              100 * wl.realized_max_load);
+
+  // 3. Model.
+  M3Model model = LoadOrTrainModel();
+
+  // 4. Estimate. DCTCP with a 15KB initial window (the defaults).
+  NetConfig cfg;
+  M3Options opts;
+  opts.num_paths = 100;
+  const NetworkEstimate est = RunM3(ft.topo(), wl.flows, cfg, model, opts);
+  std::printf("m3 estimate finished in %.1fs (%d sampled paths)\n", est.wall_seconds,
+              opts.num_paths);
+
+  // 5. Query: slowdown percentiles per flow-size class.
+  std::printf("\n%-14s %8s %8s %8s\n", "flow class", "p50", "p90", "p99");
+  const char* labels[4] = {"(0,1KB]", "(1KB,10KB]", "(10KB,50KB]", "(50KB,inf)"};
+  for (int b = 0; b < kNumOutputBuckets; ++b) {
+    const auto& pct = est.bucket_pct[static_cast<std::size_t>(b)];
+    if (pct.empty()) continue;
+    std::printf("%-14s %8.2f %8.2f %8.2f\n", labels[b], pct[49], pct[89], pct[98]);
+  }
+  std::printf("network-wide:  p50=%.2f  p99=%.2f\n",
+              est.combined_pct[49], est.CombinedP99());
+
+  // Ground truth for comparison (the expensive path m3 replaces).
+  std::printf("\nrunning the full packet simulation for comparison...\n");
+  const auto truth = RunPacketSim(ft.topo(), wl.flows, cfg);
+  const NetworkEstimate gt = SummarizeGroundTruth(truth);
+  std::printf("ground truth:  p50=%.2f  p99=%.2f  (m3 p99 error %+.1f%%)\n",
+              gt.combined_pct[49], gt.CombinedP99(),
+              100 * RelativeError(est.CombinedP99(), gt.CombinedP99()));
+  return 0;
+}

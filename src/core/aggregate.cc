@@ -1,0 +1,94 @@
+#include "core/aggregate.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace m3 {
+
+double WeightedPercentile(std::vector<std::pair<double, double>> weighted, double p) {
+  if (weighted.empty()) return 0.0;
+  std::sort(weighted.begin(), weighted.end());
+  double total = 0.0;
+  for (const auto& [v, w] : weighted) total += w;
+  if (total <= 0.0) return 0.0;
+  const double target = std::clamp(p, 0.0, 100.0) / 100.0 * total;
+  double cum = 0.0;
+  for (const auto& [v, w] : weighted) {
+    cum += w;
+    if (cum >= target) return v;
+  }
+  return weighted.back().first;
+}
+
+std::array<std::vector<double>, kNumOutputBuckets> AggregateBuckets(
+    const std::vector<PathEstimate>& paths) {
+  std::array<std::vector<double>, kNumOutputBuckets> out;
+  for (int b = 0; b < kNumOutputBuckets; ++b) {
+    std::vector<std::pair<double, double>> weighted;
+    for (const PathEstimate& pe : paths) {
+      const double w = pe.counts[static_cast<std::size_t>(b)];
+      if (w <= 0.0) continue;
+      for (int p = 0; p < kNumPercentiles; ++p) {
+        weighted.emplace_back(pe.pct[static_cast<std::size_t>(b)][static_cast<std::size_t>(p)],
+                              w / kNumPercentiles);
+      }
+    }
+    auto& pct = out[static_cast<std::size_t>(b)];
+    pct.reserve(kNumPercentiles);
+    if (weighted.empty()) continue;
+    std::sort(weighted.begin(), weighted.end());
+    double total = 0.0;
+    for (const auto& [v, w] : weighted) total += w;
+    // Single sweep for all 100 percentiles.
+    double cum = 0.0;
+    std::size_t idx = 0;
+    for (int p = 1; p <= kNumPercentiles; ++p) {
+      const double target = static_cast<double>(p) / 100.0 * total;
+      while (idx < weighted.size() && cum + weighted[idx].second < target) {
+        cum += weighted[idx].second;
+        ++idx;
+      }
+      pct.push_back(weighted[std::min(idx, weighted.size() - 1)].first);
+    }
+  }
+  return out;
+}
+
+std::vector<double> CombineBuckets(
+    const std::array<std::vector<double>, kNumOutputBuckets>& bucket_pct,
+    const std::array<double, kNumOutputBuckets>& total_counts) {
+  std::vector<std::pair<double, double>> weighted;
+  for (int b = 0; b < kNumOutputBuckets; ++b) {
+    const auto& pct = bucket_pct[static_cast<std::size_t>(b)];
+    const double w = total_counts[static_cast<std::size_t>(b)];
+    if (pct.empty() || w <= 0.0) continue;
+    for (double v : pct) weighted.emplace_back(v, w / static_cast<double>(pct.size()));
+  }
+  std::vector<double> out;
+  out.reserve(kNumPercentiles);
+  for (int p = 1; p <= kNumPercentiles; ++p) {
+    out.push_back(WeightedPercentile(weighted, static_cast<double>(p)));
+  }
+  return out;
+}
+
+std::array<std::vector<double>, kNumOutputBuckets> BucketSlowdowns(
+    const std::vector<FlowResult>& results) {
+  std::array<std::vector<double>, kNumOutputBuckets> out;
+  for (const FlowResult& r : results) {
+    out[static_cast<std::size_t>(OutputBucketOf(r.size))].push_back(r.slowdown);
+  }
+  return out;
+}
+
+std::array<double, kNumOutputBuckets> BucketPercentile(
+    const std::array<std::vector<double>, kNumOutputBuckets>& buckets, double p) {
+  std::array<double, kNumOutputBuckets> out{};
+  for (int b = 0; b < kNumOutputBuckets; ++b) {
+    out[static_cast<std::size_t>(b)] = Percentile(buckets[static_cast<std::size_t>(b)], p);
+  }
+  return out;
+}
+
+}  // namespace m3

@@ -1,0 +1,47 @@
+// Network-wide aggregation (§3.5): per-size-bucket uniform pooling across
+// the flow-count-weighted path sample, then a count-weighted mixture of the
+// bucket distributions into a single network-wide slowdown CDF.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/feature_map.h"
+#include "workload/flow.h"
+
+namespace m3 {
+
+/// One sampled path's contribution: predicted slowdown percentiles and the
+/// number of foreground flows per output bucket.
+struct PathEstimate {
+  std::array<std::array<double, kNumPercentiles>, kNumOutputBuckets> pct{};
+  std::array<double, kNumOutputBuckets> counts{};
+};
+
+/// Network-wide per-bucket percentile vectors. Each path contributes its
+/// 100 percentile values weighted by its per-bucket flow count (the path
+/// sample itself is already flow-weighted, so pooling is uniform across
+/// sample entries, weighted only within by bucket occupancy).
+std::array<std::vector<double>, kNumOutputBuckets> AggregateBuckets(
+    const std::vector<PathEstimate>& paths);
+
+/// Count-weighted mixture of the bucket distributions: a single 100-point
+/// percentile vector of the network-wide slowdown distribution.
+std::vector<double> CombineBuckets(
+    const std::array<std::vector<double>, kNumOutputBuckets>& bucket_pct,
+    const std::array<double, kNumOutputBuckets>& total_counts);
+
+/// Weighted percentile over (value, weight) pairs; p in [0, 100].
+double WeightedPercentile(std::vector<std::pair<double, double>> weighted, double p);
+
+// ----- ground-truth helpers (for comparisons) -----
+
+/// Buckets raw per-flow results into the 4 output buckets.
+std::array<std::vector<double>, kNumOutputBuckets> BucketSlowdowns(
+    const std::vector<FlowResult>& results);
+
+/// Per-bucket p-th percentile (0 for empty buckets).
+std::array<double, kNumOutputBuckets> BucketPercentile(
+    const std::array<std::vector<double>, kNumOutputBuckets>& buckets, double p);
+
+}  // namespace m3

@@ -1,0 +1,81 @@
+#include "core/dataset.h"
+
+#include "util/parallel.h"
+
+namespace m3 {
+
+ScenarioFeatures ExtractFeatures(const PathScenario& scenario,
+                                 const std::vector<FlowResult>& flowsim_results) {
+  const int n = scenario.num_links;
+  std::vector<SizedSlowdown> fg;
+  std::vector<std::vector<SizedSlowdown>> bg_per_link(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < scenario.flows.size(); ++i) {
+    const SizedSlowdown s{flowsim_results[i].size, flowsim_results[i].slowdown};
+    if (scenario.is_fg[i]) {
+      fg.push_back(s);
+    } else {
+      for (int h = scenario.entry_hop[i]; h < scenario.exit_hop[i]; ++h) {
+        bg_per_link[static_cast<std::size_t>(h)].push_back(s);
+      }
+    }
+  }
+
+  ScenarioFeatures out;
+  out.fg_feat = FlattenFeature(BuildFeatureMap(fg));
+  out.flowsim_fg = BuildTarget(fg);
+  out.bg_seq = ml::Tensor(n, kFeatureDim);
+  for (int h = 0; h < n; ++h) {
+    const ml::Tensor row = FlattenFeature(BuildFeatureMap(bg_per_link[static_cast<std::size_t>(h)]));
+    for (int j = 0; j < kFeatureDim; ++j) out.bg_seq.at(h, j) = row.at(0, j);
+  }
+  return out;
+}
+
+Sample BuildSample(const PathScenario& scenario, const NetConfig& cfg) {
+  const std::vector<FlowResult> fluid = RunPathFlowSim(scenario);
+  const std::vector<FlowResult> truth = RunPathPktSim(scenario, cfg);
+
+  ScenarioFeatures feats = ExtractFeatures(scenario, fluid);
+  const TargetDist gt = BuildTarget(ForegroundSlowdowns(scenario, truth));
+
+  Sample s;
+  s.fg_feat = std::move(feats.fg_feat);
+  s.bg_seq = std::move(feats.bg_seq);
+  s.spec = EncodeSpec(cfg, ComputePathSpec(scenario, cfg));
+  s.target = TargetToTensor(gt);
+  s.baseline = TargetToTensor(feats.flowsim_fg);
+  s.mask = TargetMask(gt);
+  s.gt = gt;
+  s.flowsim = feats.flowsim_fg;
+  return s;
+}
+
+std::vector<Sample> MakeSyntheticDataset(const DatasetOptions& opts) {
+  Rng rng(opts.seed);
+  // Pre-draw all specs/configs so generation order is independent of
+  // thread scheduling.
+  std::vector<SyntheticSpec> specs;
+  std::vector<NetConfig> cfgs;
+  specs.reserve(static_cast<std::size_t>(opts.num_scenarios));
+  cfgs.reserve(static_cast<std::size_t>(opts.num_scenarios));
+  for (int i = 0; i < opts.num_scenarios; ++i) {
+    Rng wl_rng = rng.Fork(static_cast<std::uint64_t>(2 * i));
+    Rng cfg_rng = rng.Fork(static_cast<std::uint64_t>(2 * i + 1));
+    SyntheticSpec spec = SyntheticSpec::Sample(wl_rng, opts.num_fg);
+    if (!opts.vary_num_fg) spec.num_fg = opts.num_fg;
+    specs.push_back(spec);
+    cfgs.push_back(NetConfig::Sample(cfg_rng));
+  }
+
+  std::vector<Sample> samples(static_cast<std::size_t>(opts.num_scenarios));
+  ParallelFor(
+      static_cast<std::size_t>(opts.num_scenarios),
+      [&](std::size_t i) {
+        const PathScenario scenario = BuildSyntheticScenario(specs[i]);
+        samples[i] = BuildSample(scenario, cfgs[i]);
+      },
+      opts.num_threads);
+  return samples;
+}
+
+}  // namespace m3

@@ -1,0 +1,120 @@
+#include "core/estimator.h"
+
+#include <chrono>
+#include <functional>
+
+#include "core/dataset.h"
+#include "util/parallel.h"
+#include "util/stats.h"
+
+namespace m3 {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::array<double, kNumOutputBuckets> FgBucketCounts(const PathScenario& scenario) {
+  std::array<double, kNumOutputBuckets> counts{};
+  for (std::size_t i = 0; i < scenario.flows.size(); ++i) {
+    if (scenario.is_fg[i]) {
+      counts[static_cast<std::size_t>(OutputBucketOf(scenario.flows[i].size))] += 1.0;
+    }
+  }
+  return counts;
+}
+
+PathEstimate FromTarget(const TargetDist& t) {
+  PathEstimate pe;
+  pe.pct = t.pct;
+  pe.counts = t.counts;
+  return pe;
+}
+
+NetworkEstimate RunPathPipeline(
+    const Topology& topo, const std::vector<Flow>& flows, const M3Options& opts,
+    const std::function<PathEstimate(const PathScenario&)>& estimate_path) {
+  const auto t0 = Clock::now();
+
+  PathDecomposition decomp(topo, flows);
+  Rng rng(opts.seed);
+  const std::vector<std::size_t> sample = SamplePaths(decomp, opts.num_paths, rng);
+
+  NetworkEstimate est;
+  est.paths.resize(sample.size());
+  ParallelFor(
+      sample.size(),
+      [&](std::size_t i) {
+        const PathScenario scenario = BuildPathScenario(topo, flows, decomp, sample[i]);
+        est.paths[i] = estimate_path(scenario);
+      },
+      opts.num_threads);
+
+  est.bucket_pct = AggregateBuckets(est.paths);
+  for (const PathEstimate& pe : est.paths) {
+    for (int b = 0; b < kNumOutputBuckets; ++b) {
+      est.total_counts[static_cast<std::size_t>(b)] += pe.counts[static_cast<std::size_t>(b)];
+    }
+  }
+  est.combined_pct = CombineBuckets(est.bucket_pct, est.total_counts);
+  est.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  return est;
+}
+
+}  // namespace
+
+std::array<double, kNumOutputBuckets> NetworkEstimate::BucketP99() const {
+  std::array<double, kNumOutputBuckets> out{};
+  for (int b = 0; b < kNumOutputBuckets; ++b) {
+    const auto& pct = bucket_pct[static_cast<std::size_t>(b)];
+    if (!pct.empty()) out[static_cast<std::size_t>(b)] = pct[98];
+  }
+  return out;
+}
+
+NetworkEstimate RunM3(const Topology& topo, const std::vector<Flow>& flows,
+                      const NetConfig& cfg, M3Model& model, const M3Options& opts) {
+  return RunPathPipeline(topo, flows, opts, [&](const PathScenario& scenario) {
+    const std::vector<FlowResult> fluid = RunPathFlowSim(scenario);
+    const ScenarioFeatures feats = ExtractFeatures(scenario, fluid);
+    const ml::Tensor spec = EncodeSpec(cfg, ComputePathSpec(scenario, cfg));
+    const ml::Tensor baseline = TargetToTensor(feats.flowsim_fg);
+    PathEstimate pe;
+    pe.pct = model.Predict(feats.fg_feat, feats.bg_seq, spec, opts.use_context, &baseline);
+    pe.counts = FgBucketCounts(scenario);
+    return pe;
+  });
+}
+
+NetworkEstimate RunNs3Path(const Topology& topo, const std::vector<Flow>& flows,
+                           const NetConfig& cfg, const M3Options& opts) {
+  return RunPathPipeline(topo, flows, opts, [&](const PathScenario& scenario) {
+    const std::vector<FlowResult> res = RunPathPktSim(scenario, cfg);
+    return FromTarget(BuildTarget(ForegroundSlowdowns(scenario, res)));
+  });
+}
+
+NetworkEstimate RunFlowSimOnly(const Topology& topo, const std::vector<Flow>& flows,
+                               const NetConfig& cfg, const M3Options& opts) {
+  (void)cfg;
+  return RunPathPipeline(topo, flows, opts, [&](const PathScenario& scenario) {
+    const std::vector<FlowResult> res = RunPathFlowSim(scenario);
+    return FromTarget(BuildTarget(ForegroundSlowdowns(scenario, res)));
+  });
+}
+
+NetworkEstimate SummarizeGroundTruth(const std::vector<FlowResult>& results) {
+  NetworkEstimate est;
+  const auto buckets = BucketSlowdowns(results);
+  std::vector<std::pair<double, double>> all;
+  for (int b = 0; b < kNumOutputBuckets; ++b) {
+    auto sorted = buckets[static_cast<std::size_t>(b)];
+    est.total_counts[static_cast<std::size_t>(b)] = static_cast<double>(sorted.size());
+    est.bucket_pct[static_cast<std::size_t>(b)] = PercentileVector100(std::move(sorted));
+  }
+  std::vector<double> slowdowns;
+  slowdowns.reserve(results.size());
+  for (const FlowResult& r : results) slowdowns.push_back(r.slowdown);
+  est.combined_pct = PercentileVector100(std::move(slowdowns));
+  return est;
+}
+
+}  // namespace m3

@@ -1,0 +1,55 @@
+// End-to-end m3 (§3.1): decompose the network into paths, sample them by
+// foreground flow count, run flowSim + the ML model on each, and aggregate
+// into network-wide slowdown distributions. Also provides the "ns-3-path"
+// estimator (packet-level simulation of each sampled path, §2.1) used for
+// the paper's decomposition-error ablations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "core/model.h"
+#include "pathdecomp/decompose.h"
+#include "pathdecomp/sampling.h"
+#include "pktsim/config.h"
+
+namespace m3 {
+
+struct M3Options {
+  int num_paths = 100;       // paper: 500 bounds p99 error to ~10% (Fig. 5)
+  std::uint64_t seed = 1;
+  bool use_context = true;   // Fig. 16 ablation switch
+  unsigned num_threads = 0;  // path-level parallelism (0 = hardware)
+};
+
+struct NetworkEstimate {
+  std::vector<PathEstimate> paths;
+  std::array<std::vector<double>, kNumOutputBuckets> bucket_pct;  // 100 each
+  std::array<double, kNumOutputBuckets> total_counts{};
+  std::vector<double> combined_pct;  // network-wide mixture, 100 points
+  double wall_seconds = 0.0;
+
+  double CombinedP99() const { return combined_pct.empty() ? 0.0 : combined_pct[98]; }
+  std::array<double, kNumOutputBuckets> BucketP99() const;
+};
+
+/// Full m3 pipeline with a trained model.
+NetworkEstimate RunM3(const Topology& topo, const std::vector<Flow>& flows,
+                      const NetConfig& cfg, M3Model& model, const M3Options& opts);
+
+/// ns-3-path: identical sampling/aggregation, but each path is simulated at
+/// packet level (the decomposition-only upper bound on m3's accuracy).
+NetworkEstimate RunNs3Path(const Topology& topo, const std::vector<Flow>& flows,
+                           const NetConfig& cfg, const M3Options& opts);
+
+/// flowSim-only variant (no ML correction): the Fig. 16 baseline.
+NetworkEstimate RunFlowSimOnly(const Topology& topo, const std::vector<Flow>& flows,
+                               const NetConfig& cfg, const M3Options& opts);
+
+/// Ground-truth network-wide distribution from full packet simulation
+/// results (for comparisons): bucket percentiles + combined percentiles.
+NetworkEstimate SummarizeGroundTruth(const std::vector<FlowResult>& results);
+
+}  // namespace m3

@@ -1,0 +1,62 @@
+// flowSim feature maps (§3.4, Eq. 3): per-size-bucket percentile vectors of
+// FCT slowdown. Inputs use 10 size buckets x 100 percentiles; the model's
+// output uses 4 size buckets x 100 percentiles.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "ml/tensor.h"
+#include "pathdecomp/path_topology.h"
+#include "util/units.h"
+
+namespace m3 {
+
+constexpr int kNumSizeBuckets = 10;
+constexpr int kNumPercentiles = 100;
+constexpr int kNumOutputBuckets = 4;
+
+/// Flattened feature width: 10 buckets x 100 percentiles + 10 log-counts.
+constexpr int kFeatureDim = kNumSizeBuckets * kNumPercentiles + kNumSizeBuckets;
+
+/// Upper bucket edges (inclusive), in bytes. The last bucket is open.
+/// Mirrors the paper: "single packet under 250B" up to "exceeding 50KB".
+const std::array<Bytes, kNumSizeBuckets - 1>& SizeBucketEdges();
+/// Output buckets: (0,1KB], (1KB,10KB], (10KB,50KB], (50KB,inf).
+const std::array<Bytes, kNumOutputBuckets - 1>& OutputBucketEdges();
+
+int SizeBucketOf(Bytes size);
+int OutputBucketOf(Bytes size);
+
+struct FeatureMap {
+  std::array<double, kNumSizeBuckets> counts{};
+  // pct[b][p] = (p+1)-percentile of slowdown in bucket b (0 if empty).
+  std::array<std::array<double, kNumPercentiles>, kNumSizeBuckets> pct{};
+};
+
+FeatureMap BuildFeatureMap(const std::vector<SizedSlowdown>& flows);
+
+/// Flattens to a [1, kFeatureDim] tensor: log(slowdown) percentiles (0 for
+/// empty buckets) followed by log1p(count) per bucket.
+ml::Tensor FlattenFeature(const FeatureMap& map);
+
+/// Ground-truth / model target: 4 output buckets x 100 percentiles of
+/// slowdown, with a validity flag per bucket.
+struct TargetDist {
+  std::array<std::array<double, kNumPercentiles>, kNumOutputBuckets> pct{};
+  std::array<bool, kNumOutputBuckets> has{};
+  std::array<double, kNumOutputBuckets> counts{};
+};
+
+TargetDist BuildTarget(const std::vector<SizedSlowdown>& flows);
+
+/// Target/mask tensors in log-slowdown space, [1, 400] each.
+ml::Tensor TargetToTensor(const TargetDist& t);
+ml::Tensor TargetMask(const TargetDist& t);
+
+/// Inverse of the model output encoding: [1,400] log-slowdowns -> bucketed
+/// slowdown percentiles (clamped to >= 1).
+std::array<std::array<double, kNumPercentiles>, kNumOutputBuckets> DecodeOutput(
+    const ml::Tensor& out);
+
+}  // namespace m3

@@ -1,0 +1,63 @@
+#include "core/model.h"
+
+#include "ml/checkpoint.h"
+
+namespace m3 {
+namespace {
+
+ml::TransformerConfig EncoderConfig(const M3ModelConfig& cfg) {
+  ml::TransformerConfig tc;
+  tc.input_dim = cfg.feat_dim;
+  tc.d_model = cfg.d_model;
+  tc.num_heads = cfg.num_heads;
+  tc.num_layers = cfg.num_layers;
+  tc.ff_dim = cfg.ff_dim;
+  tc.max_seq = cfg.max_seq;
+  return tc;
+}
+
+}  // namespace
+
+M3Model::M3Model(const M3ModelConfig& cfg) : cfg_(cfg) {
+  Rng rng(cfg.init_seed);
+  Rng enc_rng = rng.Fork(1);
+  Rng head_rng = rng.Fork(2);
+  bg_encoder_ = ml::TransformerEncoder("bg", EncoderConfig(cfg), enc_rng);
+  head_ = ml::Mlp("head", cfg.feat_dim + cfg.d_model + cfg.spec_dim, cfg.mlp_hidden,
+                  cfg.out_dim, head_rng);
+}
+
+ml::Var M3Model::Forward(ml::Graph& g, const ml::Tensor& fg_feat, const ml::Tensor& bg_seq,
+                         const ml::Tensor& spec, bool use_context) {
+  ml::Var ctx = use_context ? bg_encoder_.Encode(g, bg_seq)
+                            : g.Input(ml::Tensor::Zeros(1, cfg_.d_model));
+  ml::Var in = g.ConcatCols({g.Input(fg_feat), ctx, g.Input(spec)});
+  return head_(g, in);
+}
+
+std::array<std::array<double, kNumPercentiles>, kNumOutputBuckets> M3Model::Predict(
+    const ml::Tensor& fg_feat, const ml::Tensor& bg_seq, const ml::Tensor& spec,
+    bool use_context, const ml::Tensor* baseline) {
+  ml::Graph g;
+  ml::Var out = Forward(g, fg_feat, bg_seq, spec, use_context);
+  if (baseline != nullptr) out = g.Add(out, g.Input(*baseline));
+  return DecodeOutput(g.value(out));
+}
+
+std::vector<ml::Parameter*> M3Model::params() {
+  std::vector<ml::Parameter*> out;
+  bg_encoder_.CollectParams(out);
+  head_.CollectParams(out);
+  return out;
+}
+
+std::size_t M3Model::num_parameters() {
+  std::size_t n = 0;
+  for (const ml::Parameter* p : params()) n += p->value.size();
+  return n;
+}
+
+void M3Model::Save(const std::string& path) { ml::SaveCheckpoint(path, params()); }
+void M3Model::Load(const std::string& path) { ml::LoadCheckpoint(path, params()); }
+
+}  // namespace m3

@@ -1,0 +1,66 @@
+// The m3 model (§3.4): a transformer encoder summarizes the per-hop
+// background feature maps into a context vector; a two-layer MLP maps
+// [foreground feature map, context, network spec] to the corrected
+// foreground slowdown distribution (4 size buckets x 100 percentiles, in
+// log-slowdown space).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/feature_map.h"
+#include "core/net_config.h"
+#include "ml/layers.h"
+#include "ml/optimizer.h"
+#include "ml/transformer.h"
+
+namespace m3 {
+
+struct M3ModelConfig {
+  int feat_dim = kFeatureDim;
+  int d_model = 96;
+  int num_heads = 4;
+  int num_layers = 2;
+  int ff_dim = 192;
+  int spec_dim = kSpecDim;
+  int mlp_hidden = 256;
+  int out_dim = kNumOutputBuckets * kNumPercentiles;
+  int max_seq = 8;
+  std::uint64_t init_seed = 1234;
+};
+
+class M3Model {
+ public:
+  explicit M3Model(const M3ModelConfig& cfg = M3ModelConfig());
+
+  /// Builds the forward pass. `bg_seq` is [n_hops, feat_dim] (n >= 1; pass
+  /// a zero row if a hop has no background traffic). When `use_context` is
+  /// false the context vector is replaced with zeros (the paper's "m3 w/o
+  /// context" ablation, Fig. 16).
+  ml::Var Forward(ml::Graph& g, const ml::Tensor& fg_feat, const ml::Tensor& bg_seq,
+                  const ml::Tensor& spec, bool use_context = true);
+
+  /// Inference: decoded slowdown percentiles per output bucket. The model
+  /// output is a log-space *correction* added to `baseline` (flowSim's own
+  /// bucketed log-slowdown percentiles, [1, 400]); pass nullptr for a zero
+  /// baseline (absolute prediction).
+  std::array<std::array<double, kNumPercentiles>, kNumOutputBuckets> Predict(
+      const ml::Tensor& fg_feat, const ml::Tensor& bg_seq, const ml::Tensor& spec,
+      bool use_context = true, const ml::Tensor* baseline = nullptr);
+
+  std::vector<ml::Parameter*> params();
+  std::size_t num_parameters();
+
+  void Save(const std::string& path);
+  void Load(const std::string& path);
+
+  const M3ModelConfig& config() const { return cfg_; }
+
+ private:
+  M3ModelConfig cfg_;
+  ml::TransformerEncoder bg_encoder_;
+  ml::Mlp head_;
+};
+
+}  // namespace m3

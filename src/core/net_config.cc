@@ -1,0 +1,64 @@
+#include "core/net_config.h"
+
+#include <cmath>
+
+namespace m3 {
+
+PathSpecInfo ComputePathSpec(const PathScenario& scenario, const NetConfig& cfg) {
+  PathSpecInfo info;
+  info.num_links = scenario.num_links;
+  const Topology& topo = scenario.lot->topo();
+
+  // The foreground route runs over the chain links 0..n-1.
+  Route fg_route;
+  fg_route.reserve(static_cast<std::size_t>(scenario.num_links));
+  for (int i = 0; i < scenario.num_links; ++i) fg_route.push_back(scenario.lot->path_link(i));
+
+  Ns rtt = 0;
+  for (LinkId l : fg_route) {
+    const Link& lk = topo.link(l);
+    rtt += lk.delay + TransmissionTime(cfg.mtu + cfg.hdr, lk.rate);
+    const LinkId rev = topo.ReverseLink(l);
+    const Link& rlk = topo.link(rev);
+    rtt += rlk.delay + TransmissionTime(cfg.hdr, rlk.rate);
+  }
+  info.base_rtt = rtt;
+  info.min_rate = topo.RouteMinRate(fg_route);
+  info.bdp = static_cast<Bytes>(topo.link(fg_route.front()).rate * static_cast<double>(rtt));
+  info.num_fg = static_cast<double>(scenario.num_fg());
+  return info;
+}
+
+ml::Tensor EncodeSpec(const NetConfig& cfg, const PathSpecInfo& path) {
+  ml::Tensor spec(1, kSpecDim);
+  int i = 0;
+  // CC one-hot (4).
+  for (int c = 0; c < kNumCcTypes; ++c) {
+    spec.at(0, i++) = (static_cast<int>(cfg.cc) == c) ? 1.0f : 0.0f;
+  }
+  spec.at(0, i++) = static_cast<float>(cfg.init_window) / 30e3f;
+  spec.at(0, i++) = static_cast<float>(cfg.buffer) / 500e3f;
+  spec.at(0, i++) = cfg.pfc ? 1.0f : 0.0f;
+  spec.at(0, i++) = static_cast<float>(cfg.dctcp_k) / 20e3f;
+  spec.at(0, i++) = static_cast<float>(cfg.dcqcn_kmin) / 50e3f;
+  spec.at(0, i++) = static_cast<float>(cfg.dcqcn_kmax) / 100e3f;
+  spec.at(0, i++) = static_cast<float>(cfg.hpcc_eta);
+  spec.at(0, i++) = static_cast<float>(cfg.hpcc_rate_ai_gbps);
+  spec.at(0, i++) = static_cast<float>(cfg.timely_tlow) / 60e3f;
+  spec.at(0, i++) = static_cast<float>(cfg.timely_thigh) / 150e3f;
+  // Path geometry.
+  spec.at(0, i++) = static_cast<float>(path.num_links) / 6.0f;
+  spec.at(0, i++) = static_cast<float>(path.base_rtt) / 100e3f;
+  spec.at(0, i++) = static_cast<float>(path.bdp) / 100e3f;
+  spec.at(0, i++) = static_cast<float>(BpnsToGbps(path.min_rate)) / 40.0f;
+  spec.at(0, i++) = static_cast<float>(std::log1p(path.num_fg) / 10.0);
+  // Ratio of init window to BDP: the quantity that drives the Table 5
+  // window-limited regime.
+  spec.at(0, i++) = path.bdp > 0
+                        ? static_cast<float>(static_cast<double>(cfg.init_window) /
+                                             static_cast<double>(path.bdp))
+                        : 0.0f;
+  return spec;
+}
+
+}  // namespace m3

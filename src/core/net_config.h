@@ -1,0 +1,29 @@
+// Encoding of network configuration + path specification into the model's
+// spec feature vector (§3.4 step 5: BDP, CC protocol one-hot, protocol
+// parameters, and path geometry).
+#pragma once
+
+#include "ml/tensor.h"
+#include "pathdecomp/path_topology.h"
+#include "pktsim/config.h"
+#include "util/units.h"
+
+namespace m3 {
+
+constexpr int kSpecDim = 21;
+
+/// Geometry of the foreground path, computed from a PathScenario.
+struct PathSpecInfo {
+  int num_links = 0;
+  Ns base_rtt = 0;      // unloaded fg round trip
+  Bytes bdp = 0;        // fg NIC rate x base_rtt
+  Bpns min_rate = 0.0;  // fg path bottleneck rate
+  double num_fg = 0.0;
+};
+
+PathSpecInfo ComputePathSpec(const PathScenario& scenario, const NetConfig& cfg);
+
+/// [1, kSpecDim] normalized feature vector.
+ml::Tensor EncodeSpec(const NetConfig& cfg, const PathSpecInfo& path);
+
+}  // namespace m3

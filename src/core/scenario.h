@@ -1,0 +1,35 @@
+// Synthetic path-level training scenarios (paper Table 2): parking-lot
+// topologies of 2/4/6 links with parametric flow-size distributions,
+// log-normal burstiness, and a target maximum link load.
+#pragma once
+
+#include <cstdint>
+
+#include "pathdecomp/path_topology.h"
+#include "util/rng.h"
+#include "workload/size_dist.h"
+
+namespace m3 {
+
+struct SyntheticSpec {
+  int num_links = 4;  // 2, 4, or 6 (Table 2 "path length")
+  ParametricFamily family = ParametricFamily::kLogNormal;
+  double theta = 20000.0;    // size parameter: 5k (small) to 50k (large)
+  double sigma = 1.5;        // burstiness: 1 (low) to 2 (high)
+  double max_load = 0.5;     // 20% to 80%
+  int num_fg = 2000;         // paper uses 20000; scaled for CPU training
+  double bg_ratio = 2.0;     // background flows per foreground flow
+  std::uint64_t seed = 1;
+
+  /// Uniform draw over the Table 2 space (path length, family, theta,
+  /// sigma, load). The foreground flow count is drawn log-uniformly in
+  /// [num_fg/20, 2*num_fg] so sparse paths are represented.
+  static SyntheticSpec Sample(Rng& rng, int num_fg = 2000);
+};
+
+/// Builds the parking-lot scenario: foreground flows span the whole chain;
+/// background flows enter/leave at random interior spans; arrivals are
+/// scaled so the busiest chain link sits at `max_load`.
+PathScenario BuildSyntheticScenario(const SyntheticSpec& spec);
+
+}  // namespace m3

@@ -1,0 +1,94 @@
+#include "core/trainer.h"
+
+#include <cstdio>
+#include <numeric>
+
+namespace m3 {
+
+double EvaluateLoss(M3Model& model, const std::vector<Sample>& samples, bool use_context,
+                    bool use_baseline) {
+  if (samples.empty()) return 0.0;
+  double total = 0.0;
+  for (const Sample& s : samples) {
+    ml::Graph g;
+    ml::Var pred = model.Forward(g, s.fg_feat, s.bg_seq, s.spec, use_context);
+    if (use_baseline) pred = g.Add(pred, g.Input(s.baseline));
+    const ml::Var loss = g.L1Loss(pred, g.Input(s.target), g.Input(s.mask));
+    total += static_cast<double>(g.value(loss).at(0, 0));
+  }
+  return total / static_cast<double>(samples.size());
+}
+
+TrainReport TrainModel(M3Model& model, const std::vector<Sample>& samples,
+                       const TrainOptions& opts) {
+  Rng rng(opts.seed);
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Deterministic shuffle for the train/val split.
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextBounded(i)]);
+  }
+  const std::size_t val_count =
+      static_cast<std::size_t>(opts.val_frac * static_cast<double>(samples.size()));
+  std::vector<std::size_t> val_idx(order.begin(), order.begin() + static_cast<long>(val_count));
+  std::vector<std::size_t> train_idx(order.begin() + static_cast<long>(val_count), order.end());
+
+  std::vector<Sample> val_set;
+  val_set.reserve(val_idx.size());
+  for (std::size_t i : val_idx) val_set.push_back(samples[i]);
+
+  ml::Adam adam(model.params(), {.lr = opts.lr,
+                                 .beta1 = 0.9f,
+                                 .beta2 = 0.999f,
+                                 .eps = 1e-8f,
+                                 .grad_clip = 1.0f});
+
+  TrainReport report;
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    if (opts.lr_decay_every > 0 && epoch > 0 && epoch % opts.lr_decay_every == 0) {
+      adam.set_lr(adam.options().lr * opts.lr_decay_factor);
+    }
+    // Shuffle the training order each epoch.
+    for (std::size_t i = train_idx.size(); i > 1; --i) {
+      std::swap(train_idx[i - 1], train_idx[rng.NextBounded(i)]);
+    }
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < train_idx.size();
+         start += static_cast<std::size_t>(opts.batch_size)) {
+      const std::size_t end =
+          std::min(train_idx.size(), start + static_cast<std::size_t>(opts.batch_size));
+      double batch_loss = 0.0;
+      for (std::size_t k = start; k < end; ++k) {
+        const Sample& s = samples[train_idx[k]];
+        ml::Graph g;
+        ml::Var pred = model.Forward(g, s.fg_feat, s.bg_seq, s.spec, opts.use_context);
+        if (opts.use_baseline) pred = g.Add(pred, g.Input(s.baseline));
+        const ml::Var loss = g.L1Loss(pred, g.Input(s.target), g.Input(s.mask));
+        batch_loss += static_cast<double>(g.value(loss).at(0, 0));
+        g.Backward(loss);
+      }
+      adam.ScaleGrads(1.0f / static_cast<float>(end - start));
+      adam.Step();
+      epoch_loss += batch_loss / static_cast<double>(end - start);
+      ++batches;
+    }
+    report.train_loss.push_back(batches ? epoch_loss / static_cast<double>(batches) : 0.0);
+    if (!val_set.empty()) {
+      report.val_loss.push_back(
+          EvaluateLoss(model, val_set, opts.use_context, opts.use_baseline));
+    }
+    if (opts.verbose) {
+      std::printf("epoch %3d  train %.4f  val %.4f\n", epoch, report.train_loss.back(),
+                  val_set.empty() ? 0.0 : report.val_loss.back());
+      std::fflush(stdout);
+    }
+    if (!opts.checkpoint_path.empty() && opts.checkpoint_every > 0 &&
+        (epoch + 1) % opts.checkpoint_every == 0) {
+      model.Save(opts.checkpoint_path);
+    }
+  }
+  return report;
+}
+
+}  // namespace m3

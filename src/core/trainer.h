@@ -1,0 +1,43 @@
+// Training loop: minibatch Adam on L1 loss over the 400 percentile outputs
+// (§3.4 step 8), with a held-out validation split.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/model.h"
+
+namespace m3 {
+
+struct TrainOptions {
+  int epochs = 40;
+  int batch_size = 16;
+  float lr = 1e-3f;
+  int lr_decay_every = 30;      // halve the learning rate every N epochs
+  float lr_decay_factor = 0.5f;
+  double val_frac = 0.1;
+  std::uint64_t seed = 5;
+  bool use_context = true;   // false trains the "m3 w/o context" ablation
+  bool use_baseline = true;  // false trains an absolute (non-residual) head
+  bool verbose = false;
+  // When set, the model is checkpointed here every `checkpoint_every`
+  // epochs (and training can be resumed or interrupted safely).
+  std::string checkpoint_path;
+  int checkpoint_every = 10;
+};
+
+struct TrainReport {
+  std::vector<double> train_loss;  // per epoch
+  std::vector<double> val_loss;    // per epoch (empty if no val split)
+};
+
+TrainReport TrainModel(M3Model& model, const std::vector<Sample>& samples,
+                       const TrainOptions& opts);
+
+/// Mean masked L1 loss of the model over a sample set (no training).
+double EvaluateLoss(M3Model& model, const std::vector<Sample>& samples,
+                    bool use_context = true, bool use_baseline = true);
+
+}  // namespace m3

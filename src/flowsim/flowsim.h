@@ -1,0 +1,33 @@
+// flowSim: the max-min fair fluid flow-level simulator (paper Algorithm 1).
+//
+// Flows are fluids served at their instantaneous max-min fair share across
+// the links of their static route; rates are recomputed on every flow
+// arrival or completion. flowSim does not model queueing, packet loss, or
+// congestion control -- that is the point: it is a fast, coarse featurizer
+// whose output m3's ML model corrects (§3.3).
+#pragma once
+
+#include <vector>
+
+#include "topo/topology.h"
+#include "workload/flow.h"
+
+namespace m3 {
+
+struct FlowSimOptions {
+  // Framing used to align fluid goodput with the packet simulator: fluid
+  // link capacity is scaled by mtu/(mtu+hdr).
+  Bytes mtu = 1000;
+  Bytes hdr = 48;
+};
+
+/// Runs flowSim over `flows` on `topo`. Returns one result per flow, in the
+/// same order as the input. Each flow must have a non-empty, valid path.
+///
+/// FCT model: fluid completion time plus a path-specific base-latency term
+/// chosen so that a flow alone on its path gets exactly IdealFct (hence
+/// slowdown exactly 1 when unloaded).
+std::vector<FlowResult> RunFlowSim(const Topology& topo, const std::vector<Flow>& flows,
+                                   const FlowSimOptions& opts = {});
+
+}  // namespace m3

@@ -1,0 +1,511 @@
+#include "ml/autograd.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace m3::ml {
+namespace {
+
+constexpr float kRmsEps = 1e-6f;
+
+float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch");
+  }
+}
+
+}  // namespace
+
+Var Graph::Emit(Node node) {
+  nodes_.push_back(std::move(node));
+  return Var{static_cast<std::int32_t>(nodes_.size() - 1)};
+}
+
+Tensor& Graph::MutableGrad(std::int32_t id) {
+  Node& n = nodes_[static_cast<std::size_t>(id)];
+  if (n.grad.empty()) n.grad = Tensor::Zeros(n.val.rows(), n.val.cols());
+  return n.grad;
+}
+
+Var Graph::Input(Tensor value) {
+  Node n;
+  n.val = std::move(value);
+  n.op = Op::kInput;
+  return Emit(std::move(n));
+}
+
+Var Graph::Param(Parameter* param) {
+  Node n;
+  n.val = param->value;  // copy keeps the tape self-contained
+  n.op = Op::kParam;
+  n.param = param;
+  return Emit(std::move(n));
+}
+
+Var Graph::MatMul(Var a, Var b) {
+  const Tensor& A = value(a);
+  const Tensor& B = value(b);
+  if (A.cols() != B.rows()) throw std::invalid_argument("MatMul: inner dims differ");
+  Tensor out(A.rows(), B.cols());
+  const int m = A.rows(), k = A.cols(), n = B.cols();
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const float av = A.at(i, p);
+      if (av == 0.0f) continue;
+      const float* brow = B.data() + static_cast<std::size_t>(p) * n;
+      float* orow = out.data() + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  Node node;
+  node.val = std::move(out);
+  node.op = Op::kMatMul;
+  node.in = {a.id, b.id};
+  return Emit(std::move(node));
+}
+
+Var Graph::Add(Var a, Var b) {
+  const Tensor& A = value(a);
+  const Tensor& B = value(b);
+  Node node;
+  if (B.rows() == 1 && A.rows() != 1 && B.cols() == A.cols()) {
+    Tensor out = A;
+    for (int i = 0; i < A.rows(); ++i) {
+      for (int j = 0; j < A.cols(); ++j) out.at(i, j) += B.at(0, j);
+    }
+    node.val = std::move(out);
+    node.op = Op::kAddBroadcast;
+  } else {
+    CheckSameShape(A, B, "Add");
+    Tensor out = A;
+    out.AddInPlace(B);
+    node.val = std::move(out);
+    node.op = Op::kAdd;
+  }
+  node.in = {a.id, b.id};
+  return Emit(std::move(node));
+}
+
+Var Graph::Sub(Var a, Var b) {
+  const Tensor& A = value(a);
+  const Tensor& B = value(b);
+  CheckSameShape(A, B, "Sub");
+  Tensor out = A;
+  for (std::size_t i = 0; i < out.size(); ++i) out.vec()[i] -= B.vec()[i];
+  Node node;
+  node.val = std::move(out);
+  node.op = Op::kSub;
+  node.in = {a.id, b.id};
+  return Emit(std::move(node));
+}
+
+Var Graph::Mul(Var a, Var b) {
+  const Tensor& A = value(a);
+  const Tensor& B = value(b);
+  CheckSameShape(A, B, "Mul");
+  Tensor out = A;
+  for (std::size_t i = 0; i < out.size(); ++i) out.vec()[i] *= B.vec()[i];
+  Node node;
+  node.val = std::move(out);
+  node.op = Op::kMul;
+  node.in = {a.id, b.id};
+  return Emit(std::move(node));
+}
+
+Var Graph::Scale(Var a, float s) {
+  Tensor out = value(a);
+  for (float& v : out.vec()) v *= s;
+  Node node;
+  node.val = std::move(out);
+  node.op = Op::kScale;
+  node.in = {a.id};
+  node.scalar = s;
+  return Emit(std::move(node));
+}
+
+Var Graph::Relu(Var a) {
+  Tensor out = value(a);
+  for (float& v : out.vec()) v = v > 0.0f ? v : 0.0f;
+  Node node;
+  node.val = std::move(out);
+  node.op = Op::kRelu;
+  node.in = {a.id};
+  return Emit(std::move(node));
+}
+
+Var Graph::Gelu(Var a) {
+  Tensor out = value(a);
+  for (float& v : out.vec()) v = v * Sigmoid(1.702f * v);
+  Node node;
+  node.val = std::move(out);
+  node.op = Op::kGelu;
+  node.in = {a.id};
+  return Emit(std::move(node));
+}
+
+Var Graph::Tanh(Var a) {
+  Tensor out = value(a);
+  for (float& v : out.vec()) v = std::tanh(v);
+  Node node;
+  node.val = std::move(out);
+  node.op = Op::kTanh;
+  node.in = {a.id};
+  return Emit(std::move(node));
+}
+
+Var Graph::Softmax(Var a) {
+  Tensor out = value(a);
+  for (int i = 0; i < out.rows(); ++i) {
+    float mx = out.at(i, 0);
+    for (int j = 1; j < out.cols(); ++j) mx = std::max(mx, out.at(i, j));
+    float sum = 0.0f;
+    for (int j = 0; j < out.cols(); ++j) {
+      out.at(i, j) = std::exp(out.at(i, j) - mx);
+      sum += out.at(i, j);
+    }
+    for (int j = 0; j < out.cols(); ++j) out.at(i, j) /= sum;
+  }
+  Node node;
+  node.val = std::move(out);
+  node.op = Op::kSoftmax;
+  node.in = {a.id};
+  return Emit(std::move(node));
+}
+
+Var Graph::Transpose(Var a) {
+  const Tensor& A = value(a);
+  Tensor out(A.cols(), A.rows());
+  for (int i = 0; i < A.rows(); ++i) {
+    for (int j = 0; j < A.cols(); ++j) out.at(j, i) = A.at(i, j);
+  }
+  Node node;
+  node.val = std::move(out);
+  node.op = Op::kTranspose;
+  node.in = {a.id};
+  return Emit(std::move(node));
+}
+
+Var Graph::RmsNorm(Var x, Var gain) {
+  const Tensor& X = value(x);
+  const Tensor& G = value(gain);
+  if (G.rows() != 1 || G.cols() != X.cols()) {
+    throw std::invalid_argument("RmsNorm: gain must be [1, cols]");
+  }
+  Tensor out(X.rows(), X.cols());
+  for (int i = 0; i < X.rows(); ++i) {
+    float ss = 0.0f;
+    for (int j = 0; j < X.cols(); ++j) ss += X.at(i, j) * X.at(i, j);
+    const float r = std::sqrt(ss / static_cast<float>(X.cols()) + kRmsEps);
+    for (int j = 0; j < X.cols(); ++j) out.at(i, j) = G.at(0, j) * X.at(i, j) / r;
+  }
+  Node node;
+  node.val = std::move(out);
+  node.op = Op::kRmsNorm;
+  node.in = {x.id, gain.id};
+  return Emit(std::move(node));
+}
+
+Var Graph::ConcatCols(const std::vector<Var>& xs) {
+  if (xs.empty()) throw std::invalid_argument("ConcatCols: empty input");
+  const int rows = value(xs[0]).rows();
+  int cols = 0;
+  for (Var v : xs) {
+    if (value(v).rows() != rows) throw std::invalid_argument("ConcatCols: row mismatch");
+    cols += value(v).cols();
+  }
+  Tensor out(rows, cols);
+  int off = 0;
+  for (Var v : xs) {
+    const Tensor& X = value(v);
+    for (int i = 0; i < rows; ++i) {
+      for (int j = 0; j < X.cols(); ++j) out.at(i, off + j) = X.at(i, j);
+    }
+    off += X.cols();
+  }
+  Node node;
+  node.val = std::move(out);
+  node.op = Op::kConcatCols;
+  for (Var v : xs) node.in.push_back(v.id);
+  return Emit(std::move(node));
+}
+
+Var Graph::SliceCols(Var a, int start, int len) {
+  const Tensor& A = value(a);
+  if (start < 0 || len <= 0 || start + len > A.cols()) {
+    throw std::invalid_argument("SliceCols: out of range");
+  }
+  Tensor out(A.rows(), len);
+  for (int i = 0; i < A.rows(); ++i) {
+    for (int j = 0; j < len; ++j) out.at(i, j) = A.at(i, start + j);
+  }
+  Node node;
+  node.val = std::move(out);
+  node.op = Op::kSliceCols;
+  node.in = {a.id};
+  node.scalar = static_cast<float>(start);
+  node.aux = len;
+  return Emit(std::move(node));
+}
+
+Var Graph::MeanRows(Var a) {
+  const Tensor& A = value(a);
+  Tensor out(1, A.cols());
+  for (int i = 0; i < A.rows(); ++i) {
+    for (int j = 0; j < A.cols(); ++j) out.at(0, j) += A.at(i, j);
+  }
+  for (float& v : out.vec()) v /= static_cast<float>(A.rows());
+  Node node;
+  node.val = std::move(out);
+  node.op = Op::kMeanRows;
+  node.in = {a.id};
+  return Emit(std::move(node));
+}
+
+Var Graph::L1Loss(Var pred, Var target, Var mask) {
+  const Tensor& P = value(pred);
+  const Tensor& T = value(target);
+  const Tensor& M = value(mask);
+  CheckSameShape(P, T, "L1Loss");
+  CheckSameShape(P, M, "L1Loss(mask)");
+  float count = 0.0f;
+  float total = 0.0f;
+  for (std::size_t i = 0; i < P.size(); ++i) {
+    total += std::abs(P.vec()[i] - T.vec()[i]) * M.vec()[i];
+    count += M.vec()[i];
+  }
+  Tensor out(1, 1);
+  out.at(0, 0) = total / std::max(count, 1.0f);
+  Node node;
+  node.val = std::move(out);
+  node.op = Op::kL1Loss;
+  node.in = {pred.id, target.id, mask.id};
+  node.scalar = std::max(count, 1.0f);
+  return Emit(std::move(node));
+}
+
+Var Graph::MseLoss(Var pred, Var target, Var mask) {
+  const Tensor& P = value(pred);
+  const Tensor& T = value(target);
+  const Tensor& M = value(mask);
+  CheckSameShape(P, T, "MseLoss");
+  CheckSameShape(P, M, "MseLoss(mask)");
+  float count = 0.0f;
+  float total = 0.0f;
+  for (std::size_t i = 0; i < P.size(); ++i) {
+    const float d = P.vec()[i] - T.vec()[i];
+    total += d * d * M.vec()[i];
+    count += M.vec()[i];
+  }
+  Tensor out(1, 1);
+  out.at(0, 0) = total / std::max(count, 1.0f);
+  Node node;
+  node.val = std::move(out);
+  node.op = Op::kMseLoss;
+  node.in = {pred.id, target.id, mask.id};
+  node.scalar = std::max(count, 1.0f);
+  return Emit(std::move(node));
+}
+
+void Graph::Backward(Var loss) {
+  if (backward_done_) throw std::logic_error("Graph::Backward called twice");
+  backward_done_ = true;
+  const Tensor& L = value(loss);
+  if (L.rows() != 1 || L.cols() != 1) {
+    throw std::invalid_argument("Backward: loss must be scalar [1,1]");
+  }
+  MutableGrad(loss.id).at(0, 0) = 1.0f;
+
+  for (std::int32_t id = static_cast<std::int32_t>(nodes_.size()) - 1; id >= 0; --id) {
+    Node& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.grad.empty()) continue;  // no gradient flowed here
+    const Tensor& go = n.grad;
+    switch (n.op) {
+      case Op::kInput:
+        break;
+      case Op::kParam:
+        n.param->grad.AddInPlace(go);
+        break;
+      case Op::kMatMul: {
+        const Tensor& A = nodes_[static_cast<std::size_t>(n.in[0])].val;
+        const Tensor& B = nodes_[static_cast<std::size_t>(n.in[1])].val;
+        Tensor& ga = MutableGrad(n.in[0]);
+        Tensor& gb = MutableGrad(n.in[1]);
+        const int m = A.rows(), k = A.cols(), c = B.cols();
+        // ga += go * B^T
+        for (int i = 0; i < m; ++i) {
+          for (int j = 0; j < c; ++j) {
+            const float g = go.at(i, j);
+            if (g == 0.0f) continue;
+            const float* brow = B.data();
+            for (int p = 0; p < k; ++p) ga.at(i, p) += g * brow[static_cast<std::size_t>(p) * c + j];
+          }
+        }
+        // gb += A^T * go
+        for (int p = 0; p < k; ++p) {
+          for (int i = 0; i < m; ++i) {
+            const float a = A.at(i, p);
+            if (a == 0.0f) continue;
+            const float* grow = go.data() + static_cast<std::size_t>(i) * c;
+            float* gbrow = gb.data() + static_cast<std::size_t>(p) * c;
+            for (int j = 0; j < c; ++j) gbrow[j] += a * grow[j];
+          }
+        }
+        break;
+      }
+      case Op::kAdd: {
+        MutableGrad(n.in[0]).AddInPlace(go);
+        MutableGrad(n.in[1]).AddInPlace(go);
+        break;
+      }
+      case Op::kAddBroadcast: {
+        MutableGrad(n.in[0]).AddInPlace(go);
+        Tensor& gb = MutableGrad(n.in[1]);
+        for (int i = 0; i < go.rows(); ++i) {
+          for (int j = 0; j < go.cols(); ++j) gb.at(0, j) += go.at(i, j);
+        }
+        break;
+      }
+      case Op::kSub: {
+        MutableGrad(n.in[0]).AddInPlace(go);
+        Tensor& gb = MutableGrad(n.in[1]);
+        for (std::size_t i = 0; i < go.size(); ++i) gb.vec()[i] -= go.vec()[i];
+        break;
+      }
+      case Op::kMul: {
+        const Tensor& A = nodes_[static_cast<std::size_t>(n.in[0])].val;
+        const Tensor& B = nodes_[static_cast<std::size_t>(n.in[1])].val;
+        Tensor& ga = MutableGrad(n.in[0]);
+        Tensor& gb = MutableGrad(n.in[1]);
+        for (std::size_t i = 0; i < go.size(); ++i) {
+          ga.vec()[i] += go.vec()[i] * B.vec()[i];
+          gb.vec()[i] += go.vec()[i] * A.vec()[i];
+        }
+        break;
+      }
+      case Op::kScale: {
+        Tensor& ga = MutableGrad(n.in[0]);
+        for (std::size_t i = 0; i < go.size(); ++i) ga.vec()[i] += go.vec()[i] * n.scalar;
+        break;
+      }
+      case Op::kRelu: {
+        const Tensor& X = nodes_[static_cast<std::size_t>(n.in[0])].val;
+        Tensor& ga = MutableGrad(n.in[0]);
+        for (std::size_t i = 0; i < go.size(); ++i) {
+          if (X.vec()[i] > 0.0f) ga.vec()[i] += go.vec()[i];
+        }
+        break;
+      }
+      case Op::kGelu: {
+        const Tensor& X = nodes_[static_cast<std::size_t>(n.in[0])].val;
+        Tensor& ga = MutableGrad(n.in[0]);
+        for (std::size_t i = 0; i < go.size(); ++i) {
+          const float x = X.vec()[i];
+          const float s = Sigmoid(1.702f * x);
+          ga.vec()[i] += go.vec()[i] * (s + x * 1.702f * s * (1.0f - s));
+        }
+        break;
+      }
+      case Op::kTanh: {
+        Tensor& ga = MutableGrad(n.in[0]);
+        for (std::size_t i = 0; i < go.size(); ++i) {
+          const float y = n.val.vec()[i];
+          ga.vec()[i] += go.vec()[i] * (1.0f - y * y);
+        }
+        break;
+      }
+      case Op::kSoftmax: {
+        Tensor& ga = MutableGrad(n.in[0]);
+        for (int i = 0; i < n.val.rows(); ++i) {
+          float dot = 0.0f;
+          for (int j = 0; j < n.val.cols(); ++j) dot += go.at(i, j) * n.val.at(i, j);
+          for (int j = 0; j < n.val.cols(); ++j) {
+            ga.at(i, j) += n.val.at(i, j) * (go.at(i, j) - dot);
+          }
+        }
+        break;
+      }
+      case Op::kTranspose: {
+        Tensor& ga = MutableGrad(n.in[0]);
+        for (int i = 0; i < go.rows(); ++i) {
+          for (int j = 0; j < go.cols(); ++j) ga.at(j, i) += go.at(i, j);
+        }
+        break;
+      }
+      case Op::kRmsNorm: {
+        const Tensor& X = nodes_[static_cast<std::size_t>(n.in[0])].val;
+        const Tensor& G = nodes_[static_cast<std::size_t>(n.in[1])].val;
+        Tensor& gx = MutableGrad(n.in[0]);
+        Tensor& gg = MutableGrad(n.in[1]);
+        const int c = X.cols();
+        for (int i = 0; i < X.rows(); ++i) {
+          float ss = 0.0f;
+          for (int j = 0; j < c; ++j) ss += X.at(i, j) * X.at(i, j);
+          const float r = std::sqrt(ss / static_cast<float>(c) + kRmsEps);
+          // s = sum_j go_j * g_j * x_j
+          float s = 0.0f;
+          for (int j = 0; j < c; ++j) s += go.at(i, j) * G.at(0, j) * X.at(i, j);
+          for (int j = 0; j < c; ++j) {
+            gx.at(i, j) += go.at(i, j) * G.at(0, j) / r -
+                           X.at(i, j) * s / (static_cast<float>(c) * r * r * r);
+            gg.at(0, j) += go.at(i, j) * X.at(i, j) / r;
+          }
+        }
+        break;
+      }
+      case Op::kConcatCols: {
+        int off = 0;
+        for (std::int32_t in_id : n.in) {
+          Tensor& g = MutableGrad(in_id);
+          for (int i = 0; i < g.rows(); ++i) {
+            for (int j = 0; j < g.cols(); ++j) g.at(i, j) += go.at(i, off + j);
+          }
+          off += g.cols();
+        }
+        break;
+      }
+      case Op::kSliceCols: {
+        Tensor& ga = MutableGrad(n.in[0]);
+        const int start = static_cast<int>(n.scalar);
+        for (int i = 0; i < go.rows(); ++i) {
+          for (int j = 0; j < go.cols(); ++j) ga.at(i, start + j) += go.at(i, j);
+        }
+        break;
+      }
+      case Op::kMeanRows: {
+        Tensor& ga = MutableGrad(n.in[0]);
+        const float inv = 1.0f / static_cast<float>(ga.rows());
+        for (int i = 0; i < ga.rows(); ++i) {
+          for (int j = 0; j < ga.cols(); ++j) ga.at(i, j) += go.at(0, j) * inv;
+        }
+        break;
+      }
+      case Op::kL1Loss: {
+        const Tensor& P = nodes_[static_cast<std::size_t>(n.in[0])].val;
+        const Tensor& T = nodes_[static_cast<std::size_t>(n.in[1])].val;
+        const Tensor& M = nodes_[static_cast<std::size_t>(n.in[2])].val;
+        Tensor& gp = MutableGrad(n.in[0]);
+        const float g = go.at(0, 0) / n.scalar;
+        for (std::size_t i = 0; i < P.size(); ++i) {
+          const float d = P.vec()[i] - T.vec()[i];
+          gp.vec()[i] += g * M.vec()[i] * (d > 0.0f ? 1.0f : (d < 0.0f ? -1.0f : 0.0f));
+        }
+        break;
+      }
+      case Op::kMseLoss: {
+        const Tensor& P = nodes_[static_cast<std::size_t>(n.in[0])].val;
+        const Tensor& T = nodes_[static_cast<std::size_t>(n.in[1])].val;
+        const Tensor& M = nodes_[static_cast<std::size_t>(n.in[2])].val;
+        Tensor& gp = MutableGrad(n.in[0]);
+        const float g = go.at(0, 0) / n.scalar;
+        for (std::size_t i = 0; i < P.size(); ++i) {
+          gp.vec()[i] += g * M.vec()[i] * 2.0f * (P.vec()[i] - T.vec()[i]);
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace m3::ml

@@ -1,0 +1,81 @@
+// Tape-based reverse-mode automatic differentiation over Tensor.
+//
+// A Graph is a single forward episode: operations execute eagerly and are
+// recorded on a tape; Backward() walks the tape in reverse, accumulating
+// gradients into each node and into the bound Parameters. Graphs are cheap
+// to construct and are discarded after each step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/tensor.h"
+
+namespace m3::ml {
+
+/// Handle to a node in a Graph.
+struct Var {
+  std::int32_t id = -1;
+};
+
+class Graph {
+ public:
+  /// Leaf holding a constant (no gradient flows out of the graph).
+  Var Input(Tensor value);
+
+  /// Leaf bound to a trainable parameter; Backward() accumulates into
+  /// param->grad. The parameter must outlive the graph.
+  Var Param(Parameter* param);
+
+  // ----- operations (shapes checked; throws std::invalid_argument) -----
+  Var MatMul(Var a, Var b);             // [m,k] x [k,n] -> [m,n]
+  Var Add(Var a, Var b);                // same shape, or b = [1,n] broadcast over rows
+  Var Sub(Var a, Var b);                // same shape
+  Var Mul(Var a, Var b);                // elementwise, same shape
+  Var Scale(Var a, float s);
+  Var Relu(Var a);
+  Var Gelu(Var a);                      // SiLU-style approximation x*sigmoid(1.702x)
+  Var Tanh(Var a);
+  Var Softmax(Var a);                   // row-wise
+  Var Transpose(Var a);
+  Var RmsNorm(Var x, Var gain);         // row-wise RMS norm; gain [1,n]
+  Var ConcatCols(const std::vector<Var>& xs);  // all [m, *]
+  Var SliceCols(Var a, int start, int len);
+  Var MeanRows(Var a);                  // [m,n] -> [1,n]
+  Var L1Loss(Var pred, Var target, Var mask);  // -> [1,1]; mask in {0,1}
+  Var MseLoss(Var pred, Var target, Var mask); // -> [1,1]
+
+  const Tensor& value(Var v) const { return nodes_[static_cast<std::size_t>(v.id)].val; }
+  const Tensor& grad(Var v) const { return nodes_[static_cast<std::size_t>(v.id)].grad; }
+
+  /// Seeds d(loss)=1 and back-propagates through the tape. `loss` must be
+  /// a [1,1] node. May be called once per graph.
+  void Backward(Var loss);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  enum class Op : std::uint8_t {
+    kInput, kParam, kMatMul, kAdd, kAddBroadcast, kSub, kMul, kScale, kRelu,
+    kGelu, kTanh, kSoftmax, kTranspose, kRmsNorm, kConcatCols, kSliceCols,
+    kMeanRows, kL1Loss, kMseLoss,
+  };
+
+  struct Node {
+    Tensor val;
+    Tensor grad;  // allocated lazily in Backward
+    Op op = Op::kInput;
+    std::vector<std::int32_t> in;
+    Parameter* param = nullptr;
+    float scalar = 0.0f;  // Scale factor / slice start (reused)
+    int aux = 0;          // slice length
+  };
+
+  Var Emit(Node node);
+  Tensor& MutableGrad(std::int32_t id);
+
+  std::vector<Node> nodes_;
+  bool backward_done_ = false;
+};
+
+}  // namespace m3::ml

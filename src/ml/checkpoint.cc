@@ -1,0 +1,94 @@
+#include "ml/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+namespace m3::ml {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x334D4C4Bu;  // "KLM3"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("checkpoint: unexpected EOF");
+  return v;
+}
+
+}  // namespace
+
+void SaveCheckpoint(const std::string& path, const std::vector<Parameter*>& params) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("checkpoint: cannot open " + path + " for writing");
+  WritePod(os, kMagic);
+  WritePod(os, kVersion);
+  WritePod(os, static_cast<std::uint32_t>(params.size()));
+  for (const Parameter* p : params) {
+    WritePod(os, static_cast<std::uint32_t>(p->name.size()));
+    os.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    WritePod(os, static_cast<std::int32_t>(p->value.rows()));
+    WritePod(os, static_cast<std::int32_t>(p->value.cols()));
+    os.write(reinterpret_cast<const char*>(p->value.data()),
+             static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+  }
+  if (!os) throw std::runtime_error("checkpoint: write failed for " + path);
+}
+
+void LoadCheckpoint(const std::string& path, const std::vector<Parameter*>& params) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
+  if (ReadPod<std::uint32_t>(is) != kMagic) {
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  }
+  if (ReadPod<std::uint32_t>(is) != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version in " + path);
+  }
+  const auto count = ReadPod<std::uint32_t>(is);
+
+  std::map<std::string, Tensor> loaded;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto name_len = ReadPod<std::uint32_t>(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    const auto rows = ReadPod<std::int32_t>(is);
+    const auto cols = ReadPod<std::int32_t>(is);
+    Tensor t(rows, cols);
+    is.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+    if (!is) throw std::runtime_error("checkpoint: truncated tensor " + name);
+    loaded.emplace(std::move(name), std::move(t));
+  }
+
+  for (Parameter* p : params) {
+    auto it = loaded.find(p->name);
+    if (it == loaded.end()) {
+      throw std::runtime_error("checkpoint: missing parameter " + p->name);
+    }
+    if (it->second.rows() != p->value.rows() || it->second.cols() != p->value.cols()) {
+      throw std::runtime_error("checkpoint: shape mismatch for " + p->name);
+    }
+    p->value = it->second;
+    p->grad = Tensor::Zeros(p->value.rows(), p->value.cols());
+    p->adam_m = Tensor::Zeros(p->value.rows(), p->value.cols());
+    p->adam_v = Tensor::Zeros(p->value.rows(), p->value.cols());
+  }
+}
+
+bool IsCheckpointFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::uint32_t magic = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  return is && magic == kMagic;
+}
+
+}  // namespace m3::ml

@@ -1,0 +1,23 @@
+// Binary checkpoints: a versioned header followed by named parameter
+// tensors in little-endian float32.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/tensor.h"
+
+namespace m3::ml {
+
+/// Writes all parameters (name, shape, data) to `path`. Throws on I/O error.
+void SaveCheckpoint(const std::string& path, const std::vector<Parameter*>& params);
+
+/// Loads a checkpoint into the given parameters. Parameters are matched by
+/// name; every parameter must be present with a matching shape, otherwise
+/// throws std::runtime_error. Adam state is reset.
+void LoadCheckpoint(const std::string& path, const std::vector<Parameter*>& params);
+
+/// True if `path` exists and carries the checkpoint magic.
+bool IsCheckpointFile(const std::string& path);
+
+}  // namespace m3::ml

@@ -1,0 +1,39 @@
+#include "ml/layers.h"
+
+#include <cmath>
+
+namespace m3::ml {
+
+Linear::Linear(const std::string& name, int in, int out, Rng& rng)
+    : w_(name + ".w", Tensor::Randn(in, out, rng, 1.0f / std::sqrt(static_cast<float>(in)))),
+      b_(name + ".b", Tensor::Zeros(1, out)) {}
+
+Var Linear::operator()(Graph& g, Var x) {
+  return g.Add(g.MatMul(x, g.Param(&w_)), g.Param(&b_));
+}
+
+void Linear::CollectParams(std::vector<Parameter*>& out) {
+  out.push_back(&w_);
+  out.push_back(&b_);
+}
+
+RmsNormLayer::RmsNormLayer(const std::string& name, int dim)
+    : gain_(name + ".gain", Tensor::Zeros(1, dim)) {
+  gain_.value.Fill(1.0f);
+}
+
+Var RmsNormLayer::operator()(Graph& g, Var x) { return g.RmsNorm(x, g.Param(&gain_)); }
+
+void RmsNormLayer::CollectParams(std::vector<Parameter*>& out) { out.push_back(&gain_); }
+
+Mlp::Mlp(const std::string& name, int in, int hidden, int out, Rng& rng)
+    : fc1_(name + ".fc1", in, hidden, rng), fc2_(name + ".fc2", hidden, out, rng) {}
+
+Var Mlp::operator()(Graph& g, Var x) { return fc2_(g, g.Relu(fc1_(g, x))); }
+
+void Mlp::CollectParams(std::vector<Parameter*>& out) {
+  fc1_.CollectParams(out);
+  fc2_.CollectParams(out);
+}
+
+}  // namespace m3::ml

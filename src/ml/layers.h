@@ -1,0 +1,57 @@
+// Trainable layers built on the autograd graph.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/autograd.h"
+#include "ml/tensor.h"
+#include "util/rng.h"
+
+namespace m3::ml {
+
+/// y = x W + b, with Kaiming-ish init (stddev = 1/sqrt(in)).
+class Linear {
+ public:
+  Linear() = default;
+  Linear(const std::string& name, int in, int out, Rng& rng);
+
+  Var operator()(Graph& g, Var x);
+  void CollectParams(std::vector<Parameter*>& out);
+
+  int in_features() const { return w_.value.rows(); }
+  int out_features() const { return w_.value.cols(); }
+
+ private:
+  Parameter w_;  // [in, out]
+  Parameter b_;  // [1, out]
+};
+
+/// Row-wise RMS norm with a learned gain (Llama-style).
+class RmsNormLayer {
+ public:
+  RmsNormLayer() = default;
+  RmsNormLayer(const std::string& name, int dim);
+
+  Var operator()(Graph& g, Var x);
+  void CollectParams(std::vector<Parameter*>& out);
+
+ private:
+  Parameter gain_;  // [1, dim]
+};
+
+/// Two-layer MLP: in -> hidden (ReLU) -> out.
+class Mlp {
+ public:
+  Mlp() = default;
+  Mlp(const std::string& name, int in, int hidden, int out, Rng& rng);
+
+  Var operator()(Graph& g, Var x);
+  void CollectParams(std::vector<Parameter*>& out);
+
+ private:
+  Linear fc1_;
+  Linear fc2_;
+};
+
+}  // namespace m3::ml

@@ -1,0 +1,51 @@
+#include "ml/optimizer.h"
+
+#include <cmath>
+
+namespace m3::ml {
+
+Adam::Adam(std::vector<Parameter*> params, Options opts)
+    : params_(std::move(params)), opts_(opts) {}
+
+void Adam::ZeroGrad() {
+  for (Parameter* p : params_) p->ZeroGrad();
+}
+
+void Adam::ScaleGrads(float factor) {
+  for (Parameter* p : params_) {
+    for (float& g : p->grad.vec()) g *= factor;
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  if (opts_.grad_clip > 0.0f) {
+    double norm_sq = 0.0;
+    for (Parameter* p : params_) {
+      for (float g : p->grad.vec()) norm_sq += static_cast<double>(g) * g;
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm > opts_.grad_clip) {
+      const float scale = static_cast<float>(opts_.grad_clip / norm);
+      ScaleGrads(scale);
+    }
+  }
+
+  const float bc1 = 1.0f - std::pow(opts_.beta1, static_cast<float>(step_));
+  const float bc2 = 1.0f - std::pow(opts_.beta2, static_cast<float>(step_));
+  for (Parameter* p : params_) {
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const float g = p->grad.vec()[i];
+      float& m = p->adam_m.vec()[i];
+      float& v = p->adam_v.vec()[i];
+      m = opts_.beta1 * m + (1.0f - opts_.beta1) * g;
+      v = opts_.beta2 * v + (1.0f - opts_.beta2) * g * g;
+      const float mhat = m / bc1;
+      const float vhat = v / bc2;
+      p->value.vec()[i] -= opts_.lr * mhat / (std::sqrt(vhat) + opts_.eps);
+    }
+    p->ZeroGrad();
+  }
+}
+
+}  // namespace m3::ml

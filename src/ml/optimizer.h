@@ -1,0 +1,40 @@
+// Adam optimizer (Kingma & Ba, 2015).
+#pragma once
+
+#include <vector>
+
+#include "ml/tensor.h"
+
+namespace m3::ml {
+
+struct AdamOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float grad_clip = 1.0f;  // global-norm clip; <= 0 disables
+};
+
+class Adam {
+ public:
+  using Options = AdamOptions;
+
+  explicit Adam(std::vector<Parameter*> params, Options opts = Options());
+
+  /// Applies one update using the accumulated gradients, then zeroes them.
+  void Step();
+  void ZeroGrad();
+
+  /// Scales all gradients by 1/n (for minibatch accumulation).
+  void ScaleGrads(float factor);
+
+  const Options& options() const { return opts_; }
+  void set_lr(float lr) { opts_.lr = lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  Options opts_;
+  long step_ = 0;
+};
+
+}  // namespace m3::ml

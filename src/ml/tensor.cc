@@ -1,0 +1,43 @@
+#include "ml/tensor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace m3::ml {
+
+Tensor::Tensor(int rows, int cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0f) {
+  if (rows < 0 || cols < 0) throw std::invalid_argument("Tensor: negative shape");
+}
+
+Tensor Tensor::Randn(int rows, int cols, Rng& rng, float stddev) {
+  Tensor t(rows, cols);
+  for (float& v : t.data_) v = static_cast<float>(rng.Normal(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::FromVector(const std::vector<float>& v) {
+  Tensor t(1, static_cast<int>(v.size()));
+  t.data_ = v;
+  return t;
+}
+
+void Tensor::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::AddInPlace(const Tensor& other) {
+  if (other.rows_ != rows_ || other.cols_ != cols_) {
+    throw std::invalid_argument("Tensor::AddInPlace shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+Parameter::Parameter(std::string n, Tensor v) : name(std::move(n)), value(std::move(v)) {
+  grad = Tensor::Zeros(value.rows(), value.cols());
+  adam_m = Tensor::Zeros(value.rows(), value.cols());
+  adam_v = Tensor::Zeros(value.rows(), value.cols());
+}
+
+void Parameter::ZeroGrad() { grad.Fill(0.0f); }
+
+}  // namespace m3::ml

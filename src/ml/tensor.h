@@ -1,0 +1,59 @@
+// Dense row-major float32 matrix. 1-D vectors are represented as [1, n].
+// This is deliberately minimal: m3's model only needs 2-D tensors (the
+// per-hop feature-map sequence is handled as a [hops, feat] matrix).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace m3::ml {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(int rows, int cols);
+
+  static Tensor Zeros(int rows, int cols) { return Tensor(rows, cols); }
+  /// Gaussian init with the given standard deviation.
+  static Tensor Randn(int rows, int cols, Rng& rng, float stddev);
+  static Tensor FromVector(const std::vector<float>& v);  // [1, n]
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(int r, int c) { return data_[static_cast<std::size_t>(r) * cols_ + c]; }
+  float at(int r, int c) const { return data_[static_cast<std::size_t>(r) * cols_ + c]; }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  void Fill(float v);
+  void AddInPlace(const Tensor& other);  // same shape
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// Named trainable parameter with gradient accumulator and Adam state.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  Tensor adam_m;
+  Tensor adam_v;
+
+  Parameter() = default;
+  Parameter(std::string n, Tensor v);
+
+  void ZeroGrad();
+};
+
+}  // namespace m3::ml

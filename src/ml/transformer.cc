@@ -1,0 +1,95 @@
+#include "ml/transformer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace m3::ml {
+
+TransformerBlock::TransformerBlock(const std::string& name, const TransformerConfig& cfg,
+                                   Rng& rng)
+    : d_model_(cfg.d_model),
+      num_heads_(cfg.num_heads),
+      norm1_(name + ".norm1", cfg.d_model),
+      wq_(name + ".wq", cfg.d_model, cfg.d_model, rng),
+      wk_(name + ".wk", cfg.d_model, cfg.d_model, rng),
+      wv_(name + ".wv", cfg.d_model, cfg.d_model, rng),
+      wo_(name + ".wo", cfg.d_model, cfg.d_model, rng),
+      norm2_(name + ".norm2", cfg.d_model),
+      ff1_(name + ".ff1", cfg.d_model, cfg.ff_dim, rng),
+      ff2_(name + ".ff2", cfg.ff_dim, cfg.d_model, rng) {
+  if (cfg.d_model % cfg.num_heads != 0) {
+    throw std::invalid_argument("d_model must be divisible by num_heads");
+  }
+}
+
+Var TransformerBlock::operator()(Graph& g, Var x) {
+  // Pre-norm multi-head self-attention with residual.
+  Var h = norm1_(g, x);
+  Var q = wq_(g, h);
+  Var k = wk_(g, h);
+  Var v = wv_(g, h);
+  const int dh = d_model_ / num_heads_;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  std::vector<Var> heads;
+  heads.reserve(static_cast<std::size_t>(num_heads_));
+  for (int head = 0; head < num_heads_; ++head) {
+    Var qh = g.SliceCols(q, head * dh, dh);
+    Var kh = g.SliceCols(k, head * dh, dh);
+    Var vh = g.SliceCols(v, head * dh, dh);
+    Var scores = g.Scale(g.MatMul(qh, g.Transpose(kh)), scale);
+    Var attn = g.Softmax(scores);
+    heads.push_back(g.MatMul(attn, vh));
+  }
+  Var attn_out = wo_(g, g.ConcatCols(heads));
+  Var x1 = g.Add(x, attn_out);
+
+  // Pre-norm feed-forward with residual.
+  Var ff = ff2_(g, g.Gelu(ff1_(g, norm2_(g, x1))));
+  return g.Add(x1, ff);
+}
+
+void TransformerBlock::CollectParams(std::vector<Parameter*>& out) {
+  norm1_.CollectParams(out);
+  wq_.CollectParams(out);
+  wk_.CollectParams(out);
+  wv_.CollectParams(out);
+  wo_.CollectParams(out);
+  norm2_.CollectParams(out);
+  ff1_.CollectParams(out);
+  ff2_.CollectParams(out);
+}
+
+TransformerEncoder::TransformerEncoder(const std::string& name, const TransformerConfig& cfg,
+                                       Rng& rng)
+    : cfg_(cfg),
+      in_proj_(name + ".in_proj", cfg.input_dim, cfg.d_model, rng),
+      pos_emb_(name + ".pos_emb",
+               Tensor::Randn(cfg.max_seq, cfg.d_model, rng, 0.02f)),
+      final_norm_(name + ".final_norm", cfg.d_model) {
+  blocks_.reserve(static_cast<std::size_t>(cfg.num_layers));
+  for (int i = 0; i < cfg.num_layers; ++i) {
+    blocks_.emplace_back(name + ".block" + std::to_string(i), cfg, rng);
+  }
+}
+
+Var TransformerEncoder::Encode(Graph& g, const Tensor& sequence) {
+  const int n = sequence.rows();
+  if (n < 1 || n > cfg_.max_seq || sequence.cols() != cfg_.input_dim) {
+    throw std::invalid_argument("TransformerEncoder: bad sequence shape");
+  }
+  Var x = in_proj_(g, g.Input(sequence));
+  // Add the first n rows of the positional embedding.
+  Var pos = g.SliceCols(g.Transpose(g.Param(&pos_emb_)), 0, n);
+  x = g.Add(x, g.Transpose(pos));
+  for (auto& block : blocks_) x = block(g, x);
+  return final_norm_(g, g.MeanRows(x));
+}
+
+void TransformerEncoder::CollectParams(std::vector<Parameter*>& out) {
+  in_proj_.CollectParams(out);
+  out.push_back(&pos_emb_);
+  for (auto& block : blocks_) block.CollectParams(out);
+  final_norm_.CollectParams(out);
+}
+
+}  // namespace m3::ml

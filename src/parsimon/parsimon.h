@@ -1,0 +1,32 @@
+// Parsimon baseline (Zhao et al., NSDI 2023): link-level decomposition.
+//
+// Each link is simulated independently at packet level with the flows that
+// traverse it, sources and destinations attached directly through access
+// links. A flow's end-to-end FCT estimate is its ideal path FCT plus the
+// sum of per-link queueing/transport delays observed in each link-level
+// simulation. Summing per-link slowdown is exactly the assumption the m3
+// paper critiques (§5.3): when the bottleneck is the transport itself
+// (e.g. a small initial window) the delay is over-counted.
+#pragma once
+
+#include <vector>
+
+#include "pktsim/config.h"
+#include "topo/topology.h"
+#include "workload/flow.h"
+
+namespace m3 {
+
+struct ParsimonOptions {
+  NetConfig cfg;
+  unsigned num_threads = 0;  // 0 = hardware concurrency
+  /// Skip simulating links whose offered load is negligible (< min_flows
+  /// flows); their delta contribution is ~0.
+  int min_flows = 1;
+};
+
+/// Returns estimated per-flow results, aligned with `flows`.
+std::vector<FlowResult> RunParsimon(const Topology& topo, const std::vector<Flow>& flows,
+                                    const ParsimonOptions& opts);
+
+}  // namespace m3

@@ -1,0 +1,68 @@
+#include "pathdecomp/decompose.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace m3 {
+
+PathDecomposition::PathDecomposition(const Topology& topo, const std::vector<Flow>& flows)
+    : topo_(topo), flows_(flows), link_flows_(topo.num_links()) {
+  std::map<Route, std::size_t> index;
+  for (const Flow& f : flows_) {
+    for (LinkId l : f.path) link_flows_[static_cast<std::size_t>(l)].push_back(f.id);
+    auto [it, inserted] = index.emplace(f.path, paths_.size());
+    if (inserted) {
+      paths_.push_back(PathInfo{f.path, {}});
+    }
+    paths_[it->second].fg_flows.push_back(f.id);
+  }
+}
+
+std::vector<BgFlowOnPath> PathDecomposition::BackgroundFlows(std::size_t i) const {
+  const PathInfo& p = paths_[i];
+  const int n = static_cast<int>(p.links.size());
+  if (n > 32) throw std::invalid_argument("BackgroundFlows: path too long (> 32 hops)");
+
+  // Bitmask of path hops each candidate flow touches. Flow ids are dense
+  // (0..N-1) per the generator contract.
+  std::vector<std::uint32_t> hops(flows_.size(), 0);
+  for (int hop = 0; hop < n; ++hop) {
+    for (FlowId f : link_flows_[static_cast<std::size_t>(p.links[static_cast<std::size_t>(hop)])]) {
+      hops[static_cast<std::size_t>(f)] |= (1u << hop);
+    }
+  }
+
+  const std::uint32_t full = n == 32 ? ~0u : ((1u << n) - 1u);
+  std::vector<BgFlowOnPath> bg;
+  for (std::size_t fi = 0; fi < flows_.size(); ++fi) {
+    const std::uint32_t mask = hops[fi];
+    if (mask == 0) continue;     // does not intersect the path
+    if (mask == full) continue;  // foreground (traverses all links)
+    // ECMP siblings of the foreground flows can intersect the path
+    // non-contiguously (e.g. share both host/ToR ends but take a different
+    // spine). Each maximal contiguous run becomes its own background
+    // segment: the full flow traverses each run, so each carries the
+    // flow's size and arrival.
+    int hop = 0;
+    while (hop < n) {
+      if (!(mask & (1u << hop))) {
+        ++hop;
+        continue;
+      }
+      int end = hop;
+      while (end < n && (mask & (1u << end))) ++end;
+      bg.push_back(BgFlowOnPath{static_cast<FlowId>(fi), hop, end});
+      hop = end;
+    }
+  }
+  return bg;
+}
+
+std::vector<double> PathDecomposition::ForegroundWeights() const {
+  std::vector<double> w;
+  w.reserve(paths_.size());
+  for (const PathInfo& p : paths_) w.push_back(static_cast<double>(p.fg_flows.size()));
+  return w;
+}
+
+}  // namespace m3

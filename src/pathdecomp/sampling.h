@@ -1,0 +1,28 @@
+// Weighted path sampling (§3.2): paths are sampled with replacement, with
+// probability proportional to their foreground flow count, so the union of
+// sampled foreground flows is a flow-weighted sample of the network.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pathdecomp/decompose.h"
+#include "util/rng.h"
+
+namespace m3 {
+
+/// Samples `k` path indices (with replacement) proportional to foreground
+/// flow count.
+std::vector<std::size_t> SamplePaths(const PathDecomposition& decomp, int k, Rng& rng);
+
+/// Summary statistics of a path sample, matching Fig. 2(b)/(d).
+struct PathSampleStats {
+  std::vector<int> hop_counts;  // per sampled path
+  std::vector<int> fg_counts;
+  std::vector<int> bg_counts;
+};
+
+PathSampleStats ComputePathSampleStats(const PathDecomposition& decomp,
+                                       const std::vector<std::size_t>& sample);
+
+}  // namespace m3

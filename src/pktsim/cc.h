@@ -1,0 +1,56 @@
+// Congestion-control modules. Each sender owns one CcModule; the simulator
+// feeds it ACK feedback (newly acked bytes, echoed ECN mark, measured RTT,
+// and HPCC inline-telemetry utilization) and reads back the current window
+// and pacing rate.
+//
+// Protocol models follow the published algorithms with the simplifications
+// documented in each implementation file; all four respond to the same
+// Table 4 parameters as the paper.
+#pragma once
+
+#include <limits>
+#include <memory>
+
+#include "pktsim/config.h"
+#include "util/units.h"
+
+namespace m3 {
+
+constexpr double kNoPacing = std::numeric_limits<double>::infinity();
+
+/// Per-flow inputs fixed at flow setup.
+struct CcContext {
+  Bpns nic_rate = 0.0;  // first-hop (NIC) rate; the fastest a flow can send
+  Ns base_rtt = 0;      // unloaded round-trip (data out + ack back)
+  Bytes bdp = 0;        // nic_rate * base_rtt
+  Bytes mtu = 1000;
+  Bytes hdr = 48;
+};
+
+class CcModule {
+ public:
+  virtual ~CcModule() = default;
+
+  /// New cumulative ACK: `newly_acked` > 0 bytes acked, `marked` = echoed
+  /// CE bit, `rtt` = measured round-trip, `int_u` = HPCC max utilization.
+  virtual void OnAck(Bytes newly_acked, bool marked, Ns rtt, double int_u, Ns now) = 0;
+
+  /// Retransmission timeout (or third duplicate ACK; see simulator docs).
+  virtual void OnTimeout(Ns now) = 0;
+
+  /// Current window in bytes; the sender keeps in-flight below this.
+  virtual double cwnd() const = 0;
+
+  /// Pacing rate in bytes/ns; kNoPacing means NIC-limited (window only).
+  virtual double rate() const = 0;
+};
+
+std::unique_ptr<CcModule> MakeDctcp(const NetConfig& cfg, const CcContext& ctx);
+std::unique_ptr<CcModule> MakeDcqcn(const NetConfig& cfg, const CcContext& ctx);
+std::unique_ptr<CcModule> MakeTimely(const NetConfig& cfg, const CcContext& ctx);
+std::unique_ptr<CcModule> MakeHpcc(const NetConfig& cfg, const CcContext& ctx);
+
+/// Dispatch on cfg.cc.
+std::unique_ptr<CcModule> MakeCc(const NetConfig& cfg, const CcContext& ctx);
+
+}  // namespace m3

@@ -1,0 +1,85 @@
+// DCQCN (Zhu et al., SIGCOMM 2015), rate-based.
+//
+// Congestion notifications (we model the CNP as the echoed ECN mark,
+// rate-limited to one reaction per 50us) trigger a multiplicative decrease
+// governed by the EWMA alpha. Recovery alternates fast recovery (binary
+// search back to the target rate) and additive/hyper increase, driven by a
+// 55us timer that we advance from ACK processing (ACKs arrive much more
+// often than the timer period while the flow is active).
+#include "pktsim/cc.h"
+
+#include <algorithm>
+
+namespace m3 {
+namespace {
+
+class Dcqcn final : public CcModule {
+ public:
+  Dcqcn(const NetConfig& cfg, const CcContext& ctx)
+      : min_rate_(ctx.nic_rate / 1000.0),
+        max_rate_(ctx.nic_rate),
+        rate_ai_(GbpsToBpns(0.04 * BpnsToGbps(ctx.nic_rate))),  // 40 Mbps at 10G
+        window_cap_(static_cast<double>(
+            std::max<Bytes>(2 * ctx.bdp, std::max(cfg.init_window, ctx.mtu)))),
+        rc_(ctx.nic_rate),
+        rt_(ctx.nic_rate) {}
+
+  void OnAck(Bytes /*newly_acked*/, bool marked, Ns /*rtt*/, double /*int_u*/, Ns now) override {
+    if (last_event_ == 0) last_event_ = now;
+    if (marked && now - last_cnp_ >= kCnpInterval) {
+      last_cnp_ = now;
+      alpha_ = (1.0 - kG) * alpha_ + kG;
+      rt_ = rc_;
+      rc_ = std::max(min_rate_, rc_ * (1.0 - alpha_ / 2.0));
+      stage_ = 0;
+      last_event_ = now;
+      return;
+    }
+    // Advance the increase timer; possibly several periods at once if ACKs
+    // were sparse.
+    while (now - last_event_ >= kTimer) {
+      last_event_ += kTimer;
+      alpha_ = (1.0 - kG) * alpha_;
+      ++stage_;
+      if (stage_ > kFastRecoverySteps) {
+        rt_ = std::min(max_rate_, rt_ + rate_ai_);
+      }
+      rc_ = std::min(max_rate_, (rc_ + rt_) / 2.0);
+    }
+  }
+
+  void OnTimeout(Ns now) override {
+    rc_ = std::max(min_rate_, rc_ / 2.0);
+    rt_ = rc_;
+    stage_ = 0;
+    last_event_ = now;
+  }
+
+  double cwnd() const override { return window_cap_; }
+  double rate() const override { return rc_; }
+
+ private:
+  static constexpr double kG = 1.0 / 16.0;
+  static constexpr Ns kCnpInterval = 50 * kUs;
+  static constexpr Ns kTimer = 55 * kUs;
+  static constexpr int kFastRecoverySteps = 5;
+
+  double min_rate_;
+  double max_rate_;
+  double rate_ai_;
+  double window_cap_;
+  double rc_;
+  double rt_;
+  double alpha_ = 1.0;
+  int stage_ = 0;
+  Ns last_cnp_ = -kCnpInterval;
+  Ns last_event_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<CcModule> MakeDcqcn(const NetConfig& cfg, const CcContext& ctx) {
+  return std::make_unique<Dcqcn>(cfg, ctx);
+}
+
+}  // namespace m3

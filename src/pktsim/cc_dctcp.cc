@@ -1,0 +1,77 @@
+// DCTCP (Alizadeh et al., SIGCOMM 2010), window-based.
+//
+// The sender tracks the fraction of ECN-marked bytes per window ("epoch"),
+// maintains the EWMA alpha, and multiplicatively decreases by alpha/2 once
+// per epoch that saw any mark. Slow start doubles the window each RTT until
+// the first mark; afterwards, additive increase of one MSS per RTT.
+#include "pktsim/cc.h"
+
+#include <algorithm>
+
+namespace m3 {
+namespace {
+
+class Dctcp final : public CcModule {
+ public:
+  Dctcp(const NetConfig& cfg, const CcContext& ctx)
+      : mtu_(static_cast<double>(ctx.mtu)),
+        cwnd_(static_cast<double>(std::max(cfg.init_window, ctx.mtu))),
+        epoch_budget_(cwnd_) {}
+
+  void OnAck(Bytes newly_acked, bool marked, Ns /*rtt*/, double /*int_u*/, Ns /*now*/) override {
+    const double acked = static_cast<double>(newly_acked);
+    epoch_acked_ += acked;
+    if (marked) {
+      epoch_marked_ += acked;
+      in_slow_start_ = false;
+    }
+
+    if (in_slow_start_) {
+      cwnd_ += acked;  // double per RTT
+    } else {
+      cwnd_ += mtu_ * acked / cwnd_;  // one MSS per RTT
+    }
+
+    if (epoch_acked_ >= epoch_budget_) {
+      const double frac = epoch_marked_ / epoch_acked_;
+      alpha_ = (1.0 - kG) * alpha_ + kG * frac;
+      if (epoch_marked_ > 0.0) {
+        cwnd_ = std::max(mtu_, cwnd_ * (1.0 - alpha_ / 2.0));
+      }
+      epoch_acked_ = 0.0;
+      epoch_marked_ = 0.0;
+      epoch_budget_ = cwnd_;
+    }
+  }
+
+  void OnTimeout(Ns /*now*/) override {
+    in_slow_start_ = false;
+    alpha_ = 1.0;
+    cwnd_ = mtu_;
+    epoch_acked_ = 0.0;
+    epoch_marked_ = 0.0;
+    epoch_budget_ = cwnd_;
+  }
+
+  double cwnd() const override { return cwnd_; }
+  double rate() const override { return kNoPacing; }
+
+ private:
+  static constexpr double kG = 1.0 / 16.0;
+
+  double mtu_;
+  double cwnd_;
+  double alpha_ = 0.0;
+  bool in_slow_start_ = true;
+  double epoch_acked_ = 0.0;
+  double epoch_marked_ = 0.0;
+  double epoch_budget_;
+};
+
+}  // namespace
+
+std::unique_ptr<CcModule> MakeDctcp(const NetConfig& cfg, const CcContext& ctx) {
+  return std::make_unique<Dctcp>(cfg, ctx);
+}
+
+}  // namespace m3

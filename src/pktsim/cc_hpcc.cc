@@ -1,0 +1,83 @@
+// HPCC (Li et al., SIGCOMM 2019), window-based with inline telemetry (INT).
+//
+// Switches stamp each data packet with the maximum normalized utilization
+// u = qlen/(rate*T) + txRate/rate seen along the path; the sender steers
+// its window toward W = Wc * eta / u + W_ai, updating the reference window
+// Wc once per RTT. Pacing rate follows the window (W / baseRTT).
+//
+// Simplification vs. the paper: we carry a single max-utilization scalar
+// rather than per-hop (qlen, txBytes, ts) triples; this preserves the
+// control law's response (multiplicative convergence toward eta with
+// additive probing) while keeping packets small.
+#include "pktsim/cc.h"
+
+#include <algorithm>
+
+namespace m3 {
+namespace {
+
+class Hpcc final : public CcModule {
+ public:
+  Hpcc(const NetConfig& cfg, const CcContext& ctx)
+      : eta_(cfg.hpcc_eta),
+        mtu_(static_cast<double>(ctx.mtu)),
+        base_rtt_(std::max<Ns>(ctx.base_rtt, 1)),
+        max_window_(static_cast<double>(
+            std::max<Bytes>(2 * ctx.bdp, std::max(cfg.init_window, ctx.mtu)))),
+        w_ai_(GbpsToBpns(cfg.hpcc_rate_ai_gbps) * static_cast<double>(base_rtt_) /
+              100.0),  // RateAI spread over ~100 ACKs per RTT
+        w_(static_cast<double>(std::max(cfg.init_window, ctx.mtu))),
+        wc_(w_) {}
+
+  void OnAck(Bytes /*newly_acked*/, bool /*marked*/, Ns /*rtt*/, double int_u, Ns now) override {
+    const double u = std::max(int_u, 1e-3);
+    // Multiplicative steering toward target utilization plus additive probe.
+    double next = wc_ * eta_ / u + w_ai_;
+    w_ = std::clamp(next, mtu_, max_window_);
+    if (now - last_update_ >= base_rtt_) {
+      wc_ = w_;
+      last_update_ = now;
+    }
+  }
+
+  void OnTimeout(Ns now) override {
+    w_ = std::max(mtu_, w_ / 2.0);
+    wc_ = w_;
+    last_update_ = now;
+  }
+
+  double cwnd() const override { return w_; }
+  double rate() const override { return w_ / static_cast<double>(base_rtt_); }
+
+ private:
+  double eta_;
+  double mtu_;
+  Ns base_rtt_;
+  double max_window_;
+  double w_ai_;
+  double w_;
+  double wc_;
+  Ns last_update_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<CcModule> MakeHpcc(const NetConfig& cfg, const CcContext& ctx) {
+  return std::make_unique<Hpcc>(cfg, ctx);
+}
+
+std::unique_ptr<CcModule> MakeCc(const NetConfig& cfg, const CcContext& ctx) {
+  switch (cfg.cc) {
+    case CcType::kDctcp:
+      return MakeDctcp(cfg, ctx);
+    case CcType::kTimely:
+      return MakeTimely(cfg, ctx);
+    case CcType::kDcqcn:
+      return MakeDcqcn(cfg, ctx);
+    case CcType::kHpcc:
+      return MakeHpcc(cfg, ctx);
+  }
+  return MakeDctcp(cfg, ctx);
+}
+
+}  // namespace m3

@@ -1,0 +1,92 @@
+// TIMELY (Mittal et al., SIGCOMM 2015), RTT-gradient rate control.
+//
+// Below Tlow: additive increase. Above Thigh: multiplicative decrease
+// proportional to the overshoot. In between: gradient tracking -- increase
+// (with hyperactive increase after several consecutive steps) when the RTT
+// is flat or falling, decrease proportionally to the normalized gradient
+// when it is rising.
+#include "pktsim/cc.h"
+
+#include <algorithm>
+
+namespace m3 {
+namespace {
+
+class Timely final : public CcModule {
+ public:
+  Timely(const NetConfig& cfg, const CcContext& ctx)
+      : tlow_(cfg.timely_tlow),
+        thigh_(cfg.timely_thigh),
+        min_rtt_(std::max<Ns>(ctx.base_rtt, 1)),
+        min_rate_(ctx.nic_rate / 1000.0),
+        max_rate_(ctx.nic_rate),
+        delta_(0.01 * ctx.nic_rate),
+        window_cap_(static_cast<double>(
+            std::max<Bytes>(2 * ctx.bdp, std::max(cfg.init_window, ctx.mtu)))),
+        rate_(ctx.nic_rate) {}
+
+  void OnAck(Bytes /*newly_acked*/, bool /*marked*/, Ns rtt, double /*int_u*/, Ns /*now*/) override {
+    if (prev_rtt_ == 0) {
+      prev_rtt_ = rtt;
+      return;
+    }
+    const double new_diff = static_cast<double>(rtt - prev_rtt_);
+    prev_rtt_ = rtt;
+    rtt_diff_ewma_ = (1.0 - kAlpha) * rtt_diff_ewma_ + kAlpha * new_diff;
+    const double norm_grad = rtt_diff_ewma_ / static_cast<double>(min_rtt_);
+
+    if (rtt < tlow_) {
+      rate_ = std::min(max_rate_, rate_ + delta_);
+      hai_count_ = 0;
+      return;
+    }
+    if (rtt > thigh_) {
+      rate_ = std::max(min_rate_,
+                       rate_ * (1.0 - kBeta * (1.0 - static_cast<double>(thigh_) /
+                                                         static_cast<double>(rtt))));
+      hai_count_ = 0;
+      return;
+    }
+    if (norm_grad <= 0.0) {
+      ++hai_count_;
+      const double n = hai_count_ >= kHaiThresh ? 5.0 : 1.0;
+      rate_ = std::min(max_rate_, rate_ + n * delta_);
+    } else {
+      hai_count_ = 0;
+      rate_ = std::max(min_rate_, rate_ * std::max(0.5, 1.0 - kBeta * norm_grad));
+    }
+  }
+
+  void OnTimeout(Ns /*now*/) override {
+    rate_ = std::max(min_rate_, rate_ / 2.0);
+    hai_count_ = 0;
+  }
+
+  double cwnd() const override { return window_cap_; }
+  double rate() const override { return rate_; }
+
+ private:
+  static constexpr double kAlpha = 0.3;  // gradient EWMA weight
+  static constexpr double kBeta = 0.8;   // multiplicative decrease factor
+  static constexpr int kHaiThresh = 5;
+
+  Ns tlow_;
+  Ns thigh_;
+  Ns min_rtt_;
+  double min_rate_;
+  double max_rate_;
+  double delta_;
+  double window_cap_;
+  double rate_;
+  Ns prev_rtt_ = 0;
+  double rtt_diff_ewma_ = 0.0;
+  int hai_count_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<CcModule> MakeTimely(const NetConfig& cfg, const CcContext& ctx) {
+  return std::make_unique<Timely>(cfg, ctx);
+}
+
+}  // namespace m3

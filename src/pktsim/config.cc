@@ -1,0 +1,68 @@
+#include "pktsim/config.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace m3 {
+
+const char* CcName(CcType cc) {
+  switch (cc) {
+    case CcType::kDctcp:
+      return "DCTCP";
+    case CcType::kTimely:
+      return "TIMELY";
+    case CcType::kDcqcn:
+      return "DCQCN";
+    case CcType::kHpcc:
+      return "HPCC";
+  }
+  return "?";
+}
+
+CcType CcFromName(const std::string& name) {
+  if (name == "DCTCP") return CcType::kDctcp;
+  if (name == "TIMELY") return CcType::kTimely;
+  if (name == "DCQCN") return CcType::kDcqcn;
+  if (name == "HPCC") return CcType::kHpcc;
+  throw std::invalid_argument("unknown CC protocol: " + name);
+}
+
+NetConfig NetConfig::Sample(Rng& rng) {
+  NetConfig cfg;
+  cfg.cc = static_cast<CcType>(rng.NextBounded(kNumCcTypes));
+  cfg.init_window = static_cast<Bytes>(rng.Uniform(5e3, 30e3));
+  cfg.buffer = static_cast<Bytes>(rng.Uniform(200e3, 500e3));
+  cfg.pfc = rng.NextDouble() < 0.5;
+  cfg.dctcp_k = static_cast<Bytes>(rng.Uniform(5e3, 20e3));
+  cfg.dcqcn_kmin = static_cast<Bytes>(rng.Uniform(20e3, 50e3));
+  cfg.dcqcn_kmax = static_cast<Bytes>(rng.Uniform(50e3, 100e3));
+  cfg.hpcc_eta = rng.Uniform(0.70, 0.95);
+  cfg.hpcc_rate_ai_gbps = rng.Uniform(0.5, 1.0);
+  cfg.timely_tlow = static_cast<Ns>(rng.Uniform(40e3, 60e3));
+  cfg.timely_thigh = static_cast<Ns>(rng.Uniform(100e3, 150e3));
+  cfg.seed = rng.NextU64();
+  return cfg;
+}
+
+std::string NetConfig::ToString() const {
+  std::ostringstream os;
+  os << CcName(cc) << " initW=" << init_window / 1000 << "KB buf=" << buffer / 1000
+     << "KB pfc=" << (pfc ? 1 : 0);
+  switch (cc) {
+    case CcType::kDctcp:
+      os << " K=" << dctcp_k / 1000 << "KB";
+      break;
+    case CcType::kDcqcn:
+      os << " Kmin=" << dcqcn_kmin / 1000 << "KB Kmax=" << dcqcn_kmax / 1000 << "KB";
+      break;
+    case CcType::kHpcc:
+      os << " eta=" << hpcc_eta << " rateAI=" << hpcc_rate_ai_gbps << "Gbps";
+      break;
+    case CcType::kTimely:
+      os << " Tlow=" << timely_tlow / 1000 << "us Thigh=" << timely_thigh / 1000 << "us";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace m3

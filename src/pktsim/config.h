@@ -1,0 +1,52 @@
+// Network configuration knobs (paper Table 4): congestion control protocol
+// and parameters, initial window, switch buffer size, and the PFC flag.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace m3 {
+
+enum class CcType : std::uint8_t { kDctcp = 0, kTimely = 1, kDcqcn = 2, kHpcc = 3 };
+
+constexpr int kNumCcTypes = 4;
+
+const char* CcName(CcType cc);
+CcType CcFromName(const std::string& name);
+
+struct NetConfig {
+  CcType cc = CcType::kDctcp;
+  Bytes init_window = 15 * kKB;  // Table 4: 5-30KB
+  Bytes buffer = 300 * kKB;      // per egress port; Table 4: 200-500KB
+  bool pfc = false;
+
+  // DCTCP: single marking threshold K (5-20KB).
+  Bytes dctcp_k = 10 * kKB;
+  // DCQCN: RED-style marking between (Kmin, Kmax) (20-50KB, 50-100KB).
+  Bytes dcqcn_kmin = 30 * kKB;
+  Bytes dcqcn_kmax = 70 * kKB;
+  // HPCC: target utilization eta (0.70-0.95) and additive rate (500-1000 Mbps).
+  double hpcc_eta = 0.90;
+  double hpcc_rate_ai_gbps = 0.75;
+  // TIMELY: RTT thresholds (Tlow 40-60us, Thigh 100-150us).
+  Ns timely_tlow = 50 * kUs;
+  Ns timely_thigh = 120 * kUs;
+
+  // Framing.
+  Bytes mtu = 1000;
+  Bytes hdr = 48;
+
+  // Seed for the simulator's internal randomness (probabilistic marking).
+  std::uint64_t seed = 7;
+
+  /// Uniformly samples a configuration from the Table 4 space.
+  static NetConfig Sample(Rng& rng);
+
+  /// One-line human-readable description for logs and reports.
+  std::string ToString() const;
+};
+
+}  // namespace m3

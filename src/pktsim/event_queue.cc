@@ -1,0 +1,15 @@
+#include "pktsim/event_queue.h"
+
+namespace m3 {
+
+void EventQueue::Push(Ns t, EvType type, std::int32_t a, std::int32_t b) {
+  heap_.push(Event{t, next_seq_++, type, a, b});
+}
+
+Event EventQueue::Pop() {
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace m3

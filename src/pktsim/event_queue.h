@@ -1,0 +1,48 @@
+// Min-heap event queue for the packet simulator. Ties on time are broken by
+// insertion sequence so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/units.h"
+
+namespace m3 {
+
+enum class EvType : std::uint8_t {
+  kFlowArrival,  // a = flow index
+  kTxDone,       // a = link id (port finished serializing its current packet)
+  kDeliver,      // a = link id, b = packet ref (propagation finished)
+  kPace,         // a = flow index (rate-based sender may emit)
+  kRto,          // a = flow index (check retransmission deadline)
+};
+
+struct Event {
+  Ns t = 0;
+  std::uint64_t seq = 0;  // FIFO tie-break
+  EvType type = EvType::kFlowArrival;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+};
+
+class EventQueue {
+ public:
+  void Push(Ns t, EvType type, std::int32_t a, std::int32_t b = 0);
+  Event Pop();
+  bool Empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  std::uint64_t total_pushed() const { return next_seq_; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& x, const Event& y) const {
+      if (x.t != y.t) return x.t > y.t;
+      return x.seq > y.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace m3

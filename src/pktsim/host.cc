@@ -1,0 +1,13 @@
+#include "pktsim/host.h"
+
+#include <algorithm>
+
+namespace m3 {
+
+Ns RtoFor(Ns base_rtt, int backoff) {
+  const Ns base = 3 * base_rtt + 100 * kUs;
+  const int shift = std::min(backoff, 6);
+  return base << shift;
+}
+
+}  // namespace m3

@@ -1,0 +1,48 @@
+// Per-flow endpoint state: the sender (window/pacing, go-back-N recovery)
+// and the receiver (cumulative in-order byte counter, ACK generation).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+#include "pktsim/cc.h"
+#include "topo/topology.h"
+#include "util/units.h"
+
+namespace m3 {
+
+constexpr Ns kNever = std::numeric_limits<Ns>::max();
+
+struct Sender {
+  std::int64_t next_seq = 0;  // next payload byte to send
+  std::int64_t snd_una = 0;   // lowest unacked byte
+  std::unique_ptr<CcModule> cc;
+  Route rev_path;  // ACK route, reverse of the flow's path
+  Ns base_rtt = 0;
+  Ns srtt = 0;  // smoothed measured RTT (EWMA 1/8), for the adaptive RTO
+  bool started = false;
+  bool done = false;  // fully acked
+
+  // Pacing (rate-based protocols).
+  Ns next_pace = 0;
+  bool pace_scheduled = false;
+
+  // Loss recovery: lazy retransmission timer + duplicate-ACK counter.
+  Ns rto_deadline = kNever;
+  bool rto_event_pending = false;
+  int rto_backoff = 0;
+  int dupacks = 0;
+  bool in_recovery = false;  // suppress dup-ACK retransmits until a new ACK
+};
+
+struct Receiver {
+  std::int64_t recv_next = 0;  // cumulative in-order bytes received
+  bool completed = false;
+};
+
+/// Retransmission timeout for the given backoff stage: 3x base RTT plus a
+/// fixed floor, doubled per consecutive timeout (capped).
+Ns RtoFor(Ns base_rtt, int backoff);
+
+}  // namespace m3

@@ -1,0 +1,58 @@
+// Packet representation and pool for the discrete-event packet simulator.
+//
+// Packets live in a pooled vector and are referenced by index, so the hot
+// path never allocates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.h"
+#include "util/units.h"
+#include "workload/flow.h"
+
+namespace m3 {
+
+using PacketRef = std::int32_t;
+constexpr PacketRef kNoPacket = -1;
+
+struct Packet {
+  FlowId flow = 0;
+  std::int64_t seq = 0;    // data: payload byte offset; ack: cumulative bytes
+  std::int32_t payload = 0;  // payload bytes (0 for pure ACKs)
+  std::uint8_t hop = 0;      // next index into the (forward or reverse) route
+  bool is_ack = false;
+  bool ecn = false;          // data: CE mark; ack: echoed mark
+  float int_u = 0.0f;        // HPCC inline telemetry: max utilization seen
+  Ns sent_time = 0;          // data: departure time; ack: echoed for RTT
+  LinkId in_link = kInvalidLink;  // link the packet arrived on (PFC accounting)
+  std::uint8_t priority = 0;      // strict-priority class (0 = highest)
+};
+
+class PacketPool {
+ public:
+  PacketRef Alloc() {
+    if (!free_.empty()) {
+      const PacketRef r = free_.back();
+      free_.pop_back();
+      pool_[static_cast<std::size_t>(r)] = Packet{};
+      return r;
+    }
+    pool_.emplace_back();
+    return static_cast<PacketRef>(pool_.size() - 1);
+  }
+
+  void Free(PacketRef r) { free_.push_back(r); }
+
+  Packet& operator[](PacketRef r) { return pool_[static_cast<std::size_t>(r)]; }
+  const Packet& operator[](PacketRef r) const { return pool_[static_cast<std::size_t>(r)]; }
+
+  std::size_t capacity() const { return pool_.size(); }
+  std::size_t num_live() const { return pool_.size() - free_.size(); }
+
+ private:
+  std::vector<Packet> pool_;
+  std::vector<PacketRef> free_;
+};
+
+}  // namespace m3

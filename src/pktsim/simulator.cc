@@ -1,0 +1,405 @@
+#include "pktsim/simulator.h"
+
+#include <algorithm>
+
+namespace m3 {
+namespace {
+
+constexpr Ns kDefaultMaxTime = 10'000 * kSec;
+
+}  // namespace
+
+PacketSimulator::PacketSimulator(const Topology& topo, std::vector<Flow> flows,
+                                 const NetConfig& cfg)
+    : topo_(topo),
+      flows_(std::move(flows)),
+      cfg_(cfg),
+      mark_rng_(cfg.seed),
+      ports_(topo.num_links()),
+      pfc_ingress_(topo.num_links(), 0),
+      senders_(flows_.size()),
+      receivers_(flows_.size()),
+      results_(flows_.size()) {
+  pfc_xoff_ = cfg_.buffer / 2;
+  pfc_xon_ = cfg_.buffer / 4;
+
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const Flow& f = flows_[i];
+    if (f.size <= 0 || f.path.empty() || !topo_.ValidateRoute(f.src, f.dst, f.path)) {
+      throw std::invalid_argument("PacketSimulator: flow " + std::to_string(i) +
+                                  " has an invalid path or size");
+    }
+    Sender& s = senders_[i];
+    s.rev_path.reserve(f.path.size());
+    for (auto it = f.path.rbegin(); it != f.path.rend(); ++it) {
+      const LinkId rev = topo_.ReverseLink(*it);
+      if (rev == kInvalidLink) {
+        throw std::invalid_argument("PacketSimulator: path link has no reverse link");
+      }
+      s.rev_path.push_back(rev);
+    }
+
+    // Unloaded RTT: first data packet out plus header-only ACK back.
+    Ns rtt = 0;
+    for (LinkId l : f.path) {
+      const Link& lk = topo_.link(l);
+      rtt += lk.delay + TransmissionTime(std::min(f.size, cfg_.mtu) + cfg_.hdr, lk.rate);
+    }
+    for (LinkId l : s.rev_path) {
+      const Link& lk = topo_.link(l);
+      rtt += lk.delay + TransmissionTime(cfg_.hdr, lk.rate);
+    }
+    s.base_rtt = rtt;
+
+    CcContext ctx;
+    ctx.nic_rate = topo_.link(f.path.front()).rate;
+    ctx.base_rtt = rtt;
+    ctx.bdp = static_cast<Bytes>(ctx.nic_rate * static_cast<double>(rtt));
+    ctx.mtu = cfg_.mtu;
+    ctx.hdr = cfg_.hdr;
+    s.cc = MakeCc(cfg_, ctx);
+
+    results_[i].id = f.id;
+    results_[i].size = f.size;
+    results_[i].ideal_fct = IdealFct(topo_, f.path, f.size, cfg_.mtu, cfg_.hdr);
+
+    events_.Push(f.arrival, EvType::kFlowArrival, static_cast<std::int32_t>(i));
+  }
+}
+
+std::vector<FlowResult> PacketSimulator::Run(Ns max_time) {
+  if (max_time <= 0) max_time = kDefaultMaxTime;
+  while (!events_.Empty() && completed_ < flows_.size()) {
+    const Event e = events_.Pop();
+    now_ = e.t;
+    ++stats_.events;
+    if (now_ > max_time) {
+      throw std::runtime_error("PacketSimulator exceeded max simulated time (" +
+                               std::to_string(completed_) + "/" +
+                               std::to_string(flows_.size()) + " flows completed)");
+    }
+    switch (e.type) {
+      case EvType::kFlowArrival:
+        HandleArrival(e.a);
+        break;
+      case EvType::kTxDone:
+        HandleTxDone(e.a);
+        break;
+      case EvType::kDeliver:
+        HandleDeliver(e.a, e.b);
+        break;
+      case EvType::kPace: {
+        senders_[static_cast<std::size_t>(e.a)].pace_scheduled = false;
+        TrySend(e.a);
+        break;
+      }
+      case EvType::kRto:
+        HandleRtoEvent(e.a);
+        break;
+    }
+  }
+  if (completed_ < flows_.size()) {
+    throw std::runtime_error("PacketSimulator: event queue drained with " +
+                             std::to_string(flows_.size() - completed_) +
+                             " incomplete flows");
+  }
+  stats_.end_time = now_;
+  return results_;
+}
+
+void PacketSimulator::HandleArrival(std::int32_t f) {
+  senders_[static_cast<std::size_t>(f)].started = true;
+  TrySend(f);
+}
+
+void PacketSimulator::TrySend(std::int32_t f) {
+  Sender& s = senders_[static_cast<std::size_t>(f)];
+  const Flow& flow = flows_[static_cast<std::size_t>(f)];
+  if (!s.started || s.done) return;
+
+  while (s.next_seq < flow.size) {
+    const double cwnd = s.cc->cwnd();
+    const std::int64_t inflight = s.next_seq - s.snd_una;
+    if (static_cast<double>(inflight) + 1.0 > cwnd) break;  // window-limited
+
+    const double pace_rate = s.cc->rate();
+    if (pace_rate != kNoPacing) {
+      if (now_ < s.next_pace) {
+        if (!s.pace_scheduled) {
+          s.pace_scheduled = true;
+          events_.Push(s.next_pace, EvType::kPace, f);
+        }
+        break;
+      }
+    }
+
+    const std::int32_t payload =
+        static_cast<std::int32_t>(std::min<std::int64_t>(cfg_.mtu, flow.size - s.next_seq));
+    EmitData(f, s.next_seq, payload);
+    s.next_seq += payload;
+
+    if (pace_rate != kNoPacing) {
+      const double gap = static_cast<double>(payload + cfg_.hdr) / pace_rate;
+      s.next_pace = now_ + static_cast<Ns>(gap) + 1;
+    }
+  }
+  if (s.rto_deadline == kNever && s.snd_una < flow.size && s.next_seq > s.snd_una) {
+    ArmRto(f);
+  }
+}
+
+void PacketSimulator::EmitData(std::int32_t f, std::int64_t seq, std::int32_t payload) {
+  const Flow& flow = flows_[static_cast<std::size_t>(f)];
+  const PacketRef ref = pool_.Alloc();
+  Packet& p = pool_[ref];
+  p.flow = static_cast<FlowId>(f);
+  p.seq = seq;
+  p.payload = payload;
+  p.hop = 0;
+  p.is_ack = false;
+  p.sent_time = now_;
+  p.in_link = kInvalidLink;
+  p.priority = flow.priority;
+  ++stats_.data_pkts;
+  EnqueueAtPort(flow.path.front(), ref);
+}
+
+void PacketSimulator::EnqueueAtPort(LinkId l, PacketRef ref) {
+  Port& port = ports_[static_cast<std::size_t>(l)];
+  const Link& lk = topo_.link(l);
+  Packet& p = pool_[ref];
+  const Bytes bytes = PacketBytes(p);
+  const bool switch_port = topo_.kind(lk.src) == NodeKind::kSwitch;
+
+  if (switch_port && !cfg_.pfc && port.qbytes + bytes > cfg_.buffer) {
+    ++stats_.drops;
+    pool_.Free(ref);
+    return;
+  }
+  // ECN marking applies at every egress queue, including the sender's own
+  // NIC (as with qdisc/RED marking in standard DC simulation setups);
+  // without it, source-bottlenecked flows would see no congestion signal.
+  if (!p.is_ack && ShouldMarkEcn(cfg_, port.qbytes + bytes, mark_rng_)) {
+    p.ecn = true;
+    ++stats_.ecn_marks;
+  }
+  if (switch_port) {
+    if (cfg_.pfc && p.in_link != kInvalidLink) {
+      Bytes& ingress = pfc_ingress_[static_cast<std::size_t>(p.in_link)];
+      ingress += bytes;
+      Port& upstream = ports_[static_cast<std::size_t>(p.in_link)];
+      if (ingress > pfc_xoff_ && !upstream.paused) upstream.paused = true;
+    }
+  }
+
+  port.q[std::min<std::size_t>(p.priority, kNumPriorities - 1)].push_back(ref);
+  port.qbytes += bytes;
+  port.max_qbytes = std::max(port.max_qbytes, port.qbytes);
+  stats_.max_qbytes = std::max(stats_.max_qbytes, port.qbytes);
+  if (!port.busy && !port.paused) StartTx(l);
+}
+
+void PacketSimulator::StartTx(LinkId l) {
+  Port& port = ports_[static_cast<std::size_t>(l)];
+  if (port.busy || port.paused) return;
+  const PacketRef ref = port.PopHighestPriority();
+  if (ref == kNoPacket) return;
+  Packet& p = pool_[ref];
+  const Bytes bytes = PacketBytes(p);
+  port.qbytes -= bytes;
+  port.busy = true;
+  port.tx_pkt = ref;
+
+  const Link& lk = topo_.link(l);
+  if (!p.is_ack && cfg_.cc == CcType::kHpcc) {
+    p.int_u = std::max(p.int_u, static_cast<float>(HpccUtilization(port, lk.rate)));
+  }
+  events_.Push(now_ + TransmissionTime(bytes, lk.rate), EvType::kTxDone, l);
+}
+
+void PacketSimulator::HandleTxDone(LinkId l) {
+  Port& port = ports_[static_cast<std::size_t>(l)];
+  const PacketRef ref = port.tx_pkt;
+  port.tx_pkt = kNoPacket;
+  port.busy = false;
+  const Link& lk = topo_.link(l);
+  Packet& p = pool_[ref];
+  const Bytes bytes = PacketBytes(p);
+
+  UpdatePortUtil(port, lk.rate, bytes, now_);
+
+  // The packet has fully left this node's buffer: release PFC accounting.
+  if (cfg_.pfc && p.in_link != kInvalidLink &&
+      topo_.kind(lk.src) == NodeKind::kSwitch) {
+    Bytes& ingress = pfc_ingress_[static_cast<std::size_t>(p.in_link)];
+    ingress -= bytes;
+    Port& upstream = ports_[static_cast<std::size_t>(p.in_link)];
+    if (upstream.paused && ingress < pfc_xon_) {
+      upstream.paused = false;
+      StartTx(p.in_link);
+    }
+  }
+
+  events_.Push(now_ + lk.delay, EvType::kDeliver, l, ref);
+  if (!port.paused) StartTx(l);
+}
+
+void PacketSimulator::HandleDeliver(LinkId l, PacketRef ref) {
+  Packet& p = pool_[ref];
+  p.in_link = l;
+  const NodeId node = topo_.link(l).dst;
+  if (topo_.kind(node) == NodeKind::kSwitch) {
+    const Sender& s = senders_[static_cast<std::size_t>(p.flow)];
+    const Route& route =
+        p.is_ack ? s.rev_path : flows_[static_cast<std::size_t>(p.flow)].path;
+    ++p.hop;
+    EnqueueAtPort(route[p.hop], ref);
+    return;
+  }
+  if (p.is_ack) {
+    HandleAckAtSender(ref);
+  } else {
+    HandleDataAtHost(ref);
+  }
+}
+
+void PacketSimulator::HandleDataAtHost(PacketRef ref) {
+  // Copy: pool_.Alloc() below may reallocate the pool and invalidate
+  // references into it.
+  const Packet p = pool_[ref];
+  const std::size_t f = static_cast<std::size_t>(p.flow);
+  const Flow& flow = flows_[f];
+  Receiver& r = receivers_[f];
+
+  if (p.seq == r.recv_next) {
+    r.recv_next += p.payload;
+    if (r.recv_next >= flow.size && !r.completed) {
+      r.completed = true;
+      ++completed_;
+      FlowResult& res = results_[f];
+      res.fct = now_ - flow.arrival;
+      res.slowdown = res.ideal_fct > 0
+                         ? static_cast<double>(res.fct) / static_cast<double>(res.ideal_fct)
+                         : 1.0;
+    }
+  }
+  // Cumulative ACK (also for out-of-order / duplicate data).
+  const PacketRef ack_ref = pool_.Alloc();
+  Packet& ack = pool_[ack_ref];
+  ack.flow = p.flow;
+  ack.seq = r.recv_next;
+  ack.payload = 0;
+  ack.hop = 0;
+  ack.is_ack = true;
+  ack.ecn = p.ecn;
+  ack.int_u = p.int_u;
+  ack.sent_time = p.sent_time;
+  ack.in_link = kInvalidLink;
+  ack.priority = flow.priority;
+  ++stats_.acks;
+  pool_.Free(ref);
+  EnqueueAtPort(senders_[f].rev_path.front(), ack_ref);
+}
+
+void PacketSimulator::HandleAckAtSender(PacketRef ref) {
+  Packet& p = pool_[ref];
+  const std::int32_t f = p.flow;
+  Sender& s = senders_[static_cast<std::size_t>(f)];
+  const Flow& flow = flows_[static_cast<std::size_t>(f)];
+
+  if (p.seq > s.snd_una) {
+    const Bytes newly = p.seq - s.snd_una;
+    s.snd_una = p.seq;
+    s.dupacks = 0;
+    s.rto_backoff = 0;
+    s.in_recovery = false;
+    const Ns rtt = now_ - p.sent_time;
+    s.srtt = s.srtt == 0 ? rtt : (7 * s.srtt + rtt) / 8;
+    s.cc->OnAck(newly, p.ecn, rtt, p.int_u, now_);
+    if (s.snd_una >= flow.size) {
+      s.done = true;
+      s.rto_deadline = kNever;
+    } else {
+      s.rto_deadline = now_ + CurrentRto(s);
+      ArmRto(f);
+      TrySend(f);
+    }
+  } else if (!s.done) {
+    // Go-back-N retransmissions themselves generate duplicate ACKs; only
+    // count duplicates toward a new fast retransmit once the previous
+    // recovery finished (a new cumulative ACK arrived).
+    if (!s.in_recovery && ++s.dupacks >= 3) {
+      s.dupacks = 0;
+      s.in_recovery = true;
+      ++stats_.retransmissions;
+      ++results_[static_cast<std::size_t>(f)].retransmits;
+      s.next_seq = s.snd_una;
+      s.cc->OnTimeout(now_);
+      s.rto_deadline = now_ + CurrentRto(s);
+      TrySend(f);
+    }
+  }
+  pool_.Free(ref);
+}
+
+Ns PacketSimulator::CurrentRto(const Sender& s) const {
+  // Adaptive base: queueing can push the real RTT far beyond the unloaded
+  // RTT, so the timer tracks the smoothed measurement.
+  const Ns effective_rtt = std::max(s.base_rtt, 3 * s.srtt);
+  Ns rto = RtoFor(effective_rtt, s.rto_backoff);
+  // Rate-paced senders can legitimately go several pacing gaps between
+  // ACKs; a pure RTT-based RTO would fire spuriously and spiral the rate
+  // down. Give the timer at least eight pacing gaps of slack.
+  const double r = s.cc->rate();
+  if (r != kNoPacing && r > 0.0) {
+    const Ns gap = static_cast<Ns>(8.0 * static_cast<double>(cfg_.mtu + cfg_.hdr) / r);
+    rto = std::max(rto, gap);
+  }
+  return rto;
+}
+
+void PacketSimulator::ArmRto(std::int32_t f) {
+  Sender& s = senders_[static_cast<std::size_t>(f)];
+  if (s.rto_deadline == kNever) {
+    s.rto_deadline = now_ + CurrentRto(s);
+  }
+  if (!s.rto_event_pending) {
+    s.rto_event_pending = true;
+    events_.Push(s.rto_deadline, EvType::kRto, f);
+  }
+}
+
+void PacketSimulator::HandleRtoEvent(std::int32_t f) {
+  Sender& s = senders_[static_cast<std::size_t>(f)];
+  s.rto_event_pending = false;
+  if (s.done || s.rto_deadline == kNever) return;
+  if (now_ < s.rto_deadline) {
+    s.rto_event_pending = true;
+    events_.Push(s.rto_deadline, EvType::kRto, f);
+    return;
+  }
+  DoTimeout(f);
+}
+
+void PacketSimulator::DoTimeout(std::int32_t f) {
+  Sender& s = senders_[static_cast<std::size_t>(f)];
+  ++stats_.timeouts;
+  ++stats_.retransmissions;
+  ++results_[static_cast<std::size_t>(f)].retransmits;
+  ++results_[static_cast<std::size_t>(f)].timeouts;
+  s.in_recovery = true;
+  s.next_seq = s.snd_una;
+  s.cc->OnTimeout(now_);
+  ++s.rto_backoff;
+  s.rto_deadline = now_ + CurrentRto(s);
+  ArmRto(f);
+  TrySend(f);
+}
+
+std::vector<FlowResult> RunPacketSim(const Topology& topo, std::vector<Flow> flows,
+                                     const NetConfig& cfg, Ns max_time) {
+  PacketSimulator sim(topo, std::move(flows), cfg);
+  return sim.Run(max_time);
+}
+
+}  // namespace m3

@@ -1,0 +1,102 @@
+// The packet-level discrete-event simulator: m3's ground-truth substrate
+// (the role ns-3 plays in the paper).
+//
+// Model summary:
+//  - Output-queued store-and-forward switches, one FIFO byte queue per
+//    egress port, finite per-port buffers with tail drop (PFC off) or
+//    ingress-accounted link-level pause (PFC on).
+//  - ECN marking at switch egress per the configured protocol (see
+//    ShouldMarkEcn); HPCC inline telemetry stamped at dequeue.
+//  - Per-flow senders run DCTCP / DCQCN / TIMELY / HPCC (window and/or
+//    pacing), with go-back-N loss recovery (triple-dup-ACK fast retransmit
+//    treated as a timeout-grade event, plus an RTO with exponential
+//    backoff).
+//  - ACKs are real packets that traverse the reverse path through the same
+//    queues (they carry header bytes only).
+//
+// A flow's FCT is the time its last payload byte reaches the receiver,
+// minus its arrival time; slowdown is FCT / IdealFct for its size and path.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "pktsim/config.h"
+#include "pktsim/event_queue.h"
+#include "pktsim/host.h"
+#include "pktsim/packet.h"
+#include "pktsim/switch.h"
+#include "topo/topology.h"
+#include "workload/flow.h"
+
+namespace m3 {
+
+class PacketSimulator {
+ public:
+  struct Stats {
+    std::uint64_t events = 0;
+    std::uint64_t data_pkts = 0;
+    std::uint64_t acks = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t ecn_marks = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t timeouts = 0;
+    Bytes max_qbytes = 0;
+    Ns end_time = 0;
+  };
+
+  /// `flows` must have valid host-to-host paths in `topo` and positive
+  /// sizes. The topology reference must outlive the simulator.
+  PacketSimulator(const Topology& topo, std::vector<Flow> flows, const NetConfig& cfg);
+
+  /// Runs until every flow completes. `max_time` (0 = default guard of
+  /// 10,000 simulated seconds) bounds runaway simulations; exceeding it
+  /// throws std::runtime_error.
+  std::vector<FlowResult> Run(Ns max_time = 0);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void HandleArrival(std::int32_t f);
+  void TrySend(std::int32_t f);
+  void EmitData(std::int32_t f, std::int64_t seq, std::int32_t payload);
+  void EnqueueAtPort(LinkId l, PacketRef p);
+  void StartTx(LinkId l);
+  void HandleTxDone(LinkId l);
+  void HandleDeliver(LinkId l, PacketRef p);
+  void HandleDataAtHost(PacketRef p);
+  void HandleAckAtSender(PacketRef p);
+  Ns CurrentRto(const Sender& s) const;
+  void ArmRto(std::int32_t f);
+  void HandleRtoEvent(std::int32_t f);
+  void DoTimeout(std::int32_t f);
+  Bytes PacketBytes(const Packet& p) const {
+    return static_cast<Bytes>(p.payload) + cfg_.hdr;
+  }
+
+  const Topology& topo_;
+  std::vector<Flow> flows_;
+  NetConfig cfg_;
+  Rng mark_rng_;
+
+  EventQueue events_;
+  PacketPool pool_;
+  std::vector<Port> ports_;            // one per link
+  std::vector<Bytes> pfc_ingress_;     // bytes buffered downstream, per in-link
+  std::vector<Sender> senders_;        // one per flow
+  std::vector<Receiver> receivers_;    // one per flow
+  std::vector<FlowResult> results_;
+  std::size_t completed_ = 0;
+  Ns now_ = 0;
+  Stats stats_;
+
+  Bytes pfc_xoff_ = 0;
+  Bytes pfc_xon_ = 0;
+};
+
+/// One-shot convenience wrapper.
+std::vector<FlowResult> RunPacketSim(const Topology& topo, std::vector<Flow> flows,
+                                     const NetConfig& cfg, Ns max_time = 0);
+
+}  // namespace m3

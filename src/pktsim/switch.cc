@@ -1,0 +1,47 @@
+#include "pktsim/switch.h"
+
+#include <algorithm>
+
+namespace m3 {
+
+bool ShouldMarkEcn(const NetConfig& cfg, Bytes qbytes_after, Rng& rng) {
+  switch (cfg.cc) {
+    case CcType::kDctcp:
+      return qbytes_after >= cfg.dctcp_k;
+    case CcType::kDcqcn: {
+      if (qbytes_after < cfg.dcqcn_kmin) return false;
+      if (qbytes_after >= cfg.dcqcn_kmax) return true;
+      constexpr double kPmax = 0.2;
+      const double frac = static_cast<double>(qbytes_after - cfg.dcqcn_kmin) /
+                          static_cast<double>(cfg.dcqcn_kmax - cfg.dcqcn_kmin);
+      return rng.NextDouble() < frac * kPmax;
+    }
+    case CcType::kHpcc:   // HPCC senders use INT, not ECN
+    case CcType::kTimely:  // TIMELY is purely RTT-driven
+      return false;
+  }
+  return false;
+}
+
+void UpdatePortUtil(Port& port, Bpns rate, Bytes bytes, Ns now) {
+  constexpr Ns kWindow = 10 * kUs;
+  constexpr double kWeight = 0.3;
+  if (port.util_win_start == 0) port.util_win_start = now;
+  port.util_win_bytes += bytes;
+  const Ns elapsed = now - port.util_win_start;
+  if (elapsed >= kWindow) {
+    const double inst = std::min(
+        1.0, static_cast<double>(port.util_win_bytes) / (rate * static_cast<double>(elapsed)));
+    port.util_ewma = (1.0 - kWeight) * port.util_ewma + kWeight * inst;
+    port.util_win_start = now;
+    port.util_win_bytes = 0;
+  }
+}
+
+double HpccUtilization(const Port& port, Bpns rate, Ns t_ref) {
+  const double queue_term =
+      static_cast<double>(port.qbytes) / (rate * static_cast<double>(t_ref));
+  return queue_term + port.util_ewma;
+}
+
+}  // namespace m3

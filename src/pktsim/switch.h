@@ -1,0 +1,69 @@
+// Output port state for the packet simulator. Every link has exactly one
+// transmitter (the "port") owned by the link's source node; switch egress
+// ports apply buffering, ECN marking, and PFC policies, host ports are
+// self-limited by the sender windows and never mark or drop.
+#pragma once
+
+#include <array>
+#include <deque>
+
+#include "pktsim/config.h"
+#include "pktsim/packet.h"
+#include "util/rng.h"
+#include "util/units.h"
+#include "workload/flow.h"
+
+namespace m3 {
+
+struct Port {
+  // One FIFO per strict-priority class (class 0 served first); `qbytes`
+  // counts all classes (buffer accounting, ECN and PFC thresholds apply to
+  // the aggregate, as with shared-buffer switches).
+  std::array<std::deque<PacketRef>, kNumPriorities> q;
+  Bytes qbytes = 0;         // bytes queued (excludes the in-flight packet)
+  bool busy = false;        // currently serializing
+  bool paused = false;      // PFC pause asserted by the downstream node
+  PacketRef tx_pkt = kNoPacket;
+
+  bool QueuesEmpty() const {
+    for (const auto& dq : q) {
+      if (!dq.empty()) return false;
+    }
+    return true;
+  }
+
+  /// Pops the head of the highest-priority non-empty queue; kNoPacket if
+  /// all queues are empty.
+  PacketRef PopHighestPriority() {
+    for (auto& dq : q) {
+      if (!dq.empty()) {
+        const PacketRef r = dq.front();
+        dq.pop_front();
+        return r;
+      }
+    }
+    return kNoPacket;
+  }
+
+  // HPCC inline telemetry: EWMA of link utilization over ~10us windows.
+  double util_ewma = 0.0;
+  Ns util_win_start = 0;
+  Bytes util_win_bytes = 0;
+
+  Bytes max_qbytes = 0;  // high-water mark, for stats
+};
+
+/// Marking decision for a data packet entering a switch egress queue, per
+/// the configured protocol: DCTCP/HPCC use a step threshold at K; DCQCN uses
+/// RED-style probabilistic marking between Kmin and Kmax; TIMELY never
+/// marks. `qbytes_after` is the queue length including this packet.
+bool ShouldMarkEcn(const NetConfig& cfg, Bytes qbytes_after, Rng& rng);
+
+/// Updates a port's utilization EWMA after serializing `bytes` ending at
+/// `now` (10us windows, weight 0.3).
+void UpdatePortUtil(Port& port, Bpns rate, Bytes bytes, Ns now);
+
+/// HPCC per-hop utilization sample: queue term plus throughput term.
+double HpccUtilization(const Port& port, Bpns rate, Ns t_ref = 10 * kUs);
+
+}  // namespace m3

@@ -1,0 +1,149 @@
+#include "topo/fat_tree.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace m3 {
+namespace {
+
+// Deterministic per-hop ECMP hash: mixes the flow key with a hop label.
+std::uint64_t EcmpHash(std::uint64_t flow_key, std::uint64_t hop) {
+  SplitMix64 sm(flow_key ^ (hop * 0x9e3779b97f4a7c15ULL));
+  return sm.Next();
+}
+
+}  // namespace
+
+FatTreeConfig FatTreeConfig::Small(double oversub) {
+  FatTreeConfig cfg;
+  cfg.pods = 2;
+  cfg.racks_per_pod = 16;
+  cfg.hosts_per_rack = 8;
+  cfg.fabric_per_pod = 4;
+  // down = 16 racks * 40G = 640G per fabric switch; up = spines * 40G.
+  if (oversub <= 1.0) {
+    cfg.spines_per_plane = 16;
+  } else if (oversub <= 2.0) {
+    cfg.spines_per_plane = 8;
+  } else {
+    cfg.spines_per_plane = 4;  // 4-to-1
+  }
+  return cfg;
+}
+
+FatTreeConfig FatTreeConfig::Large(double oversub) {
+  FatTreeConfig cfg;
+  cfg.pods = 8;
+  cfg.racks_per_pod = 48;
+  cfg.hosts_per_rack = 16;
+  cfg.fabric_per_pod = 4;
+  if (oversub <= 1.0) {
+    cfg.spines_per_plane = 48;
+  } else if (oversub <= 2.0) {
+    cfg.spines_per_plane = 24;
+  } else {
+    cfg.spines_per_plane = 12;
+  }
+  return cfg;
+}
+
+FatTree::FatTree(const FatTreeConfig& cfg) : cfg_(cfg) {
+  if (cfg.pods < 1 || cfg.racks_per_pod < 1 || cfg.hosts_per_rack < 1 ||
+      cfg.fabric_per_pod < 1 || cfg.spines_per_plane < 1) {
+    throw std::invalid_argument("FatTreeConfig fields must be positive");
+  }
+  const Bpns host_rate = GbpsToBpns(cfg.host_gbps);
+  const Bpns core_rate = GbpsToBpns(cfg.core_gbps);
+
+  // Spines: one group ("plane") per fabric index.
+  spines_.resize(static_cast<std::size_t>(cfg.fabric_per_pod));
+  for (auto& plane : spines_) {
+    plane.reserve(static_cast<std::size_t>(cfg.spines_per_plane));
+    for (int s = 0; s < cfg.spines_per_plane; ++s) {
+      plane.push_back(topo_.AddNode(NodeKind::kSwitch));
+    }
+  }
+
+  fabric_.resize(static_cast<std::size_t>(cfg.pods));
+  for (int p = 0; p < cfg.pods; ++p) {
+    auto& pod_fabric = fabric_[static_cast<std::size_t>(p)];
+    pod_fabric.reserve(static_cast<std::size_t>(cfg.fabric_per_pod));
+    for (int f = 0; f < cfg.fabric_per_pod; ++f) {
+      const NodeId fs = topo_.AddNode(NodeKind::kSwitch);
+      pod_fabric.push_back(fs);
+      for (int s = 0; s < cfg.spines_per_plane; ++s) {
+        topo_.AddDuplexLink(fs, spines_[static_cast<std::size_t>(f)][static_cast<std::size_t>(s)],
+                            core_rate, cfg.link_delay);
+      }
+    }
+  }
+
+  tors_.reserve(static_cast<std::size_t>(cfg.num_racks()));
+  hosts_.reserve(static_cast<std::size_t>(cfg.num_hosts()));
+  for (int r = 0; r < cfg.num_racks(); ++r) {
+    const int pod = PodOfRack(r);
+    const NodeId tor = topo_.AddNode(NodeKind::kSwitch);
+    tors_.push_back(tor);
+    for (int f = 0; f < cfg.fabric_per_pod; ++f) {
+      topo_.AddDuplexLink(tor, fabric_[static_cast<std::size_t>(pod)][static_cast<std::size_t>(f)],
+                          core_rate, cfg.link_delay);
+    }
+    for (int h = 0; h < cfg.hosts_per_rack; ++h) {
+      const NodeId host = topo_.AddNode(NodeKind::kHost);
+      hosts_.push_back(host);
+      topo_.AddDuplexLink(host, tor, host_rate, cfg.link_delay);
+    }
+  }
+  host_index_.assign(topo_.num_nodes(), -1);
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    host_index_[static_cast<std::size_t>(hosts_[i])] = static_cast<int>(i);
+  }
+}
+
+Route FatTree::RouteBetween(int src_host, int dst_host, std::uint64_t flow_key) const {
+  if (src_host == dst_host) {
+    throw std::invalid_argument("RouteBetween: src and dst hosts must differ");
+  }
+  const NodeId src = host(src_host);
+  const NodeId dst = host(dst_host);
+  const int src_rack = RackOfHost(src_host);
+  const int dst_rack = RackOfHost(dst_host);
+  const NodeId src_tor = tor(src_rack);
+  const NodeId dst_tor = tor(dst_rack);
+
+  Route route;
+  route.push_back(topo_.FindLink(src, src_tor));
+  if (src_rack == dst_rack) {
+    route.push_back(topo_.FindLink(dst_tor, dst));
+    return route;
+  }
+
+  const int src_pod = PodOfRack(src_rack);
+  const int dst_pod = PodOfRack(dst_rack);
+  const int plane = static_cast<int>(
+      EcmpHash(flow_key, 1) % static_cast<std::uint64_t>(cfg_.fabric_per_pod));
+  const NodeId up_fabric =
+      fabric_[static_cast<std::size_t>(src_pod)][static_cast<std::size_t>(plane)];
+  route.push_back(topo_.FindLink(src_tor, up_fabric));
+
+  if (src_pod == dst_pod) {
+    route.push_back(topo_.FindLink(up_fabric, dst_tor));
+    route.push_back(topo_.FindLink(dst_tor, dst));
+    return route;
+  }
+
+  const int spine_idx = static_cast<int>(
+      EcmpHash(flow_key, 2) % static_cast<std::uint64_t>(cfg_.spines_per_plane));
+  const NodeId spine =
+      spines_[static_cast<std::size_t>(plane)][static_cast<std::size_t>(spine_idx)];
+  const NodeId down_fabric =
+      fabric_[static_cast<std::size_t>(dst_pod)][static_cast<std::size_t>(plane)];
+  route.push_back(topo_.FindLink(up_fabric, spine));
+  route.push_back(topo_.FindLink(spine, down_fabric));
+  route.push_back(topo_.FindLink(down_fabric, dst_tor));
+  route.push_back(topo_.FindLink(dst_tor, dst));
+  return route;
+}
+
+}  // namespace m3

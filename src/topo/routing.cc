@@ -1,0 +1,98 @@
+#include "topo/routing.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/rng.h"
+
+namespace m3 {
+namespace {
+
+// Distances from every node to `dst` in hops, or -1 if unreachable.
+std::vector<int> DistancesTo(const Topology& topo, NodeId dst) {
+  std::vector<int> dist(topo.num_nodes(), -1);
+  // Reverse adjacency via a forward scan of all links.
+  std::vector<std::vector<NodeId>> rev(topo.num_nodes());
+  for (std::size_t l = 0; l < topo.num_links(); ++l) {
+    const Link& lk = topo.link(static_cast<LinkId>(l));
+    rev[static_cast<std::size_t>(lk.dst)].push_back(lk.src);
+  }
+  std::queue<NodeId> q;
+  dist[static_cast<std::size_t>(dst)] = 0;
+  q.push(dst);
+  while (!q.empty()) {
+    const NodeId n = q.front();
+    q.pop();
+    for (NodeId p : rev[static_cast<std::size_t>(n)]) {
+      if (dist[static_cast<std::size_t>(p)] < 0) {
+        dist[static_cast<std::size_t>(p)] = dist[static_cast<std::size_t>(n)] + 1;
+        q.push(p);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+Route ShortestPathEcmp(const Topology& topo, NodeId src, NodeId dst,
+                       std::uint64_t flow_key) {
+  if (src == dst) return {};
+  const std::vector<int> dist = DistancesTo(topo, dst);
+  if (dist[static_cast<std::size_t>(src)] < 0) return {};
+
+  Route route;
+  NodeId at = src;
+  std::uint64_t hop = 0;
+  while (at != dst) {
+    // Candidate links that make progress toward dst.
+    std::vector<LinkId> next;
+    const int d = dist[static_cast<std::size_t>(at)];
+    for (LinkId l : topo.OutLinks(at)) {
+      const Link& lk = topo.link(l);
+      if (dist[static_cast<std::size_t>(lk.dst)] == d - 1) next.push_back(l);
+    }
+    SplitMix64 sm(flow_key ^ ((hop + 1) * 0x9e3779b97f4a7c15ULL));
+    const LinkId chosen = next[sm.Next() % next.size()];
+    route.push_back(chosen);
+    at = topo.link(chosen).dst;
+    ++hop;
+  }
+  return route;
+}
+
+double CountShortestPaths(const Topology& topo, NodeId src, NodeId dst) {
+  if (src == dst) return 1.0;
+  const std::vector<int> dist = DistancesTo(topo, dst);
+  if (dist[static_cast<std::size_t>(src)] < 0) return 0.0;
+
+  // DP over nodes ordered by decreasing distance-to-dst, starting from src.
+  // count(n) = sum of count(m) over next hops m with dist(m) = dist(n)-1.
+  std::vector<double> count(topo.num_nodes(), -1.0);
+  count[static_cast<std::size_t>(dst)] = 1.0;
+
+  // Memoized recursion without recursion: process nodes by distance layers.
+  const int dsrc = dist[static_cast<std::size_t>(src)];
+  std::vector<std::vector<NodeId>> layers(static_cast<std::size_t>(dsrc) + 1);
+  for (std::size_t n = 0; n < topo.num_nodes(); ++n) {
+    const int d = dist[n];
+    if (d >= 0 && d <= dsrc) layers[static_cast<std::size_t>(d)].push_back(static_cast<NodeId>(n));
+  }
+  for (int d = 1; d <= dsrc; ++d) {
+    for (NodeId n : layers[static_cast<std::size_t>(d)]) {
+      double c = 0.0;
+      for (LinkId l : topo.OutLinks(n)) {
+        const Link& lk = topo.link(l);
+        if (dist[static_cast<std::size_t>(lk.dst)] == d - 1) {
+          c += count[static_cast<std::size_t>(lk.dst)];
+        }
+      }
+      count[static_cast<std::size_t>(n)] =
+          std::min(c, 1e18);
+    }
+  }
+  return count[static_cast<std::size_t>(src)];
+}
+
+}  // namespace m3

@@ -1,0 +1,22 @@
+// Generic shortest-path ECMP routing over an arbitrary Topology. Used for
+// small topologies and to cross-validate the structural fat-tree router.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace m3 {
+
+/// Computes a shortest path (fewest hops) from `src` to `dst`. When several
+/// shortest paths exist, `flow_key` picks among them with a deterministic
+/// per-hop hash, emulating ECMP. Returns an empty route if unreachable.
+Route ShortestPathEcmp(const Topology& topo, NodeId src, NodeId dst,
+                       std::uint64_t flow_key);
+
+/// Number of distinct shortest paths from `src` to `dst` (counted exactly via
+/// BFS DP; saturates at 1e18). Used in tests.
+double CountShortestPaths(const Topology& topo, NodeId src, NodeId dst);
+
+}  // namespace m3

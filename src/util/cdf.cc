@@ -1,0 +1,78 @@
+#include "util/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace m3 {
+
+PiecewiseCdf::PiecewiseCdf(std::vector<Point> points) : points_(std::move(points)) {
+  if (points_.empty()) {
+    throw std::invalid_argument("PiecewiseCdf requires at least one point");
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) { return a.value < b.value; });
+  double prev = 0.0;
+  for (auto& p : points_) {
+    if (p.value <= 0.0) {
+      throw std::invalid_argument("PiecewiseCdf values must be positive");
+    }
+    p.prob = std::clamp(p.prob, prev, 1.0);
+    prev = p.prob;
+  }
+  points_.back().prob = 1.0;
+}
+
+double PiecewiseCdf::Quantile(double u) const {
+  u = std::clamp(u, 0.0, 1.0);
+  // Before the first breakpoint the CDF rises linearly from (0, 0).
+  if (u <= points_.front().prob) {
+    const double p0 = points_.front().prob;
+    if (p0 <= 0.0) return points_.front().value;
+    return points_.front().value * (u / p0);
+  }
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (u <= points_[i].prob) {
+      const auto& a = points_[i - 1];
+      const auto& b = points_[i];
+      const double span = b.prob - a.prob;
+      if (span <= 0.0) return b.value;
+      const double frac = (u - a.prob) / span;
+      return a.value + frac * (b.value - a.value);
+    }
+  }
+  return points_.back().value;
+}
+
+double PiecewiseCdf::Sample(Rng& rng) const { return Quantile(rng.NextDouble()); }
+
+double PiecewiseCdf::Cdf(double v) const {
+  if (v <= 0.0) return 0.0;
+  if (v <= points_.front().value) {
+    return points_.front().prob * (v / points_.front().value);
+  }
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (v <= points_[i].value) {
+      const auto& a = points_[i - 1];
+      const auto& b = points_[i];
+      const double span = b.value - a.value;
+      if (span <= 0.0) return b.prob;
+      return a.prob + (b.prob - a.prob) * ((v - a.value) / span);
+    }
+  }
+  return 1.0;
+}
+
+double PiecewiseCdf::Mean() const {
+  // Each linear segment of the CDF is a uniform chunk of probability mass;
+  // its contribution to the mean is mass * midpoint.
+  double mean = points_.front().prob * (points_.front().value / 2.0);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const auto& a = points_[i - 1];
+    const auto& b = points_[i];
+    mean += (b.prob - a.prob) * (a.value + b.value) / 2.0;
+  }
+  return mean;
+}
+
+}  // namespace m3

@@ -1,0 +1,46 @@
+// Piecewise-linear empirical CDFs, used for flow-size distributions given as
+// (value, cumulative-probability) breakpoints, as in the published Meta
+// workload data.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace m3 {
+
+/// A piecewise-linear CDF over positive values.
+///
+/// Invariants: points are sorted by value; probabilities are non-decreasing;
+/// the last probability is 1.0.
+class PiecewiseCdf {
+ public:
+  struct Point {
+    double value;
+    double prob;  // P(X <= value)
+  };
+
+  /// Builds from breakpoints; validates and normalizes (sorts by value and
+  /// forces the final probability to 1). Requires at least one point with
+  /// positive value.
+  explicit PiecewiseCdf(std::vector<Point> points);
+
+  /// Inverse-transform sample.
+  double Sample(Rng& rng) const;
+
+  /// Quantile (inverse CDF) at probability u in [0, 1].
+  double Quantile(double u) const;
+
+  /// P(X <= v).
+  double Cdf(double v) const;
+
+  /// Mean of the piecewise-linear distribution (closed form per segment).
+  double Mean() const;
+
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace m3

@@ -1,0 +1,52 @@
+// Minimal parallel-for over an index range. Used to run independent
+// path-level / link-level simulations concurrently (the paper's path
+// simulations are embarrassingly parallel, §3.1).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace m3 {
+
+/// Runs fn(i) for i in [0, n) across up to `num_threads` threads (0 = use
+/// hardware concurrency). Exceptions from workers are captured and the
+/// first one is rethrown on the caller thread.
+inline void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                        unsigned num_threads = 0) {
+  if (n == 0) return;
+  unsigned hw = num_threads ? num_threads : std::thread::hardware_concurrency();
+  hw = std::max(1u, std::min<unsigned>(hw, static_cast<unsigned>(n)));
+  if (hw == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(hw);
+  for (unsigned t = 0; t < hw; ++t) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace m3

@@ -1,0 +1,82 @@
+// Deterministic random number generation.
+//
+// All stochastic components in m3 draw from Pcg32 seeded through SplitMix64,
+// with hand-written inverse-transform / Box-Muller samplers so that a given
+// seed produces identical streams on every platform and standard library.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace m3 {
+
+/// SplitMix64: used to expand user seeds into well-mixed state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t Next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// PCG-XSH-RR 32-bit generator (O'Neill 2014).
+class Rng {
+ public:
+  /// Constructs a generator whose stream is fully determined by `seed`.
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Uniform 32-bit value.
+  std::uint32_t NextU32() noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t NextU64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double NextDouble() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses rejection sampling, so
+  /// the result is unbiased.
+  std::uint64_t NextBounded(std::uint64_t n) noexcept;
+
+  /// Standard normal via Box-Muller (caches the second variate).
+  double Normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev) noexcept;
+
+  /// Exponential with the given mean (inverse transform).
+  double Exponential(double mean) noexcept;
+
+  /// Log-normal parameterized by the underlying normal's mu and sigma.
+  double LogNormal(double mu, double sigma) noexcept;
+
+  /// Pareto with scale xm > 0 and shape alpha > 0.
+  double Pareto(double xm, double alpha) noexcept;
+
+  /// Samples an index in [0, weights.size()) with probability proportional
+  /// to weights[i]. Requires at least one strictly positive weight.
+  std::size_t WeightedIndex(const std::vector<double>& weights) noexcept;
+
+  /// Derives an independent child generator; distinct labels give
+  /// statistically independent streams.
+  Rng Fork(std::uint64_t label) noexcept;
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+  std::uint64_t seed_;  // retained for Fork()
+};
+
+}  // namespace m3

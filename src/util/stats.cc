@@ -1,0 +1,68 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace m3 {
+
+double PercentileOfSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  return PercentileOfSorted(values, p);
+}
+
+std::vector<double> PercentileVector100(std::vector<double> values) {
+  std::vector<double> out;
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  out.reserve(100);
+  for (int p = 1; p <= 100; ++p) {
+    out.push_back(PercentileOfSorted(values, static_cast<double>(p)));
+  }
+  return out;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double m = Mean(values);
+  double s = 0.0;
+  for (double v : values) s += (v - m) * (v - m);
+  return std::sqrt(s / static_cast<double>(values.size() - 1));
+}
+
+double RelativeError(double estimate, double truth) {
+  if (truth == 0.0) return 0.0;
+  return (estimate - truth) / truth;
+}
+
+Summary Summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.mean = Mean(values);
+  s.p50 = PercentileOfSorted(values, 50.0);
+  s.p90 = PercentileOfSorted(values, 90.0);
+  s.p99 = PercentileOfSorted(values, 99.0);
+  s.max = values.back();
+  return s;
+}
+
+}  // namespace m3

@@ -1,0 +1,45 @@
+// Units used throughout m3.
+//
+// Time is integral nanoseconds (Ns). Data sizes are integral bytes. Link
+// rates are carried as double bytes-per-nanosecond internally (1 Gbps ==
+// 0.125 B/ns) so that transmission times divide exactly for common
+// rate/packet-size combinations.
+#pragma once
+
+#include <cstdint>
+
+namespace m3 {
+
+/// Simulation time in nanoseconds.
+using Ns = std::int64_t;
+
+/// Data size in bytes.
+using Bytes = std::int64_t;
+
+/// Link / flow rate in bytes per nanosecond (1 Gbps == 0.125 B/ns).
+using Bpns = double;
+
+constexpr Ns kUs = 1'000;
+constexpr Ns kMs = 1'000'000;
+constexpr Ns kSec = 1'000'000'000;
+
+constexpr Bytes kKB = 1'000;
+constexpr Bytes kMB = 1'000'000;
+
+/// Converts a rate expressed in gigabits per second to bytes per nanosecond.
+constexpr Bpns GbpsToBpns(double gbps) noexcept { return gbps / 8.0; }
+
+/// Converts bytes-per-nanosecond back to gigabits per second.
+constexpr double BpnsToGbps(Bpns r) noexcept { return r * 8.0; }
+
+/// Time to serialize `size` bytes at rate `r`, rounded up to a whole ns.
+constexpr Ns TransmissionTime(Bytes size, Bpns r) noexcept {
+  const double t = static_cast<double>(size) / r;
+  const Ns whole = static_cast<Ns>(t);
+  return (static_cast<double>(whole) < t) ? whole + 1 : whole;
+}
+
+/// Converts nanoseconds to (double) seconds, for reporting.
+constexpr double NsToSec(Ns t) noexcept { return static_cast<double>(t) / 1e9; }
+
+}  // namespace m3

@@ -1,0 +1,79 @@
+#include "workload/arrivals.h"
+
+#include <cmath>
+
+namespace m3 {
+
+std::vector<double> NormalizedLogNormalArrivals(int n, double sigma, Rng& rng,
+                                                double span) {
+  std::vector<double> times(static_cast<std::size_t>(n));
+  double t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    t += rng.LogNormal(0.0, sigma);
+    times[static_cast<std::size_t>(i)] = t;
+  }
+  if (t > 0.0) {
+    const double scale = span / t;
+    for (double& v : times) v *= scale;
+  }
+  return times;
+}
+
+std::vector<Ns> ScaleArrivals(const std::vector<double>& normalized, Ns duration) {
+  std::vector<Ns> out;
+  out.reserve(normalized.size());
+  for (double v : normalized) {
+    out.push_back(static_cast<Ns>(v * static_cast<double>(duration)));
+  }
+  return out;
+}
+
+std::vector<double> NormalizedDiurnalArrivals(int n, double sigma, double depth,
+                                              double cycles, Rng& rng) {
+  // Draw a stationary log-normal gap process, then warp time through the
+  // inverse of the cumulative modulation Lambda(t) = t - (depth/w)*
+  // (cos(w t)-1)/..., approximated numerically: thinning would discard
+  // samples, so instead map each stationary arrival u in [0,1] to the t
+  // where Lambda(t)/Lambda(1) = u, with Lambda'(t) = 1 + depth*sin(w t).
+  std::vector<double> stationary = NormalizedLogNormalArrivals(n, sigma, rng);
+  const double w = 2.0 * M_PI * cycles;
+  auto lambda = [&](double t) {
+    // integral of 1 + depth*sin(w s) ds from 0 to t
+    return t + depth * (1.0 - std::cos(w * t)) / w;
+  };
+  const double total = lambda(1.0);
+  std::vector<double> out;
+  out.reserve(stationary.size());
+  for (double u : stationary) {
+    // Invert lambda by bisection (lambda is strictly increasing for
+    // depth < 1).
+    const double target = u * total;
+    double lo = 0.0, hi = 1.0;
+    for (int it = 0; it < 40; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      (lambda(mid) < target ? lo : hi) = mid;
+    }
+    out.push_back(0.5 * (lo + hi));
+  }
+  // Inversion maps high-rate phases to densely packed arrivals; times stay
+  // sorted because lambda is monotone.
+  return out;
+}
+
+double GapCoefficientOfVariation(const std::vector<Ns>& arrivals) {
+  if (arrivals.size() < 3) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const std::size_t n = arrivals.size() - 1;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    const double gap = static_cast<double>(arrivals[i] - arrivals[i - 1]);
+    sum += gap;
+    sum_sq += gap * gap;
+  }
+  const double mean = sum / static_cast<double>(n);
+  if (mean <= 0.0) return 0.0;
+  const double var = sum_sq / static_cast<double>(n) - mean * mean;
+  return var > 0.0 ? std::sqrt(var) / mean : 0.0;
+}
+
+}  // namespace m3

@@ -1,0 +1,35 @@
+// Flow inter-arrival processes. The paper uses log-normal inter-arrival
+// gaps whose shape parameter sigma sets the burstiness level (sigma = 1 low,
+// sigma = 2 high).
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace m3 {
+
+/// Draws `n` arrival times with log-normal(0, sigma) gaps, normalized so the
+/// last arrival lands at fraction `span` of 1.0 (i.e., returned times are in
+/// [0, span], ready to be scaled to a workload duration).
+std::vector<double> NormalizedLogNormalArrivals(int n, double sigma, Rng& rng,
+                                                double span = 1.0);
+
+/// Scales normalized arrival times (in [0,1]) to nanoseconds over `duration`.
+std::vector<Ns> ScaleArrivals(const std::vector<double>& normalized, Ns duration);
+
+/// Coefficient of variation of the gaps of an arrival-time sequence; a
+/// direct burstiness measure used in tests.
+double GapCoefficientOfVariation(const std::vector<Ns>& arrivals);
+
+/// Non-stationary ("diurnal") arrivals: a log-normal(0, sigma) gap process
+/// whose instantaneous rate is modulated by 1 + depth*sin(2*pi*cycles*t),
+/// t in [0,1]. depth in [0,1); depth=0 degenerates to the stationary
+/// process. Returned times are normalized to [0, 1]. The paper (§2.2)
+/// singles out diurnal patterns as workloads that summary statistics
+/// cannot represent but flowSim featurization can.
+std::vector<double> NormalizedDiurnalArrivals(int n, double sigma, double depth,
+                                              double cycles, Rng& rng);
+
+}  // namespace m3

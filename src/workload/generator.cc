@@ -1,0 +1,98 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "workload/arrivals.h"
+
+namespace m3 {
+
+std::vector<double> LinkLoads(const Topology& topo, const std::vector<Flow>& flows,
+                              Ns duration) {
+  std::vector<double> bytes(topo.num_links(), 0.0);
+  for (const Flow& f : flows) {
+    for (LinkId l : f.path) bytes[static_cast<std::size_t>(l)] += static_cast<double>(f.size);
+  }
+  std::vector<double> loads(topo.num_links(), 0.0);
+  if (duration <= 0) return loads;
+  for (std::size_t l = 0; l < loads.size(); ++l) {
+    const Bpns rate = topo.link(static_cast<LinkId>(l)).rate;
+    loads[l] = bytes[l] / (rate * static_cast<double>(duration));
+  }
+  return loads;
+}
+
+GeneratedWorkload GenerateWorkload(const FatTree& ft, const TrafficMatrix& tm,
+                                   const SizeDist& sizes, const WorkloadSpec& spec) {
+  if (spec.num_flows <= 0) throw std::invalid_argument("num_flows must be positive");
+  if (spec.max_load <= 0.0 || spec.max_load >= 1.0) {
+    throw std::invalid_argument("max_load must be in (0, 1)");
+  }
+  if (tm.num_racks() != ft.num_racks()) {
+    throw std::invalid_argument("traffic matrix size does not match topology");
+  }
+
+  Rng rng(spec.seed);
+  Rng size_rng = rng.Fork(1);
+  Rng pair_rng = rng.Fork(2);
+  Rng host_rng = rng.Fork(3);
+  Rng arrival_rng = rng.Fork(4);
+
+  const int hosts_per_rack = ft.config().hosts_per_rack;
+  std::vector<Flow> flows;
+  flows.reserve(static_cast<std::size_t>(spec.num_flows));
+  for (int i = 0; i < spec.num_flows; ++i) {
+    const auto [src_rack, dst_rack] = tm.SamplePair(pair_rng);
+    const int src_host = src_rack * hosts_per_rack +
+                         static_cast<int>(host_rng.NextBounded(static_cast<std::uint64_t>(hosts_per_rack)));
+    const int dst_host = dst_rack * hosts_per_rack +
+                         static_cast<int>(host_rng.NextBounded(static_cast<std::uint64_t>(hosts_per_rack)));
+    Flow f;
+    f.id = static_cast<FlowId>(i);
+    f.src = ft.host(src_host);
+    f.dst = ft.host(dst_host);
+    f.size = sizes.Sample(size_rng);
+    f.path = ft.RouteBetween(src_host, dst_host,
+                             spec.seed ^ (static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL));
+    flows.push_back(std::move(f));
+  }
+
+  // Duration so the busiest link sits exactly at max_load: the per-link byte
+  // totals are fixed by the draw above, so T = max_l(bytes_l / rate_l) / load.
+  const Topology& topo = ft.topo();
+  std::vector<double> link_bytes(topo.num_links(), 0.0);
+  for (const Flow& f : flows) {
+    for (LinkId l : f.path) link_bytes[static_cast<std::size_t>(l)] += static_cast<double>(f.size);
+  }
+  double max_drain_time = 0.0;
+  LinkId busiest = kInvalidLink;
+  for (std::size_t l = 0; l < link_bytes.size(); ++l) {
+    const double t = link_bytes[l] / topo.link(static_cast<LinkId>(l)).rate;
+    if (t > max_drain_time) {
+      max_drain_time = t;
+      busiest = static_cast<LinkId>(l);
+    }
+  }
+  const Ns duration = static_cast<Ns>(max_drain_time / spec.max_load) + 1;
+
+  const std::vector<double> normalized =
+      NormalizedLogNormalArrivals(spec.num_flows, spec.burstiness_sigma, arrival_rng);
+  const std::vector<Ns> arrivals = ScaleArrivals(normalized, duration);
+  for (int i = 0; i < spec.num_flows; ++i) {
+    flows[static_cast<std::size_t>(i)].arrival = arrivals[static_cast<std::size_t>(i)];
+  }
+  std::sort(flows.begin(), flows.end(),
+            [](const Flow& a, const Flow& b) { return a.arrival < b.arrival; });
+  // Re-id in arrival order so downstream indexing by FlowId is stable.
+  for (std::size_t i = 0; i < flows.size(); ++i) flows[i].id = static_cast<FlowId>(i);
+
+  GeneratedWorkload out;
+  out.flows = std::move(flows);
+  out.duration = duration;
+  out.busiest_link = busiest;
+  const std::vector<double> loads = LinkLoads(topo, out.flows, duration);
+  out.realized_max_load = loads.empty() ? 0.0 : *std::max_element(loads.begin(), loads.end());
+  return out;
+}
+
+}  // namespace m3

@@ -1,0 +1,42 @@
+// Network-wide workload generation: draws flows from a traffic matrix and a
+// size distribution, routes them with ECMP, and scales arrival times so the
+// busiest link reaches a target maximum utilization ("max load", Tables 2-3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/fat_tree.h"
+#include "workload/flow.h"
+#include "workload/size_dist.h"
+#include "workload/traffic_matrix.h"
+
+namespace m3 {
+
+struct WorkloadSpec {
+  int num_flows = 10000;
+  double burstiness_sigma = 1.0;  // log-normal inter-arrival shape
+  double max_load = 0.5;          // target peak link utilization in (0, 1)
+  std::uint64_t seed = 1;
+};
+
+struct GeneratedWorkload {
+  std::vector<Flow> flows;   // sorted by arrival time
+  Ns duration = 0;           // arrival-time horizon used for load scaling
+  double realized_max_load = 0.0;
+  LinkId busiest_link = kInvalidLink;
+};
+
+/// Generates `spec.num_flows` flows on the fat tree: rack pair from `tm`,
+/// hosts uniform within racks, size from `sizes`, ECMP route keyed by flow
+/// id, log-normal arrivals scaled to hit `spec.max_load` on the busiest
+/// link.
+GeneratedWorkload GenerateWorkload(const FatTree& ft, const TrafficMatrix& tm,
+                                   const SizeDist& sizes, const WorkloadSpec& spec);
+
+/// Per-link offered load (bytes carried / capacity / duration) of a flow
+/// set; used for load verification and by the generator itself.
+std::vector<double> LinkLoads(const Topology& topo, const std::vector<Flow>& flows,
+                              Ns duration);
+
+}  // namespace m3

@@ -1,0 +1,162 @@
+#include "workload/size_dist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace m3 {
+namespace {
+
+Bytes ClampSize(double v) {
+  return static_cast<Bytes>(std::max(1.0, std::round(v)));
+}
+
+class EmpiricalDist final : public SizeDist {
+ public:
+  EmpiricalDist(std::string name, std::vector<PiecewiseCdf::Point> points)
+      : name_(std::move(name)), cdf_(std::move(points)), mean_(cdf_.Mean()) {}
+
+  Bytes Sample(Rng& rng) const override { return ClampSize(cdf_.Sample(rng)); }
+  double Mean() const override { return mean_; }
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  PiecewiseCdf cdf_;
+  double mean_;
+};
+
+class ParetoDist final : public SizeDist {
+ public:
+  explicit ParetoDist(double theta)
+      : name_("Pareto"), alpha_(2.0), xm_(theta * (alpha_ - 1.0) / alpha_), mean_(theta) {}
+
+  Bytes Sample(Rng& rng) const override { return ClampSize(rng.Pareto(xm_, alpha_)); }
+  double Mean() const override { return mean_; }
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  double alpha_;
+  double xm_;
+  double mean_;
+};
+
+class ExpDist final : public SizeDist {
+ public:
+  explicit ExpDist(double theta) : name_("Exp"), mean_(theta) {}
+
+  Bytes Sample(Rng& rng) const override { return ClampSize(rng.Exponential(mean_)); }
+  double Mean() const override { return mean_; }
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  double mean_;
+};
+
+class GaussianDist final : public SizeDist {
+ public:
+  explicit GaussianDist(double theta) : name_("Gaussian"), mean_(theta), stddev_(theta / 2.0) {}
+
+  Bytes Sample(Rng& rng) const override {
+    // Truncate below at 100B; the truncation shifts the mean only slightly
+    // for the theta range we use (5k-50k).
+    return ClampSize(std::max(100.0, rng.Normal(mean_, stddev_)));
+  }
+  double Mean() const override { return mean_; }
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  double mean_;
+  double stddev_;
+};
+
+class LogNormalDist final : public SizeDist {
+ public:
+  explicit LogNormalDist(double theta) : name_("LogNormal") {
+    // sigma of the underlying normal fixed at 1; mu set so E[X] = theta.
+    sigma_ = 1.0;
+    mu_ = std::log(theta) - sigma_ * sigma_ / 2.0;
+    mean_ = theta;
+  }
+
+  Bytes Sample(Rng& rng) const override { return ClampSize(rng.LogNormal(mu_, sigma_)); }
+  double Mean() const override { return mean_; }
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  double mu_;
+  double sigma_;
+  double mean_;
+};
+
+}  // namespace
+
+std::unique_ptr<SizeDist> MakeCacheFollower() {
+  // Bimodal: many sub-KB cache lookups plus a heavy tail of large responses.
+  return std::make_unique<EmpiricalDist>(
+      "CacheFollower",
+      std::vector<PiecewiseCdf::Point>{
+          {70, 0.08}, {200, 0.25}, {350, 0.40}, {500, 0.50}, {1000, 0.61},
+          {2000, 0.68}, {5000, 0.76}, {10000, 0.82}, {50000, 0.90},
+          {200000, 0.95}, {1000000, 0.99}, {10000000, 1.0}});
+}
+
+std::unique_ptr<SizeDist> MakeWebServer() {
+  // Dominated by small request/response flows.
+  return std::make_unique<EmpiricalDist>(
+      "WebServer",
+      std::vector<PiecewiseCdf::Point>{
+          {100, 0.04}, {200, 0.15}, {300, 0.30}, {500, 0.47}, {1000, 0.63},
+          {2000, 0.75}, {5000, 0.88}, {10000, 0.93}, {30000, 0.97},
+          {100000, 0.99}, {1000000, 0.999}, {5000000, 1.0}});
+}
+
+std::unique_ptr<SizeDist> MakeHadoop() {
+  // Shuffle-style traffic: more mass in the medium/large range.
+  return std::make_unique<EmpiricalDist>(
+      "Hadoop",
+      std::vector<PiecewiseCdf::Point>{
+          {150, 0.10}, {300, 0.26}, {500, 0.40}, {1000, 0.55}, {2000, 0.65},
+          {10000, 0.78}, {100000, 0.90}, {1000000, 0.97}, {10000000, 1.0}});
+}
+
+std::unique_ptr<SizeDist> MakeProductionDist(const std::string& name) {
+  if (name == "CacheFollower") return MakeCacheFollower();
+  if (name == "WebServer") return MakeWebServer();
+  if (name == "Hadoop") return MakeHadoop();
+  throw std::invalid_argument("unknown production workload: " + name);
+}
+
+std::unique_ptr<SizeDist> MakePareto(double theta) {
+  return std::make_unique<ParetoDist>(theta);
+}
+std::unique_ptr<SizeDist> MakeExponentialSize(double theta) {
+  return std::make_unique<ExpDist>(theta);
+}
+std::unique_ptr<SizeDist> MakeGaussianSize(double theta) {
+  return std::make_unique<GaussianDist>(theta);
+}
+std::unique_ptr<SizeDist> MakeLogNormalSize(double theta) {
+  return std::make_unique<LogNormalDist>(theta);
+}
+
+std::unique_ptr<SizeDist> MakeParametric(ParametricFamily family, double theta) {
+  switch (family) {
+    case ParametricFamily::kPareto:
+      return MakePareto(theta);
+    case ParametricFamily::kExponential:
+      return MakeExponentialSize(theta);
+    case ParametricFamily::kGaussian:
+      return MakeGaussianSize(theta);
+    case ParametricFamily::kLogNormal:
+      return MakeLogNormalSize(theta);
+  }
+  throw std::invalid_argument("unknown parametric family");
+}
+
+}  // namespace m3

@@ -1,0 +1,52 @@
+// Flow-size distributions.
+//
+// Empirical distributions model the published Meta workloads
+// (CacheFollower, WebServer, Hadoop) as piecewise-linear CDFs; parametric
+// families (Pareto, Exponential, Gaussian, Log-normal) with a continuous
+// size parameter theta are used for the synthetic training set (Table 2).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/cdf.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace m3 {
+
+class SizeDist {
+ public:
+  virtual ~SizeDist() = default;
+
+  /// Draws one flow size in bytes (always >= 1).
+  virtual Bytes Sample(Rng& rng) const = 0;
+
+  /// Mean flow size in bytes.
+  virtual double Mean() const = 0;
+
+  virtual const std::string& name() const = 0;
+};
+
+/// The paper's three production workloads (Fig. 18(b)); shapes encode the
+/// published heavy-tailed characteristics (see DESIGN.md substitutions).
+std::unique_ptr<SizeDist> MakeCacheFollower();
+std::unique_ptr<SizeDist> MakeWebServer();
+std::unique_ptr<SizeDist> MakeHadoop();
+
+/// Named lookup over the production workloads; throws on unknown name.
+std::unique_ptr<SizeDist> MakeProductionDist(const std::string& name);
+
+/// Parametric families used for the synthetic training set (Table 2). The
+/// `theta` parameter is the target mean size in bytes (5k "small" to 50k
+/// "large" in the paper).
+std::unique_ptr<SizeDist> MakePareto(double theta);
+std::unique_ptr<SizeDist> MakeExponentialSize(double theta);
+std::unique_ptr<SizeDist> MakeGaussianSize(double theta);
+std::unique_ptr<SizeDist> MakeLogNormalSize(double theta);
+
+enum class ParametricFamily { kPareto, kExponential, kGaussian, kLogNormal };
+
+std::unique_ptr<SizeDist> MakeParametric(ParametricFamily family, double theta);
+
+}  // namespace m3

@@ -1,0 +1,79 @@
+#include "workload/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace m3 {
+namespace {
+
+constexpr const char* kHeader = "m3-trace v1";
+
+}  // namespace
+
+void SaveTrace(const std::string& path, const FatTree& ft, const std::vector<Flow>& flows) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw std::runtime_error("SaveTrace: cannot open " + path);
+  os << kHeader << "\n";
+  os << "# id src_host dst_host size_bytes arrival_ns priority\n";
+  for (const Flow& f : flows) {
+    const int src = ft.HostIndexOf(f.src);
+    const int dst = ft.HostIndexOf(f.dst);
+    if (src < 0 || dst < 0) {
+      throw std::runtime_error("SaveTrace: flow " + std::to_string(f.id) +
+                               " does not terminate at hosts of this topology");
+    }
+    os << f.id << ' ' << src << ' ' << dst << ' ' << f.size << ' ' << f.arrival << ' '
+       << static_cast<int>(f.priority) << "\n";
+  }
+  if (!os) throw std::runtime_error("SaveTrace: write failed for " + path);
+}
+
+std::vector<Flow> LoadTrace(const std::string& path, const FatTree& ft) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("LoadTrace: cannot open " + path);
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    throw std::runtime_error("LoadTrace: bad header in " + path);
+  }
+  std::vector<Flow> flows;
+  int lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    long long id = 0, src = 0, dst = 0, size = 0, arrival = 0;
+    if (!(ls >> id >> src >> dst >> size >> arrival)) {
+      // Blank or comment-only line.
+      bool only_space = true;
+      for (char c : line) only_space &= (c == ' ' || c == '\t' || c == '\r');
+      if (only_space) continue;
+      throw std::runtime_error("LoadTrace: parse error at " + path + ":" +
+                               std::to_string(lineno));
+    }
+    int priority = 0;
+    ls >> priority;  // optional
+    if (src < 0 || src >= ft.num_hosts() || dst < 0 || dst >= ft.num_hosts() || src == dst) {
+      throw std::runtime_error("LoadTrace: bad hosts at " + path + ":" +
+                               std::to_string(lineno));
+    }
+    if (size <= 0 || arrival < 0) {
+      throw std::runtime_error("LoadTrace: bad size/arrival at " + path + ":" +
+                               std::to_string(lineno));
+    }
+    Flow f;
+    f.id = static_cast<FlowId>(id);
+    f.src = ft.host(static_cast<int>(src));
+    f.dst = ft.host(static_cast<int>(dst));
+    f.size = size;
+    f.arrival = arrival;
+    f.priority = static_cast<std::uint8_t>(priority);
+    f.path = ft.RouteBetween(static_cast<int>(src), static_cast<int>(dst),
+                             static_cast<std::uint64_t>(id));
+    flows.push_back(std::move(f));
+  }
+  return flows;
+}
+
+}  // namespace m3

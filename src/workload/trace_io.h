@@ -1,0 +1,30 @@
+// Flow-trace import/export: a plain-text interchange format so users can
+// bring production traces to the estimator or archive generated workloads.
+//
+// Format (whitespace-separated, '#' comments):
+//   m3-trace v1
+//   <id> <src_host> <dst_host> <size_bytes> <arrival_ns> [priority]
+//
+// Hosts are fat-tree host indices (0..num_hosts-1). Routes are re-derived
+// on load via ECMP keyed by flow id, matching the generator's convention;
+// the exact spine choice may differ from the original run, but the route
+// distribution is identical.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/fat_tree.h"
+#include "workload/flow.h"
+
+namespace m3 {
+
+/// Writes `flows` (which must reference hosts of `ft`) to `path`.
+/// Throws std::runtime_error on I/O failure or foreign endpoints.
+void SaveTrace(const std::string& path, const FatTree& ft, const std::vector<Flow>& flows);
+
+/// Reads a trace and materializes flows on `ft` (routes re-derived).
+/// Throws std::runtime_error on parse errors or out-of-range hosts.
+std::vector<Flow> LoadTrace(const std::string& path, const FatTree& ft);
+
+}  // namespace m3

@@ -1,0 +1,118 @@
+#include "workload/traffic_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace m3 {
+
+TrafficMatrix::TrafficMatrix(std::string name, std::vector<std::vector<double>> weights)
+    : name_(std::move(name)), weights_(std::move(weights)) {
+  const std::size_t n = weights_.size();
+  if (n == 0) throw std::invalid_argument("TrafficMatrix: empty matrix");
+  for (std::size_t i = 0; i < n; ++i) {
+    if (weights_[i].size() != n) {
+      throw std::invalid_argument("TrafficMatrix: matrix must be square");
+    }
+    weights_[i][i] = 0.0;
+    for (double w : weights_[i]) {
+      if (w < 0.0) throw std::invalid_argument("TrafficMatrix: negative weight");
+    }
+  }
+  cumulative_.reserve(n * n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      sum += weights_[i][j];
+      cumulative_.push_back(sum);
+    }
+  }
+  if (sum <= 0.0) throw std::invalid_argument("TrafficMatrix: all-zero matrix");
+}
+
+std::pair<int, int> TrafficMatrix::SamplePair(Rng& rng) const {
+  const double total = cumulative_.back();
+  const double target = rng.NextDouble() * total;
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), target);
+  std::size_t idx = static_cast<std::size_t>(it - cumulative_.begin());
+  if (idx >= cumulative_.size()) idx = cumulative_.size() - 1;
+  const int n = num_racks();
+  return {static_cast<int>(idx) / n, static_cast<int>(idx) % n};
+}
+
+double TrafficMatrix::Top1PercentShare() const {
+  std::vector<double> flat;
+  flat.reserve(weights_.size() * weights_.size());
+  double total = 0.0;
+  for (const auto& row : weights_) {
+    for (double w : row) {
+      flat.push_back(w);
+      total += w;
+    }
+  }
+  std::sort(flat.begin(), flat.end(), std::greater<>());
+  const std::size_t top = std::max<std::size_t>(1, flat.size() / 100);
+  double top_sum = 0.0;
+  for (std::size_t i = 0; i < top; ++i) top_sum += flat[i];
+  return total > 0.0 ? top_sum / total : 0.0;
+}
+
+TrafficMatrix TrafficMatrix::MatrixA(int num_racks, int racks_per_pod, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> w(static_cast<std::size_t>(num_racks),
+                                     std::vector<double>(static_cast<std::size_t>(num_racks)));
+  // A few "hot" racks amplify whole rows/columns, on top of 4x intra-pod
+  // locality.
+  std::vector<double> rack_heat(static_cast<std::size_t>(num_racks));
+  for (auto& h : rack_heat) h = (rng.NextDouble() < 0.15) ? 3.0 : 1.0;
+  for (int i = 0; i < num_racks; ++i) {
+    for (int j = 0; j < num_racks; ++j) {
+      if (i == j) continue;
+      const bool same_pod = (i / racks_per_pod) == (j / racks_per_pod);
+      const double locality = same_pod ? 4.0 : 1.0;
+      w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          locality * rack_heat[static_cast<std::size_t>(i)] *
+          rack_heat[static_cast<std::size_t>(j)] * rng.Uniform(0.5, 1.5);
+    }
+  }
+  return TrafficMatrix("A", std::move(w));
+}
+
+TrafficMatrix TrafficMatrix::MatrixB(int num_racks, int racks_per_pod, std::uint64_t seed) {
+  (void)racks_per_pod;
+  Rng rng(seed);
+  std::vector<std::vector<double>> w(static_cast<std::size_t>(num_racks),
+                                     std::vector<double>(static_cast<std::size_t>(num_racks)));
+  for (int i = 0; i < num_racks; ++i) {
+    for (int j = 0; j < num_racks; ++j) {
+      if (i == j) continue;
+      w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = rng.Uniform(0.8, 1.2);
+    }
+  }
+  return TrafficMatrix("B", std::move(w));
+}
+
+TrafficMatrix TrafficMatrix::MatrixC(int num_racks, int racks_per_pod, std::uint64_t seed) {
+  (void)racks_per_pod;
+  Rng rng(seed);
+  std::vector<std::vector<double>> w(static_cast<std::size_t>(num_racks),
+                                     std::vector<double>(static_cast<std::size_t>(num_racks)));
+  for (int i = 0; i < num_racks; ++i) {
+    for (int j = 0; j < num_racks; ++j) {
+      if (i == j) continue;
+      // Pareto(alpha=1.1) pair weights: a few rack pairs dominate.
+      w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = rng.Pareto(1.0, 1.1);
+    }
+  }
+  return TrafficMatrix("C", std::move(w));
+}
+
+TrafficMatrix TrafficMatrix::ByName(const std::string& name, int num_racks,
+                                    int racks_per_pod) {
+  if (name == "A") return MatrixA(num_racks, racks_per_pod);
+  if (name == "B") return MatrixB(num_racks, racks_per_pod);
+  if (name == "C") return MatrixC(num_racks, racks_per_pod);
+  throw std::invalid_argument("unknown traffic matrix: " + name);
+}
+
+}  // namespace m3

@@ -1,0 +1,53 @@
+// Rack-to-rack traffic matrices modeled after the paper's matrices A, B, C
+// (Fig. 18(a)): A is pod-locality-heavy, B is near-uniform, and C is highly
+// skewed with a few hot rack pairs. All are generated deterministically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace m3 {
+
+class TrafficMatrix {
+ public:
+  /// Builds from an explicit weight matrix (row = source rack). Diagonal
+  /// entries are forced to zero (traffic is rack-to-rack).
+  TrafficMatrix(std::string name, std::vector<std::vector<double>> weights);
+
+  /// Matrix A: strong intra-pod locality plus moderate hotspots.
+  static TrafficMatrix MatrixA(int num_racks, int racks_per_pod,
+                               std::uint64_t seed = 0xA);
+  /// Matrix B: near-uniform all-to-all.
+  static TrafficMatrix MatrixB(int num_racks, int racks_per_pod,
+                               std::uint64_t seed = 0xB);
+  /// Matrix C: heavy-tailed pair weights; the most skewed of the three.
+  static TrafficMatrix MatrixC(int num_racks, int racks_per_pod,
+                               std::uint64_t seed = 0xC);
+
+  static TrafficMatrix ByName(const std::string& name, int num_racks,
+                              int racks_per_pod);
+
+  int num_racks() const { return static_cast<int>(weights_.size()); }
+  const std::string& name() const { return name_; }
+  double weight(int src_rack, int dst_rack) const {
+    return weights_[static_cast<std::size_t>(src_rack)][static_cast<std::size_t>(dst_rack)];
+  }
+
+  /// Samples a (src_rack, dst_rack) pair with probability proportional to
+  /// weight. O(log N^2) via a precomputed cumulative table.
+  std::pair<int, int> SamplePair(Rng& rng) const;
+
+  /// Skew diagnostic: fraction of total weight carried by the top 1% of
+  /// rack pairs. Higher means more skewed (C > A > B).
+  double Top1PercentShare() const;
+
+ private:
+  std::string name_;
+  std::vector<std::vector<double>> weights_;
+  std::vector<double> cumulative_;  // flattened prefix sums for sampling
+};
+
+}  // namespace m3

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pktsim/config.h"
+
+namespace m3 {
+namespace {
+
+TEST(NetConfig, SampleStaysInsideTable4Ranges) {
+  Rng rng(1);
+  std::set<CcType> seen_cc;
+  for (int i = 0; i < 500; ++i) {
+    const NetConfig c = NetConfig::Sample(rng);
+    seen_cc.insert(c.cc);
+    EXPECT_GE(c.init_window, 5 * kKB);
+    EXPECT_LE(c.init_window, 30 * kKB);
+    EXPECT_GE(c.buffer, 200 * kKB);
+    EXPECT_LE(c.buffer, 500 * kKB);
+    EXPECT_GE(c.dctcp_k, 5 * kKB);
+    EXPECT_LE(c.dctcp_k, 20 * kKB);
+    EXPECT_GE(c.dcqcn_kmin, 20 * kKB);
+    EXPECT_LE(c.dcqcn_kmin, 50 * kKB);
+    EXPECT_GE(c.dcqcn_kmax, 50 * kKB);
+    EXPECT_LE(c.dcqcn_kmax, 100 * kKB);
+    EXPECT_LT(c.dcqcn_kmin, c.dcqcn_kmax);
+    EXPECT_GE(c.hpcc_eta, 0.70);
+    EXPECT_LE(c.hpcc_eta, 0.95);
+    EXPECT_GE(c.hpcc_rate_ai_gbps, 0.5);
+    EXPECT_LE(c.hpcc_rate_ai_gbps, 1.0);
+    EXPECT_GE(c.timely_tlow, 40 * kUs);
+    EXPECT_LE(c.timely_tlow, 60 * kUs);
+    EXPECT_GE(c.timely_thigh, 100 * kUs);
+    EXPECT_LE(c.timely_thigh, 150 * kUs);
+  }
+  EXPECT_EQ(seen_cc.size(), 4u);  // all protocols drawn
+}
+
+TEST(NetConfig, NameRoundTrip) {
+  for (CcType cc : {CcType::kDctcp, CcType::kTimely, CcType::kDcqcn, CcType::kHpcc}) {
+    EXPECT_EQ(CcFromName(CcName(cc)), cc);
+  }
+  EXPECT_THROW(CcFromName("TCP"), std::invalid_argument);
+}
+
+TEST(NetConfig, ToStringMentionsProtocolSpecifics) {
+  NetConfig c;
+  c.cc = CcType::kHpcc;
+  c.hpcc_eta = 0.85;
+  const std::string s = c.ToString();
+  EXPECT_NE(s.find("HPCC"), std::string::npos);
+  EXPECT_NE(s.find("eta"), std::string::npos);
+  c.cc = CcType::kDctcp;
+  EXPECT_NE(c.ToString().find("K="), std::string::npos);
+}
+
+TEST(NetConfig, SampleIsDeterministicPerRngState) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 20; ++i) {
+    const NetConfig ca = NetConfig::Sample(a);
+    const NetConfig cb = NetConfig::Sample(b);
+    EXPECT_EQ(ca.cc, cb.cc);
+    EXPECT_EQ(ca.init_window, cb.init_window);
+    EXPECT_EQ(ca.seed, cb.seed);
+  }
+}
+
+}  // namespace
+}  // namespace m3

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "flowsim/flowsim.h"
+#include "topo/parking_lot.h"
+#include "util/rng.h"
+
+namespace m3 {
+namespace {
+
+constexpr double kEff = 1000.0 / 1048.0;  // goodput factor for mtu=1000, hdr=48
+
+// Single host pair on a single link.
+struct SingleLink {
+  Topology topo;
+  NodeId a, b;
+  LinkId ab;
+
+  explicit SingleLink(double gbps = 10.0, Ns delay = 1000) {
+    a = topo.AddNode(NodeKind::kHost);
+    b = topo.AddNode(NodeKind::kHost);
+    ab = topo.AddLink(a, b, GbpsToBpns(gbps), delay);
+    topo.AddLink(b, a, GbpsToBpns(gbps), delay);
+  }
+
+  Flow MakeFlow(FlowId id, Bytes size, Ns arrival) const {
+    Flow f;
+    f.id = id;
+    f.src = a;
+    f.dst = b;
+    f.size = size;
+    f.arrival = arrival;
+    f.path = {ab};
+    return f;
+  }
+};
+
+TEST(FlowSim, UnloadedFlowHasSlowdownExactlyOne) {
+  SingleLink net;
+  const auto res = RunFlowSim(net.topo, {net.MakeFlow(0, 100000, 0)});
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_NEAR(res[0].slowdown, 1.0, 1e-6);
+  EXPECT_EQ(res[0].fct, res[0].ideal_fct);
+}
+
+TEST(FlowSim, TwoSimultaneousFlowsShareFairly) {
+  SingleLink net;
+  const Bytes size = 1 * kMB;
+  const auto res = RunFlowSim(net.topo, {net.MakeFlow(0, size, 0), net.MakeFlow(1, size, 0)});
+  // Both flows get half rate the whole time: slowdown ~= 2.
+  EXPECT_NEAR(res[0].slowdown, 2.0, 0.01);
+  EXPECT_NEAR(res[1].slowdown, 2.0, 0.01);
+}
+
+TEST(FlowSim, ShortFlowUnaffectedAfterLongFlowCompletes) {
+  SingleLink net;
+  // Long flow finishes at ~ 1MB / eff-rate; short flow arrives well after.
+  const Ns long_done = static_cast<Ns>(1e6 / (GbpsToBpns(10.0) * kEff));
+  const auto res = RunFlowSim(
+      net.topo, {net.MakeFlow(0, 1 * kMB, 0), net.MakeFlow(1, 10000, long_done + kMs)});
+  EXPECT_NEAR(res[1].slowdown, 1.0, 1e-6);
+}
+
+TEST(FlowSim, SequentialSharingIsPartial) {
+  SingleLink net;
+  // Flow 1 arrives when flow 0 is half done: flow 0's slowdown is 1.5-ish.
+  const Bytes size = 1 * kMB;
+  const double rate = GbpsToBpns(10.0) * kEff;
+  const Ns half = static_cast<Ns>(static_cast<double>(size) / rate / 2.0);
+  const auto res = RunFlowSim(net.topo, {net.MakeFlow(0, size, 0), net.MakeFlow(1, size, half)});
+  EXPECT_GT(res[0].slowdown, 1.3);
+  EXPECT_LT(res[0].slowdown, 1.7);
+  // Flow 1 shares for a while then runs alone.
+  EXPECT_GT(res[1].slowdown, 1.2);
+  EXPECT_LT(res[1].slowdown, 1.8);
+}
+
+TEST(FlowSim, ParkingLotMaxMinAllocation) {
+  // Classic parking lot: one long flow over both links, one local flow per
+  // link. Max-min gives every flow half of each 10G link.
+  ParkingLot pl(2, GbpsToBpns(10), 1000);
+  const NodeId src_long = pl.AttachHost(0, GbpsToBpns(40), 1);
+  const NodeId dst_long = pl.AttachHost(2, GbpsToBpns(40), 2);
+  const NodeId src_a = pl.AttachHost(0, GbpsToBpns(40), 3);
+  const NodeId dst_a = pl.AttachHost(1, GbpsToBpns(40), 4);
+  const NodeId src_b = pl.AttachHost(1, GbpsToBpns(40), 5);
+  const NodeId dst_b = pl.AttachHost(2, GbpsToBpns(40), 6);
+
+  const Bytes size = 4 * kMB;
+  Flow f0{0, src_long, dst_long, size, 0, pl.RouteBetween(src_long, 0, dst_long, 2)};
+  Flow f1{1, src_a, dst_a, size, 0, pl.RouteBetween(src_a, 0, dst_a, 1)};
+  Flow f2{2, src_b, dst_b, size, 0, pl.RouteBetween(src_b, 1, dst_b, 2)};
+  const auto res = RunFlowSim(pl.topo(), {f0, f1, f2});
+
+  // All three see ~5G bottleneck (half of a 10G link) while sharing; local
+  // flows then finish together and the long flow ends at the same time, so
+  // all slowdowns ~= 2 relative to a 10G ideal.
+  for (const auto& r : res) EXPECT_NEAR(r.slowdown, 2.0, 0.05);
+}
+
+TEST(FlowSim, BottleneckIsRespectedOnHeterogeneousPath) {
+  // 40G access into a 10G path link: a single flow is limited by 10G.
+  ParkingLot pl(1, GbpsToBpns(10), 1000);
+  const NodeId a = pl.AttachHost(0, GbpsToBpns(40), 1);
+  const NodeId b = pl.AttachHost(1, GbpsToBpns(40), 2);
+  Flow f{0, a, b, 1 * kMB, 0, pl.RouteBetween(a, 0, b, 1)};
+  const auto res = RunFlowSim(pl.topo(), {f});
+  EXPECT_NEAR(res[0].slowdown, 1.0, 1e-6);
+  const double goodput = static_cast<double>(f.size) / static_cast<double>(res[0].fct);
+  EXPECT_NEAR(goodput / (GbpsToBpns(10.0) * kEff), 1.0, 0.02);
+}
+
+TEST(FlowSim, ManyFlowsNPlusOneSlowdown) {
+  // n simultaneous equal flows on one link each see slowdown ~= n.
+  for (int n : {4, 8, 16}) {
+    SingleLink net;
+    std::vector<Flow> flows;
+    for (int i = 0; i < n; ++i) flows.push_back(net.MakeFlow(i, 500000, 0));
+    const auto res = RunFlowSim(net.topo, flows);
+    for (const auto& r : res) EXPECT_NEAR(r.slowdown, static_cast<double>(n), 0.05 * n);
+  }
+}
+
+TEST(FlowSim, ConservationOfWork) {
+  // Total bytes / makespan cannot exceed effective link capacity, and with
+  // a backlogged link should be close to it.
+  SingleLink net;
+  std::vector<Flow> flows;
+  Rng rng(5);
+  Bytes total = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Bytes size = 1000 + static_cast<Bytes>(rng.NextBounded(100000));
+    flows.push_back(net.MakeFlow(i, size, static_cast<Ns>(rng.NextBounded(100 * kUs))));
+    total += size;
+  }
+  const auto res = RunFlowSim(net.topo, flows);
+  Ns makespan = 0;
+  for (std::size_t i = 0; i < res.size(); ++i) {
+    makespan = std::max(makespan, flows[i].arrival + res[i].fct);
+  }
+  const double throughput = static_cast<double>(total) / static_cast<double>(makespan);
+  const double cap = GbpsToBpns(10.0) * kEff;
+  EXPECT_LE(throughput, cap * 1.001);
+  EXPECT_GT(throughput, cap * 0.85);  // heavily backlogged
+}
+
+TEST(FlowSim, SlowdownNeverBelowOne) {
+  SingleLink net;
+  std::vector<Flow> flows;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    flows.push_back(net.MakeFlow(i, 100 + static_cast<Bytes>(rng.NextBounded(50000)),
+                                 static_cast<Ns>(rng.NextBounded(kMs))));
+  }
+  for (const auto& r : RunFlowSim(net.topo, flows)) {
+    EXPECT_GE(r.slowdown, 1.0 - 1e-9);
+  }
+}
+
+TEST(FlowSim, ResultsAlignWithInputOrder) {
+  SingleLink net;
+  // Arrivals deliberately out of input order.
+  std::vector<Flow> flows{net.MakeFlow(0, 5000, 2 * kMs), net.MakeFlow(1, 5000, 0)};
+  const auto res = RunFlowSim(net.topo, flows);
+  EXPECT_EQ(res[0].id, 0);
+  EXPECT_EQ(res[1].id, 1);
+  EXPECT_EQ(res[0].size, 5000);
+}
+
+TEST(FlowSim, RejectsFlowsWithoutPath) {
+  SingleLink net;
+  Flow f = net.MakeFlow(0, 1000, 0);
+  f.path.clear();
+  EXPECT_THROW(RunFlowSim(net.topo, {f}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace m3

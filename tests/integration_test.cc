@@ -1,0 +1,241 @@
+// Cross-module integration and property tests: consistency between the two
+// simulators, end-to-end estimator properties, and failure injection.
+#include <gtest/gtest.h>
+
+#include "core/estimator.h"
+#include "pathdecomp/sampling.h"
+#include "core/scenario.h"
+#include "flowsim/flowsim.h"
+#include "pktsim/simulator.h"
+#include "topo/fat_tree.h"
+#include "util/stats.h"
+#include "workload/generator.h"
+#include "workload/size_dist.h"
+
+namespace m3 {
+namespace {
+
+// -------------------------------------------- simulator cross-validation ---
+
+TEST(CrossSim, LongFlowFctsAgreeBetweenFluidAndPacket) {
+  // For long flows under light load, max-min sharing is a good model of
+  // DCTCP: the two simulators should produce similar FCTs (this is the
+  // premise of Fig. 6(d)).
+  SyntheticSpec spec;
+  spec.num_links = 2;
+  spec.family = ParametricFamily::kExponential;
+  spec.theta = 300000.0;  // long flows
+  spec.sigma = 1.0;
+  spec.max_load = 0.4;
+  spec.num_fg = 60;
+  spec.bg_ratio = 0.5;
+  spec.seed = 5;
+  const PathScenario sc = BuildSyntheticScenario(spec);
+
+  const auto fluid = RunPathFlowSim(sc);
+  NetConfig cfg;
+  const auto pkt = RunPathPktSim(sc, cfg);
+
+  std::vector<double> ratios;
+  for (std::size_t i = 0; i < sc.flows.size(); ++i) {
+    if (sc.flows[i].size < 100000) continue;
+    ratios.push_back(static_cast<double>(pkt[i].fct) / static_cast<double>(fluid[i].fct));
+  }
+  ASSERT_GT(ratios.size(), 10u);
+  const double median = Percentile(ratios, 50);
+  EXPECT_GT(median, 0.8);
+  EXPECT_LT(median, 1.6);
+}
+
+TEST(CrossSim, FlowSimNeverAboveAndPktSimTracksIdealWhenUnloaded) {
+  // At very low load both simulators should report slowdown ~1 for
+  // everything.
+  SyntheticSpec spec;
+  spec.num_links = 4;
+  spec.theta = 20000.0;
+  spec.max_load = 0.05;
+  spec.num_fg = 80;
+  spec.bg_ratio = 0.5;
+  spec.sigma = 1.0;
+  spec.seed = 9;
+  const PathScenario sc = BuildSyntheticScenario(spec);
+  const auto fluid = RunPathFlowSim(sc);
+  NetConfig cfg;
+  const auto pkt = RunPathPktSim(sc, cfg);
+  EXPECT_LT(Percentile([&] {
+              std::vector<double> v;
+              for (const auto& r : fluid) v.push_back(r.slowdown);
+              return v;
+            }(), 50), 1.5);
+  EXPECT_LT(Percentile([&] {
+              std::vector<double> v;
+              for (const auto& r : pkt) v.push_back(r.slowdown);
+              return v;
+            }(), 50), 2.0);
+}
+
+TEST(CrossSim, PacketSlowdownsRiseWithLoad) {
+  double prev_p99 = 0.0;
+  for (double load : {0.2, 0.5, 0.8}) {
+    SyntheticSpec spec;
+    spec.num_links = 2;
+    spec.theta = 15000.0;
+    spec.max_load = load;
+    spec.num_fg = 400;
+    spec.bg_ratio = 1.0;
+    spec.sigma = 1.5;
+    spec.seed = 31;  // same workload skeleton, different load scaling
+    const PathScenario sc = BuildSyntheticScenario(spec);
+    NetConfig cfg;
+    const auto pkt = RunPathPktSim(sc, cfg);
+    std::vector<double> sldn;
+    for (const auto& r : pkt) sldn.push_back(r.slowdown);
+    const double p99 = Percentile(std::move(sldn), 99);
+    EXPECT_GT(p99, prev_p99 * 0.8) << "load " << load;  // broadly increasing
+    prev_p99 = p99;
+  }
+  EXPECT_GT(prev_p99, 1.5);  // 80% load is visibly congested
+}
+
+// ------------------------------------------------------------- estimator ---
+
+TEST(EstimatorIntegration, DeterministicForFixedSeeds) {
+  const FatTree ft(FatTreeConfig::Small(2.0));
+  const auto tm = TrafficMatrix::MatrixB(ft.num_racks(), ft.config().racks_per_pod);
+  const auto sizes = MakeWebServer();
+  WorkloadSpec wspec;
+  wspec.num_flows = 500;
+  wspec.seed = 3;
+  const auto wl = GenerateWorkload(ft, tm, *sizes, wspec);
+
+  M3ModelConfig mcfg;
+  mcfg.d_model = 32;
+  mcfg.num_layers = 1;
+  mcfg.ff_dim = 64;
+  mcfg.mlp_hidden = 64;
+  M3Model model(mcfg);
+  NetConfig cfg;
+  M3Options opts;
+  opts.num_paths = 4;
+  const auto a = RunM3(ft.topo(), wl.flows, cfg, model, opts);
+  const auto b = RunM3(ft.topo(), wl.flows, cfg, model, opts);
+  ASSERT_EQ(a.combined_pct.size(), b.combined_pct.size());
+  for (std::size_t i = 0; i < a.combined_pct.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.combined_pct[i], b.combined_pct[i]);
+  }
+}
+
+TEST(EstimatorIntegration, Ns3PathTracksGroundTruthOnModerateLoad) {
+  // Decomposition-error check with sampling error excluded: compare the
+  // path-level simulation of sampled paths against the *same foreground
+  // flows* inside the full simulation (the paper's Fig. 2(c) methodology).
+  const FatTree ft(FatTreeConfig::Small(1.0));
+  const auto tm = TrafficMatrix::MatrixB(ft.num_racks(), ft.config().racks_per_pod);
+  const auto sizes = MakeWebServer();
+  WorkloadSpec wspec;
+  wspec.num_flows = 3000;
+  wspec.max_load = 0.5;
+  wspec.seed = 8;
+  const auto wl = GenerateWorkload(ft, tm, *sizes, wspec);
+
+  NetConfig cfg;
+  const auto truth = RunPacketSim(ft.topo(), wl.flows, cfg);
+
+  PathDecomposition decomp(ft.topo(), wl.flows);
+  Rng rng(6);
+  const auto sample = SamplePaths(decomp, 60, rng);
+  std::vector<double> path_sldn, true_sldn;
+  for (std::size_t idx : sample) {
+    const PathScenario sc = BuildPathScenario(ft.topo(), wl.flows, decomp, idx);
+    const auto res = RunPathPktSim(sc, cfg);
+    for (std::size_t i = 0; i < sc.flows.size(); ++i) {
+      if (!sc.is_fg[i]) continue;
+      path_sldn.push_back(res[i].slowdown);
+      true_sldn.push_back(truth[static_cast<std::size_t>(sc.orig_id[i])].slowdown);
+    }
+  }
+  ASSERT_GT(path_sldn.size(), 30u);
+  const double p99_path = Percentile(path_sldn, 99);
+  const double p99_true = Percentile(true_sldn, 99);
+  EXPECT_NEAR(p99_path / p99_true, 1.0, 0.35);
+  // Medians should agree even more tightly.
+  EXPECT_NEAR(Percentile(path_sldn, 50) / Percentile(true_sldn, 50), 1.0, 0.15);
+}
+
+TEST(EstimatorIntegration, MonotoneAggregates) {
+  // Network estimates must have monotone percentile vectors.
+  const FatTree ft(FatTreeConfig::Small(2.0));
+  const auto tm = TrafficMatrix::MatrixA(ft.num_racks(), ft.config().racks_per_pod);
+  const auto sizes = MakeCacheFollower();
+  WorkloadSpec wspec;
+  wspec.num_flows = 1500;
+  wspec.seed = 10;
+  const auto wl = GenerateWorkload(ft, tm, *sizes, wspec);
+  NetConfig cfg;
+  M3Options opts;
+  opts.num_paths = 10;
+  const auto est = RunFlowSimOnly(ft.topo(), wl.flows, cfg, opts);
+  for (int b = 0; b < kNumOutputBuckets; ++b) {
+    const auto& pct = est.bucket_pct[static_cast<std::size_t>(b)];
+    for (std::size_t p = 1; p < pct.size(); ++p) EXPECT_LE(pct[p - 1], pct[p]);
+  }
+  for (std::size_t p = 1; p < est.combined_pct.size(); ++p) {
+    EXPECT_LE(est.combined_pct[p - 1], est.combined_pct[p]);
+  }
+}
+
+// ------------------------------------------------------ failure injection ---
+
+TEST(FailureInjection, PacketSimMaxTimeGuardThrows) {
+  // A flow that cannot finish within the time budget triggers the guard.
+  Topology t;
+  const NodeId a = t.AddNode(NodeKind::kHost);
+  const NodeId b = t.AddNode(NodeKind::kHost);
+  const auto [ab, ba] = t.AddDuplexLink(a, b, GbpsToBpns(0.001), 1000);  // 1 Mbps
+  (void)ba;
+  Flow f{0, a, b, 100 * kMB, 0, {ab}};  // ~800s of serialization
+  NetConfig cfg;
+  PacketSimulator sim(t, {f}, cfg);
+  EXPECT_THROW(sim.Run(/*max_time=*/1 * kSec), std::runtime_error);
+}
+
+TEST(FailureInjection, LossyLinkStillCompletesViaRetransmission) {
+  // Pathological 2KB buffer with ECN off: heavy loss, but go-back-N plus
+  // RTO must still complete every flow.
+  Topology t;
+  const NodeId a = t.AddNode(NodeKind::kHost);
+  const NodeId s = t.AddNode(NodeKind::kSwitch);
+  const NodeId b = t.AddNode(NodeKind::kHost);
+  const auto [as, _1] = t.AddDuplexLink(a, s, GbpsToBpns(10), 1000);
+  const auto [sb, _2] = t.AddDuplexLink(s, b, GbpsToBpns(1), 1000);  // slow egress
+  (void)_1; (void)_2;
+  NetConfig cfg;
+  cfg.buffer = 2 * kKB;
+  cfg.dctcp_k = 1000 * kKB;
+  cfg.init_window = 30 * kKB;
+  std::vector<Flow> flows;
+  for (int i = 0; i < 5; ++i) {
+    flows.push_back(Flow{static_cast<FlowId>(i), a, b, 50 * kKB, i * 10 * kUs, {as, sb}});
+  }
+  PacketSimulator sim(t, flows, cfg);
+  const auto res = sim.Run();
+  EXPECT_GT(sim.stats().drops, 0u);
+  for (const auto& r : res) EXPECT_GT(r.fct, 0);
+}
+
+TEST(FailureInjection, EstimatorRejectsMismatchedInputs) {
+  const FatTree ft(FatTreeConfig::Small(1.0));
+  // Flows that reference links outside the topology must be rejected by
+  // the packet simulator path.
+  Flow bogus;
+  bogus.id = 0;
+  bogus.src = ft.host(0);
+  bogus.dst = ft.host(1);
+  bogus.size = 1000;
+  bogus.path = {static_cast<LinkId>(ft.topo().num_links() + 5)};
+  NetConfig cfg;
+  EXPECT_THROW(PacketSimulator(ft.topo(), {bogus}, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace m3

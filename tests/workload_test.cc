@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topo/fat_tree.h"
+#include "util/stats.h"
+#include "workload/arrivals.h"
+#include "workload/generator.h"
+#include "workload/size_dist.h"
+#include "workload/traffic_matrix.h"
+
+namespace m3 {
+namespace {
+
+// ------------------------------------------------------------ size dist ---
+
+TEST(SizeDist, ProductionDistsSampleWithinSupport) {
+  Rng rng(1);
+  for (const char* name : {"CacheFollower", "WebServer", "Hadoop"}) {
+    auto d = MakeProductionDist(name);
+    for (int i = 0; i < 5000; ++i) {
+      const Bytes s = d->Sample(rng);
+      EXPECT_GE(s, 1);
+      EXPECT_LE(s, 10 * kMB);
+    }
+  }
+}
+
+TEST(SizeDist, ProductionMeansAreOrdered) {
+  // Hadoop and CacheFollower carry more large-flow mass than WebServer.
+  EXPECT_GT(MakeHadoop()->Mean(), MakeWebServer()->Mean());
+  EXPECT_GT(MakeCacheFollower()->Mean(), MakeWebServer()->Mean());
+}
+
+TEST(SizeDist, UnknownProductionNameThrows) {
+  EXPECT_THROW(MakeProductionDist("NoSuch"), std::invalid_argument);
+}
+
+class ParametricMeanTest
+    : public ::testing::TestWithParam<std::tuple<ParametricFamily, double>> {};
+
+TEST_P(ParametricMeanTest, SampleMeanMatchesTheta) {
+  const auto [family, theta] = GetParam();
+  auto d = MakeParametric(family, theta);
+  EXPECT_NEAR(d->Mean(), theta, theta * 0.01);
+  Rng rng(99);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(d->Sample(rng));
+  // Pareto(alpha=2) has infinite variance: give it a looser band.
+  const double tol = family == ParametricFamily::kPareto ? 0.10 : 0.03;
+  EXPECT_NEAR(sum / n / theta, 1.0, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, ParametricMeanTest,
+    ::testing::Combine(::testing::Values(ParametricFamily::kPareto,
+                                         ParametricFamily::kExponential,
+                                         ParametricFamily::kGaussian,
+                                         ParametricFamily::kLogNormal),
+                       ::testing::Values(5000.0, 20000.0, 50000.0)));
+
+// -------------------------------------------------------------- arrivals ---
+
+TEST(Arrivals, NormalizedSpanAndMonotonicity) {
+  Rng rng(5);
+  const auto t = NormalizedLogNormalArrivals(1000, 1.0, rng);
+  ASSERT_EQ(t.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(t.begin(), t.end()));
+  EXPECT_NEAR(t.back(), 1.0, 1e-9);
+  EXPECT_GE(t.front(), 0.0);
+}
+
+TEST(Arrivals, HigherSigmaIsBurstier) {
+  Rng rng1(7), rng2(7);
+  const auto low = ScaleArrivals(NormalizedLogNormalArrivals(20000, 1.0, rng1), kSec);
+  const auto high = ScaleArrivals(NormalizedLogNormalArrivals(20000, 2.0, rng2), kSec);
+  EXPECT_GT(GapCoefficientOfVariation(high), GapCoefficientOfVariation(low) * 1.5);
+}
+
+TEST(Arrivals, ScaleArrivalsBounds) {
+  Rng rng(9);
+  const auto t = ScaleArrivals(NormalizedLogNormalArrivals(100, 1.5, rng), 500 * kMs);
+  EXPECT_LE(t.back(), 500 * kMs);
+  EXPECT_GE(t.front(), 0);
+}
+
+TEST(Arrivals, DiurnalDepthZeroMatchesStationary) {
+  Rng r1(13), r2(13);
+  const auto stationary = NormalizedLogNormalArrivals(500, 1.2, r1);
+  const auto diurnal = NormalizedDiurnalArrivals(500, 1.2, 0.0, 2.0, r2);
+  ASSERT_EQ(stationary.size(), diurnal.size());
+  for (std::size_t i = 0; i < stationary.size(); ++i) {
+    EXPECT_NEAR(diurnal[i], stationary[i], 1e-9);
+  }
+}
+
+TEST(Arrivals, DiurnalModulationConcentratesArrivalsInPeaks) {
+  Rng rng(15);
+  // One full sine cycle: the rate peaks in the first half (sin > 0) and
+  // dips in the second, so more than half the arrivals land early.
+  const auto t = NormalizedDiurnalArrivals(20000, 1.0, 0.9, 1.0, rng);
+  EXPECT_TRUE(std::is_sorted(t.begin(), t.end()));
+  int first_half = 0;
+  for (double v : t) first_half += (v < 0.5);
+  EXPECT_GT(first_half, 11500);  // well above 50%
+  EXPECT_GE(t.front(), 0.0);
+  EXPECT_LE(t.back(), 1.0 + 1e-9);
+}
+
+TEST(Arrivals, DiurnalPreservesCount) {
+  Rng rng(17);
+  EXPECT_EQ(NormalizedDiurnalArrivals(321, 1.5, 0.5, 3.0, rng).size(), 321u);
+}
+
+// -------------------------------------------------------- traffic matrix ---
+
+TEST(TrafficMatrix, DiagonalIsZeroAndSamplingAvoidsIt) {
+  auto tm = TrafficMatrix::MatrixB(8, 4);
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const auto [s, d] = tm.SamplePair(rng);
+    EXPECT_NE(s, d);
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 8);
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, 8);
+  }
+}
+
+TEST(TrafficMatrix, SkewOrderingCAB) {
+  const int racks = 32, per_pod = 16;
+  const double skew_a = TrafficMatrix::MatrixA(racks, per_pod).Top1PercentShare();
+  const double skew_b = TrafficMatrix::MatrixB(racks, per_pod).Top1PercentShare();
+  const double skew_c = TrafficMatrix::MatrixC(racks, per_pod).Top1PercentShare();
+  EXPECT_GT(skew_c, skew_a);
+  EXPECT_GT(skew_a, skew_b);
+}
+
+TEST(TrafficMatrix, MatrixAPrefersIntraPod) {
+  auto tm = TrafficMatrix::MatrixA(32, 16);
+  Rng rng(13);
+  int intra = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto [s, d] = tm.SamplePair(rng);
+    intra += (s / 16 == d / 16);
+  }
+  // ~15/31 of destination racks are intra-pod but carry 4x weight => well
+  // over half of traffic should stay in-pod.
+  EXPECT_GT(static_cast<double>(intra) / n, 0.55);
+}
+
+TEST(TrafficMatrix, SamplePairFollowsWeights) {
+  TrafficMatrix tm("t", {{0, 1, 0}, {0, 0, 3}, {0, 0, 0}});
+  Rng rng(17);
+  int ab = 0, bc = 0;
+  for (int i = 0; i < 40000; ++i) {
+    const auto [s, d] = tm.SamplePair(rng);
+    if (s == 0 && d == 1) ++ab;
+    else if (s == 1 && d == 2) ++bc;
+    else FAIL() << "sampled zero-weight pair " << s << "->" << d;
+  }
+  EXPECT_NEAR(static_cast<double>(bc) / ab, 3.0, 0.3);
+}
+
+TEST(TrafficMatrix, RejectsInvalidMatrices) {
+  EXPECT_THROW(TrafficMatrix("x", {}), std::invalid_argument);
+  EXPECT_THROW(TrafficMatrix("x", {{0, 1}, {1}}), std::invalid_argument);
+  EXPECT_THROW(TrafficMatrix("x", {{0, -1}, {1, 0}}), std::invalid_argument);
+  // All-zero after zeroing the diagonal.
+  EXPECT_THROW(TrafficMatrix("x", {{5}}), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- generator ---
+
+TEST(Generator, ProducesRequestedFlowCountSortedByArrival) {
+  const FatTree ft(FatTreeConfig::Small(2.0));
+  const auto tm = TrafficMatrix::MatrixB(ft.num_racks(), ft.config().racks_per_pod);
+  const auto sizes = MakeWebServer();
+  WorkloadSpec spec;
+  spec.num_flows = 2000;
+  spec.seed = 3;
+  const auto wl = GenerateWorkload(ft, tm, *sizes, spec);
+  ASSERT_EQ(wl.flows.size(), 2000u);
+  EXPECT_TRUE(std::is_sorted(wl.flows.begin(), wl.flows.end(),
+                             [](const Flow& a, const Flow& b) { return a.arrival < b.arrival; }));
+  for (std::size_t i = 0; i < wl.flows.size(); ++i) {
+    EXPECT_EQ(wl.flows[i].id, static_cast<FlowId>(i));
+    EXPECT_TRUE(ft.topo().ValidateRoute(wl.flows[i].src, wl.flows[i].dst, wl.flows[i].path));
+  }
+}
+
+TEST(Generator, HitsTargetMaxLoad) {
+  const FatTree ft(FatTreeConfig::Small(1.0));
+  const auto tm = TrafficMatrix::MatrixB(ft.num_racks(), ft.config().racks_per_pod);
+  const auto sizes = MakeCacheFollower();
+  for (double load : {0.3, 0.6, 0.8}) {
+    WorkloadSpec spec;
+    spec.num_flows = 5000;
+    spec.max_load = load;
+    spec.seed = 11;
+    const auto wl = GenerateWorkload(ft, tm, *sizes, spec);
+    EXPECT_NEAR(wl.realized_max_load, load, load * 0.02) << "target " << load;
+  }
+}
+
+TEST(Generator, DeterministicForSeed) {
+  const FatTree ft(FatTreeConfig::Small(2.0));
+  const auto tm = TrafficMatrix::MatrixA(ft.num_racks(), ft.config().racks_per_pod);
+  const auto sizes = MakeHadoop();
+  WorkloadSpec spec;
+  spec.num_flows = 500;
+  spec.seed = 21;
+  const auto a = GenerateWorkload(ft, tm, *sizes, spec);
+  const auto b = GenerateWorkload(ft, tm, *sizes, spec);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].size, b.flows[i].size);
+    EXPECT_EQ(a.flows[i].arrival, b.flows[i].arrival);
+    EXPECT_EQ(a.flows[i].path, b.flows[i].path);
+  }
+}
+
+TEST(Generator, RejectsBadSpecs) {
+  const FatTree ft(FatTreeConfig::Small(1.0));
+  const auto tm = TrafficMatrix::MatrixB(ft.num_racks(), ft.config().racks_per_pod);
+  const auto sizes = MakeWebServer();
+  WorkloadSpec spec;
+  spec.num_flows = 0;
+  EXPECT_THROW(GenerateWorkload(ft, tm, *sizes, spec), std::invalid_argument);
+  spec.num_flows = 10;
+  spec.max_load = 1.5;
+  EXPECT_THROW(GenerateWorkload(ft, tm, *sizes, spec), std::invalid_argument);
+}
+
+TEST(Generator, LinkLoadsConsistent) {
+  const FatTree ft(FatTreeConfig::Small(2.0));
+  const auto tm = TrafficMatrix::MatrixB(ft.num_racks(), ft.config().racks_per_pod);
+  const auto sizes = MakeWebServer();
+  WorkloadSpec spec;
+  spec.num_flows = 1000;
+  spec.max_load = 0.5;
+  spec.seed = 31;
+  const auto wl = GenerateWorkload(ft, tm, *sizes, spec);
+  const auto loads = LinkLoads(ft.topo(), wl.flows, wl.duration);
+  const double max_load = *std::max_element(loads.begin(), loads.end());
+  EXPECT_DOUBLE_EQ(max_load, wl.realized_max_load);
+  ASSERT_GE(wl.busiest_link, 0);
+  EXPECT_DOUBLE_EQ(loads[static_cast<std::size_t>(wl.busiest_link)], max_load);
+}
+
+}  // namespace
+}  // namespace m3

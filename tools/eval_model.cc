@@ -1,0 +1,70 @@
+// Evaluates a model checkpoint on a held-out synthetic path set and on a
+// small full-network suite: per-bucket p99 error vs flowSim, plus
+// network-wide p99 error vs the packet simulator.
+//
+// Usage: eval_model <checkpoint> [num_paths=60] [num_net_scenarios=3]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/common.h"
+#include "core/dataset.h"
+#include "pktsim/simulator.h"
+
+using namespace m3;
+using namespace m3::bench;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: eval_model <checkpoint> [paths] [net_scenarios]\n");
+    return 2;
+  }
+  const int num_paths = argc > 2 ? std::atoi(argv[2]) : 60;
+  const int num_net = argc > 3 ? std::atoi(argv[3]) : 3;
+
+  M3Model model;
+  model.Load(argv[1]);
+
+  // Held-out synthetic paths (fixed eval seed).
+  DatasetOptions eopts;
+  eopts.num_scenarios = num_paths;
+  eopts.num_fg = 600;
+  eopts.seed = 987654;
+  const auto eval = MakeSyntheticDataset(eopts);
+
+  std::vector<double> fs_err, m3_err;
+  for (const Sample& s : eval) {
+    const auto pred = model.Predict(s.fg_feat, s.bg_seq, s.spec, true, &s.baseline);
+    for (int b = 0; b < kNumOutputBuckets; ++b) {
+      if (!s.gt.has[static_cast<std::size_t>(b)]) continue;
+      const double t99 = s.gt.pct[static_cast<std::size_t>(b)][98];
+      if (t99 <= 0) continue;
+      if (s.flowsim.has[static_cast<std::size_t>(b)]) {
+        fs_err.push_back(AbsErrPct(s.flowsim.pct[static_cast<std::size_t>(b)][98], t99));
+      }
+      m3_err.push_back(AbsErrPct(pred[static_cast<std::size_t>(b)][98], t99));
+    }
+  }
+  std::printf("held-out paths (%d): per-bucket |p99 err| flowSim mean=%.1f%% median=%.1f%% "
+              "| m3 mean=%.1f%% median=%.1f%%\n",
+              num_paths, Mean(fs_err), Percentile(fs_err, 50), Mean(m3_err),
+              Percentile(m3_err, 50));
+
+  // Full-network probes.
+  Rng rng(135);
+  std::vector<double> net_err;
+  for (int s = 0; s < num_net; ++s) {
+    Mix mix = Table1Mixes()[static_cast<std::size_t>(s) % 3];
+    mix.max_load = rng.Uniform(0.35, 0.65);
+    BuiltMix built = BuildMix(mix, 20000, 7000 + static_cast<std::uint64_t>(s));
+    const auto truth = RunPacketSim(built.ft->topo(), built.wl.flows, built.cfg);
+    M3Options opts;
+    opts.num_paths = 100;
+    const NetworkEstimate est = RunM3(built.ft->topo(), built.wl.flows, built.cfg, model, opts);
+    const double err = AbsErrPct(est.CombinedP99(), P99Slowdown(truth));
+    net_err.push_back(err);
+    std::printf("net scenario %d (%s, load %.0f%%): |p99 err| = %.1f%%\n", s,
+                mix.name.c_str(), 100 * mix.max_load, err);
+  }
+  std::printf("network-wide mean |p99 err| = %.1f%%\n", Mean(net_err));
+  return 0;
+}

@@ -1,0 +1,121 @@
+// m3_query: the interactive query interface (paper §3.1, component 8).
+//
+// Estimates network-wide FCT slowdown percentiles for a described scenario
+// in seconds, from the command line.
+//
+// Usage:
+//   m3_query [--tm A|B|C] [--workload WebServer|CacheFollower|Hadoop]
+//            [--oversub 1|2|4] [--load 0.5] [--sigma 1.5] [--flows 20000]
+//            [--cc DCTCP|TIMELY|DCQCN|HPCC] [--window 15000] [--buffer 300000]
+//            [--pfc 0|1] [--paths 100] [--model models/m3_default.ckpt]
+//            [--percentile 99]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/dataset.h"
+#include "core/estimator.h"
+#include "core/trainer.h"
+#include "topo/fat_tree.h"
+#include "workload/generator.h"
+#include "workload/size_dist.h"
+
+using namespace m3;
+
+namespace {
+
+struct Args {
+  std::string tm = "B";
+  std::string workload = "WebServer";
+  double oversub = 2.0;
+  double load = 0.5;
+  double sigma = 1.5;
+  int flows = 20000;
+  std::string cc = "DCTCP";
+  Bytes window = 15 * kKB;
+  Bytes buffer = 300 * kKB;
+  bool pfc = false;
+  int paths = 100;
+  std::string model_path = "models/m3_default.ckpt";
+  double percentile = 99.0;
+};
+
+Args Parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    const char* v = argv[i + 1];
+    if (key == "--tm") a.tm = v;
+    else if (key == "--workload") a.workload = v;
+    else if (key == "--oversub") a.oversub = std::atof(v);
+    else if (key == "--load") a.load = std::atof(v);
+    else if (key == "--sigma") a.sigma = std::atof(v);
+    else if (key == "--flows") a.flows = std::atoi(v);
+    else if (key == "--cc") a.cc = v;
+    else if (key == "--window") a.window = std::atoll(v);
+    else if (key == "--buffer") a.buffer = std::atoll(v);
+    else if (key == "--pfc") a.pfc = std::atoi(v) != 0;
+    else if (key == "--paths") a.paths = std::atoi(v);
+    else if (key == "--model") a.model_path = v;
+    else if (key == "--percentile") a.percentile = std::atof(v);
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", key.c_str());
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = Parse(argc, argv);
+
+  const FatTree ft(FatTreeConfig::Small(a.oversub));
+  const auto tm = TrafficMatrix::ByName(a.tm, ft.num_racks(), ft.config().racks_per_pod);
+  const auto sizes = MakeProductionDist(a.workload);
+  WorkloadSpec wspec;
+  wspec.num_flows = a.flows;
+  wspec.max_load = a.load;
+  wspec.burstiness_sigma = a.sigma;
+  const auto wl = GenerateWorkload(ft, tm, *sizes, wspec);
+
+  M3Model model;
+  try {
+    model.Load(a.model_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot load %s (%s); run tools/train_m3 first\n",
+                 a.model_path.c_str(), e.what());
+    return 1;
+  }
+
+  NetConfig cfg;
+  cfg.cc = CcFromName(a.cc);
+  cfg.init_window = a.window;
+  cfg.buffer = a.buffer;
+  cfg.pfc = a.pfc;
+
+  M3Options opts;
+  opts.num_paths = a.paths;
+  const NetworkEstimate est = RunM3(ft.topo(), wl.flows, cfg, model, opts);
+
+  std::printf("scenario: tm=%s workload=%s oversub=%.0f:1 load=%.0f%% sigma=%.1f "
+              "flows=%d cc=%s\n",
+              a.tm.c_str(), a.workload.c_str(), a.oversub, 100 * a.load, a.sigma, a.flows,
+              a.cc.c_str());
+  std::printf("estimated in %.1fs over %d sampled paths\n\n", est.wall_seconds, a.paths);
+
+  const int pidx = std::min(99, std::max(0, static_cast<int>(a.percentile) - 1));
+  const char* labels[4] = {"(0,1KB]", "(1KB,10KB]", "(10KB,50KB]", "(50KB,inf)"};
+  std::printf("%-14s %10s %12s\n", "flow class", "#flows", "slowdown");
+  for (int b = 0; b < kNumOutputBuckets; ++b) {
+    const auto& pct = est.bucket_pct[static_cast<std::size_t>(b)];
+    if (pct.empty()) continue;
+    std::printf("%-14s %10.0f %12.2f\n", labels[b],
+                est.total_counts[static_cast<std::size_t>(b)], pct[static_cast<std::size_t>(pidx)]);
+  }
+  std::printf("%-14s %10s %12.2f   (p%.0f)\n", "network-wide", "-",
+              est.combined_pct[static_cast<std::size_t>(pidx)], a.percentile);
+  return 0;
+}
