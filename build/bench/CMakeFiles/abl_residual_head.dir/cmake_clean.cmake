@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_residual_head.dir/abl_residual_head.cc.o"
+  "CMakeFiles/abl_residual_head.dir/abl_residual_head.cc.o.d"
+  "abl_residual_head"
+  "abl_residual_head.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_residual_head.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_sampling_weight.cc" "bench/CMakeFiles/abl_sampling_weight.dir/abl_sampling_weight.cc.o" "gcc" "bench/CMakeFiles/abl_sampling_weight.dir/abl_sampling_weight.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/m3_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_pathdecomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_flowsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_parsimon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_pktsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

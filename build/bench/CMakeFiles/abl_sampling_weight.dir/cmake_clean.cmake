@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sampling_weight.dir/abl_sampling_weight.cc.o"
+  "CMakeFiles/abl_sampling_weight.dir/abl_sampling_weight.cc.o.d"
+  "abl_sampling_weight"
+  "abl_sampling_weight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sampling_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

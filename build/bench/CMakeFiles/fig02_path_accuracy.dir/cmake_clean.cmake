@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_path_accuracy.dir/fig02_path_accuracy.cc.o"
+  "CMakeFiles/fig02_path_accuracy.dir/fig02_path_accuracy.cc.o.d"
+  "fig02_path_accuracy"
+  "fig02_path_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_path_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_path_stats.dir/fig02_path_stats.cc.o"
+  "CMakeFiles/fig02_path_stats.dir/fig02_path_stats.cc.o.d"
+  "fig02_path_stats"
+  "fig02_path_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_path_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

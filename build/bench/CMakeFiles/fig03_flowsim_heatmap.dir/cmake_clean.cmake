@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_flowsim_heatmap.dir/fig03_flowsim_heatmap.cc.o"
+  "CMakeFiles/fig03_flowsim_heatmap.dir/fig03_flowsim_heatmap.cc.o.d"
+  "fig03_flowsim_heatmap"
+  "fig03_flowsim_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_flowsim_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

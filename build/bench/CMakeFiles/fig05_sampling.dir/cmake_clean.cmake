@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_sampling.dir/fig05_sampling.cc.o"
+  "CMakeFiles/fig05_sampling.dir/fig05_sampling.cc.o.d"
+  "fig05_sampling"
+  "fig05_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sensitivity.dir/fig10_sensitivity.cc.o"
+  "CMakeFiles/fig10_sensitivity.dir/fig10_sensitivity.cc.o.d"
+  "fig10_sensitivity"
+  "fig10_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_ablation.dir/fig16_ablation.cc.o"
+  "CMakeFiles/fig16_ablation.dir/fig16_ablation.cc.o.d"
+  "fig16_ablation"
+  "fig16_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

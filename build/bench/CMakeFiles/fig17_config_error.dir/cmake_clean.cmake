@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_config_error.dir/fig17_config_error.cc.o"
+  "CMakeFiles/fig17_config_error.dir/fig17_config_error.cc.o.d"
+  "fig17_config_error"
+  "fig17_config_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_config_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_workload_data.dir/fig18_workload_data.cc.o"
+  "CMakeFiles/fig18_workload_data.dir/fig18_workload_data.cc.o.d"
+  "fig18_workload_data"
+  "fig18_workload_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_workload_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

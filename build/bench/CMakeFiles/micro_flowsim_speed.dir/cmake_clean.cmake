@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_flowsim_speed.dir/micro_flowsim_speed.cc.o"
+  "CMakeFiles/micro_flowsim_speed.dir/micro_flowsim_speed.cc.o.d"
+  "micro_flowsim_speed"
+  "micro_flowsim_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_flowsim_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counterfactual_search.dir/counterfactual_search.cpp.o"
+  "CMakeFiles/counterfactual_search.dir/counterfactual_search.cpp.o.d"
+  "counterfactual_search"
+  "counterfactual_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counterfactual_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

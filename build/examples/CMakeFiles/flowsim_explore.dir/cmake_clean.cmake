@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowsim_explore.dir/flowsim_explore.cpp.o"
+  "CMakeFiles/flowsim_explore.dir/flowsim_explore.cpp.o.d"
+  "flowsim_explore"
+  "flowsim_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowsim_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_classes.dir/priority_classes.cpp.o"
+  "CMakeFiles/priority_classes.dir/priority_classes.cpp.o.d"
+  "priority_classes"
+  "priority_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

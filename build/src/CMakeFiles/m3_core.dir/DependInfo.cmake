@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregate.cc" "src/CMakeFiles/m3_core.dir/core/aggregate.cc.o" "gcc" "src/CMakeFiles/m3_core.dir/core/aggregate.cc.o.d"
+  "/root/repo/src/core/dataset.cc" "src/CMakeFiles/m3_core.dir/core/dataset.cc.o" "gcc" "src/CMakeFiles/m3_core.dir/core/dataset.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/CMakeFiles/m3_core.dir/core/estimator.cc.o" "gcc" "src/CMakeFiles/m3_core.dir/core/estimator.cc.o.d"
+  "/root/repo/src/core/feature_map.cc" "src/CMakeFiles/m3_core.dir/core/feature_map.cc.o" "gcc" "src/CMakeFiles/m3_core.dir/core/feature_map.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/CMakeFiles/m3_core.dir/core/model.cc.o" "gcc" "src/CMakeFiles/m3_core.dir/core/model.cc.o.d"
+  "/root/repo/src/core/net_config.cc" "src/CMakeFiles/m3_core.dir/core/net_config.cc.o" "gcc" "src/CMakeFiles/m3_core.dir/core/net_config.cc.o.d"
+  "/root/repo/src/core/scenario.cc" "src/CMakeFiles/m3_core.dir/core/scenario.cc.o" "gcc" "src/CMakeFiles/m3_core.dir/core/scenario.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/CMakeFiles/m3_core.dir/core/trainer.cc.o" "gcc" "src/CMakeFiles/m3_core.dir/core/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/m3_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_flowsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_pktsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_pathdecomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_parsimon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3_core.dir/core/aggregate.cc.o"
+  "CMakeFiles/m3_core.dir/core/aggregate.cc.o.d"
+  "CMakeFiles/m3_core.dir/core/dataset.cc.o"
+  "CMakeFiles/m3_core.dir/core/dataset.cc.o.d"
+  "CMakeFiles/m3_core.dir/core/estimator.cc.o"
+  "CMakeFiles/m3_core.dir/core/estimator.cc.o.d"
+  "CMakeFiles/m3_core.dir/core/feature_map.cc.o"
+  "CMakeFiles/m3_core.dir/core/feature_map.cc.o.d"
+  "CMakeFiles/m3_core.dir/core/model.cc.o"
+  "CMakeFiles/m3_core.dir/core/model.cc.o.d"
+  "CMakeFiles/m3_core.dir/core/net_config.cc.o"
+  "CMakeFiles/m3_core.dir/core/net_config.cc.o.d"
+  "CMakeFiles/m3_core.dir/core/scenario.cc.o"
+  "CMakeFiles/m3_core.dir/core/scenario.cc.o.d"
+  "CMakeFiles/m3_core.dir/core/trainer.cc.o"
+  "CMakeFiles/m3_core.dir/core/trainer.cc.o.d"
+  "libm3_core.a"
+  "libm3_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

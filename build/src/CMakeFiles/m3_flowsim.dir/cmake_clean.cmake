@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3_flowsim.dir/flowsim/flowsim.cc.o"
+  "CMakeFiles/m3_flowsim.dir/flowsim/flowsim.cc.o.d"
+  "libm3_flowsim.a"
+  "libm3_flowsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3_flowsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

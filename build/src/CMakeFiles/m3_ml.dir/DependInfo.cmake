@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/autograd.cc" "src/CMakeFiles/m3_ml.dir/ml/autograd.cc.o" "gcc" "src/CMakeFiles/m3_ml.dir/ml/autograd.cc.o.d"
+  "/root/repo/src/ml/checkpoint.cc" "src/CMakeFiles/m3_ml.dir/ml/checkpoint.cc.o" "gcc" "src/CMakeFiles/m3_ml.dir/ml/checkpoint.cc.o.d"
+  "/root/repo/src/ml/layers.cc" "src/CMakeFiles/m3_ml.dir/ml/layers.cc.o" "gcc" "src/CMakeFiles/m3_ml.dir/ml/layers.cc.o.d"
+  "/root/repo/src/ml/optimizer.cc" "src/CMakeFiles/m3_ml.dir/ml/optimizer.cc.o" "gcc" "src/CMakeFiles/m3_ml.dir/ml/optimizer.cc.o.d"
+  "/root/repo/src/ml/tensor.cc" "src/CMakeFiles/m3_ml.dir/ml/tensor.cc.o" "gcc" "src/CMakeFiles/m3_ml.dir/ml/tensor.cc.o.d"
+  "/root/repo/src/ml/transformer.cc" "src/CMakeFiles/m3_ml.dir/ml/transformer.cc.o" "gcc" "src/CMakeFiles/m3_ml.dir/ml/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/m3_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3_ml.dir/ml/autograd.cc.o"
+  "CMakeFiles/m3_ml.dir/ml/autograd.cc.o.d"
+  "CMakeFiles/m3_ml.dir/ml/checkpoint.cc.o"
+  "CMakeFiles/m3_ml.dir/ml/checkpoint.cc.o.d"
+  "CMakeFiles/m3_ml.dir/ml/layers.cc.o"
+  "CMakeFiles/m3_ml.dir/ml/layers.cc.o.d"
+  "CMakeFiles/m3_ml.dir/ml/optimizer.cc.o"
+  "CMakeFiles/m3_ml.dir/ml/optimizer.cc.o.d"
+  "CMakeFiles/m3_ml.dir/ml/tensor.cc.o"
+  "CMakeFiles/m3_ml.dir/ml/tensor.cc.o.d"
+  "CMakeFiles/m3_ml.dir/ml/transformer.cc.o"
+  "CMakeFiles/m3_ml.dir/ml/transformer.cc.o.d"
+  "libm3_ml.a"
+  "libm3_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

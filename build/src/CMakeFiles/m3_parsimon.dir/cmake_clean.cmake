@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3_parsimon.dir/parsimon/parsimon.cc.o"
+  "CMakeFiles/m3_parsimon.dir/parsimon/parsimon.cc.o.d"
+  "libm3_parsimon.a"
+  "libm3_parsimon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3_parsimon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

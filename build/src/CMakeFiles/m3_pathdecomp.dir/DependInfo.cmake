@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pathdecomp/decompose.cc" "src/CMakeFiles/m3_pathdecomp.dir/pathdecomp/decompose.cc.o" "gcc" "src/CMakeFiles/m3_pathdecomp.dir/pathdecomp/decompose.cc.o.d"
+  "/root/repo/src/pathdecomp/path_topology.cc" "src/CMakeFiles/m3_pathdecomp.dir/pathdecomp/path_topology.cc.o" "gcc" "src/CMakeFiles/m3_pathdecomp.dir/pathdecomp/path_topology.cc.o.d"
+  "/root/repo/src/pathdecomp/sampling.cc" "src/CMakeFiles/m3_pathdecomp.dir/pathdecomp/sampling.cc.o" "gcc" "src/CMakeFiles/m3_pathdecomp.dir/pathdecomp/sampling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/m3_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_flowsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_pktsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

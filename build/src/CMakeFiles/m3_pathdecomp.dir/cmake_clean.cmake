@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3_pathdecomp.dir/pathdecomp/decompose.cc.o"
+  "CMakeFiles/m3_pathdecomp.dir/pathdecomp/decompose.cc.o.d"
+  "CMakeFiles/m3_pathdecomp.dir/pathdecomp/path_topology.cc.o"
+  "CMakeFiles/m3_pathdecomp.dir/pathdecomp/path_topology.cc.o.d"
+  "CMakeFiles/m3_pathdecomp.dir/pathdecomp/sampling.cc.o"
+  "CMakeFiles/m3_pathdecomp.dir/pathdecomp/sampling.cc.o.d"
+  "libm3_pathdecomp.a"
+  "libm3_pathdecomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3_pathdecomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

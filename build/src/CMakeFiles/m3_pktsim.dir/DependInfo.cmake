@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pktsim/cc_dcqcn.cc" "src/CMakeFiles/m3_pktsim.dir/pktsim/cc_dcqcn.cc.o" "gcc" "src/CMakeFiles/m3_pktsim.dir/pktsim/cc_dcqcn.cc.o.d"
+  "/root/repo/src/pktsim/cc_dctcp.cc" "src/CMakeFiles/m3_pktsim.dir/pktsim/cc_dctcp.cc.o" "gcc" "src/CMakeFiles/m3_pktsim.dir/pktsim/cc_dctcp.cc.o.d"
+  "/root/repo/src/pktsim/cc_hpcc.cc" "src/CMakeFiles/m3_pktsim.dir/pktsim/cc_hpcc.cc.o" "gcc" "src/CMakeFiles/m3_pktsim.dir/pktsim/cc_hpcc.cc.o.d"
+  "/root/repo/src/pktsim/cc_timely.cc" "src/CMakeFiles/m3_pktsim.dir/pktsim/cc_timely.cc.o" "gcc" "src/CMakeFiles/m3_pktsim.dir/pktsim/cc_timely.cc.o.d"
+  "/root/repo/src/pktsim/config.cc" "src/CMakeFiles/m3_pktsim.dir/pktsim/config.cc.o" "gcc" "src/CMakeFiles/m3_pktsim.dir/pktsim/config.cc.o.d"
+  "/root/repo/src/pktsim/event_queue.cc" "src/CMakeFiles/m3_pktsim.dir/pktsim/event_queue.cc.o" "gcc" "src/CMakeFiles/m3_pktsim.dir/pktsim/event_queue.cc.o.d"
+  "/root/repo/src/pktsim/host.cc" "src/CMakeFiles/m3_pktsim.dir/pktsim/host.cc.o" "gcc" "src/CMakeFiles/m3_pktsim.dir/pktsim/host.cc.o.d"
+  "/root/repo/src/pktsim/simulator.cc" "src/CMakeFiles/m3_pktsim.dir/pktsim/simulator.cc.o" "gcc" "src/CMakeFiles/m3_pktsim.dir/pktsim/simulator.cc.o.d"
+  "/root/repo/src/pktsim/switch.cc" "src/CMakeFiles/m3_pktsim.dir/pktsim/switch.cc.o" "gcc" "src/CMakeFiles/m3_pktsim.dir/pktsim/switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/m3_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3_pktsim.dir/pktsim/cc_dcqcn.cc.o"
+  "CMakeFiles/m3_pktsim.dir/pktsim/cc_dcqcn.cc.o.d"
+  "CMakeFiles/m3_pktsim.dir/pktsim/cc_dctcp.cc.o"
+  "CMakeFiles/m3_pktsim.dir/pktsim/cc_dctcp.cc.o.d"
+  "CMakeFiles/m3_pktsim.dir/pktsim/cc_hpcc.cc.o"
+  "CMakeFiles/m3_pktsim.dir/pktsim/cc_hpcc.cc.o.d"
+  "CMakeFiles/m3_pktsim.dir/pktsim/cc_timely.cc.o"
+  "CMakeFiles/m3_pktsim.dir/pktsim/cc_timely.cc.o.d"
+  "CMakeFiles/m3_pktsim.dir/pktsim/config.cc.o"
+  "CMakeFiles/m3_pktsim.dir/pktsim/config.cc.o.d"
+  "CMakeFiles/m3_pktsim.dir/pktsim/event_queue.cc.o"
+  "CMakeFiles/m3_pktsim.dir/pktsim/event_queue.cc.o.d"
+  "CMakeFiles/m3_pktsim.dir/pktsim/host.cc.o"
+  "CMakeFiles/m3_pktsim.dir/pktsim/host.cc.o.d"
+  "CMakeFiles/m3_pktsim.dir/pktsim/simulator.cc.o"
+  "CMakeFiles/m3_pktsim.dir/pktsim/simulator.cc.o.d"
+  "CMakeFiles/m3_pktsim.dir/pktsim/switch.cc.o"
+  "CMakeFiles/m3_pktsim.dir/pktsim/switch.cc.o.d"
+  "libm3_pktsim.a"
+  "libm3_pktsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3_pktsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

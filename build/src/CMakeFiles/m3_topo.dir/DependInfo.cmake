@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/fat_tree.cc" "src/CMakeFiles/m3_topo.dir/topo/fat_tree.cc.o" "gcc" "src/CMakeFiles/m3_topo.dir/topo/fat_tree.cc.o.d"
+  "/root/repo/src/topo/parking_lot.cc" "src/CMakeFiles/m3_topo.dir/topo/parking_lot.cc.o" "gcc" "src/CMakeFiles/m3_topo.dir/topo/parking_lot.cc.o.d"
+  "/root/repo/src/topo/routing.cc" "src/CMakeFiles/m3_topo.dir/topo/routing.cc.o" "gcc" "src/CMakeFiles/m3_topo.dir/topo/routing.cc.o.d"
+  "/root/repo/src/topo/topology.cc" "src/CMakeFiles/m3_topo.dir/topo/topology.cc.o" "gcc" "src/CMakeFiles/m3_topo.dir/topo/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/m3_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

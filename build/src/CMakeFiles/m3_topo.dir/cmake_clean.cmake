@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3_topo.dir/topo/fat_tree.cc.o"
+  "CMakeFiles/m3_topo.dir/topo/fat_tree.cc.o.d"
+  "CMakeFiles/m3_topo.dir/topo/parking_lot.cc.o"
+  "CMakeFiles/m3_topo.dir/topo/parking_lot.cc.o.d"
+  "CMakeFiles/m3_topo.dir/topo/routing.cc.o"
+  "CMakeFiles/m3_topo.dir/topo/routing.cc.o.d"
+  "CMakeFiles/m3_topo.dir/topo/topology.cc.o"
+  "CMakeFiles/m3_topo.dir/topo/topology.cc.o.d"
+  "libm3_topo.a"
+  "libm3_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

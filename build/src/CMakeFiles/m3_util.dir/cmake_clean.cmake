@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3_util.dir/util/cdf.cc.o"
+  "CMakeFiles/m3_util.dir/util/cdf.cc.o.d"
+  "CMakeFiles/m3_util.dir/util/rng.cc.o"
+  "CMakeFiles/m3_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/m3_util.dir/util/stats.cc.o"
+  "CMakeFiles/m3_util.dir/util/stats.cc.o.d"
+  "libm3_util.a"
+  "libm3_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrivals.cc" "src/CMakeFiles/m3_workload.dir/workload/arrivals.cc.o" "gcc" "src/CMakeFiles/m3_workload.dir/workload/arrivals.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/m3_workload.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/m3_workload.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/size_dist.cc" "src/CMakeFiles/m3_workload.dir/workload/size_dist.cc.o" "gcc" "src/CMakeFiles/m3_workload.dir/workload/size_dist.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/CMakeFiles/m3_workload.dir/workload/trace_io.cc.o" "gcc" "src/CMakeFiles/m3_workload.dir/workload/trace_io.cc.o.d"
+  "/root/repo/src/workload/traffic_matrix.cc" "src/CMakeFiles/m3_workload.dir/workload/traffic_matrix.cc.o" "gcc" "src/CMakeFiles/m3_workload.dir/workload/traffic_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/m3_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3_workload.dir/workload/arrivals.cc.o"
+  "CMakeFiles/m3_workload.dir/workload/arrivals.cc.o.d"
+  "CMakeFiles/m3_workload.dir/workload/generator.cc.o"
+  "CMakeFiles/m3_workload.dir/workload/generator.cc.o.d"
+  "CMakeFiles/m3_workload.dir/workload/size_dist.cc.o"
+  "CMakeFiles/m3_workload.dir/workload/size_dist.cc.o.d"
+  "CMakeFiles/m3_workload.dir/workload/trace_io.cc.o"
+  "CMakeFiles/m3_workload.dir/workload/trace_io.cc.o.d"
+  "CMakeFiles/m3_workload.dir/workload/traffic_matrix.cc.o"
+  "CMakeFiles/m3_workload.dir/workload/traffic_matrix.cc.o.d"
+  "libm3_workload.a"
+  "libm3_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

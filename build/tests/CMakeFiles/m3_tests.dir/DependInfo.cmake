@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cc_test.cc" "tests/CMakeFiles/m3_tests.dir/cc_test.cc.o" "gcc" "tests/CMakeFiles/m3_tests.dir/cc_test.cc.o.d"
+  "/root/repo/tests/config_test.cc" "tests/CMakeFiles/m3_tests.dir/config_test.cc.o" "gcc" "tests/CMakeFiles/m3_tests.dir/config_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/m3_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/m3_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/estimator_props_test.cc" "tests/CMakeFiles/m3_tests.dir/estimator_props_test.cc.o" "gcc" "tests/CMakeFiles/m3_tests.dir/estimator_props_test.cc.o.d"
+  "/root/repo/tests/flowsim_test.cc" "tests/CMakeFiles/m3_tests.dir/flowsim_test.cc.o" "gcc" "tests/CMakeFiles/m3_tests.dir/flowsim_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/m3_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/m3_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/ml_test.cc" "tests/CMakeFiles/m3_tests.dir/ml_test.cc.o" "gcc" "tests/CMakeFiles/m3_tests.dir/ml_test.cc.o.d"
+  "/root/repo/tests/parsimon_test.cc" "tests/CMakeFiles/m3_tests.dir/parsimon_test.cc.o" "gcc" "tests/CMakeFiles/m3_tests.dir/parsimon_test.cc.o.d"
+  "/root/repo/tests/pathdecomp_test.cc" "tests/CMakeFiles/m3_tests.dir/pathdecomp_test.cc.o" "gcc" "tests/CMakeFiles/m3_tests.dir/pathdecomp_test.cc.o.d"
+  "/root/repo/tests/pktsim_test.cc" "tests/CMakeFiles/m3_tests.dir/pktsim_test.cc.o" "gcc" "tests/CMakeFiles/m3_tests.dir/pktsim_test.cc.o.d"
+  "/root/repo/tests/priority_test.cc" "tests/CMakeFiles/m3_tests.dir/priority_test.cc.o" "gcc" "tests/CMakeFiles/m3_tests.dir/priority_test.cc.o.d"
+  "/root/repo/tests/topo_test.cc" "tests/CMakeFiles/m3_tests.dir/topo_test.cc.o" "gcc" "tests/CMakeFiles/m3_tests.dir/topo_test.cc.o.d"
+  "/root/repo/tests/trace_io_test.cc" "tests/CMakeFiles/m3_tests.dir/trace_io_test.cc.o" "gcc" "tests/CMakeFiles/m3_tests.dir/trace_io_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/m3_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/m3_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/m3_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/m3_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/m3_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_pathdecomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_flowsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_parsimon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_pktsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m3_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

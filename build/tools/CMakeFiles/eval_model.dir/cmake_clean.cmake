@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_model.dir/eval_model.cc.o"
+  "CMakeFiles/eval_model.dir/eval_model.cc.o.d"
+  "eval_model"
+  "eval_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3_query.dir/m3_query.cc.o"
+  "CMakeFiles/m3_query.dir/m3_query.cc.o.d"
+  "m3_query"
+  "m3_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_m3.dir/train_m3.cc.o"
+  "CMakeFiles/train_m3.dir/train_m3.cc.o.d"
+  "train_m3"
+  "train_m3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_m3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
