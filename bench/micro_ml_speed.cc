@@ -1,0 +1,191 @@
+// ML compute-backend microbenchmark: GEMM GFLOP/s for the tiled kernels
+// vs. the naive seed loops, and end-to-end TrainModel samples/sec for
+// data-parallel training vs. the serial seed baseline (reproduced
+// in-process via kernels::SetUseTiled(false) + num_threads=1, so the
+// comparison does not require checking out the seed revision).
+//
+// Emits JSON on stdout; the checked-in snapshot lives in
+// BENCH_ml_speed.json so the perf trajectory is tracked across PRs.
+//
+//   ./micro_ml_speed [trainer_samples] [trainer_epochs]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "core/trainer.h"
+#include "ml/kernels.h"
+#include "ml/tensor.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace m3 {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct GemmResult {
+  std::string name;
+  int m, k, n;
+  double naive_gflops = 0.0;
+  double tiled_gflops = 0.0;
+};
+
+// Times `fn` by doubling the repetition count until the measurement
+// exceeds `min_seconds`, then returns seconds per repetition.
+template <typename Fn>
+double TimePerRep(const Fn& fn, double min_seconds = 0.2) {
+  for (long reps = 1;; reps *= 2) {
+    const auto t0 = Clock::now();
+    for (long r = 0; r < reps; ++r) fn();
+    const double elapsed = SecondsSince(t0);
+    if (elapsed >= min_seconds) return elapsed / static_cast<double>(reps);
+  }
+}
+
+GemmResult BenchGemm(const char* name, int m, int k, int n) {
+  Rng rng(2024);
+  ml::Tensor a = ml::Tensor::Randn(m, k, rng, 1.0f);
+  ml::Tensor b = ml::Tensor::Randn(k, n, rng, 1.0f);
+  ml::Tensor c(m, n);
+  const double flops = 2.0 * m * k * n;
+  GemmResult res{name, m, k, n, 0.0, 0.0};
+  const double naive_sec = TimePerRep(
+      [&] { ml::kernels::GemmAccumNaive(a.data(), b.data(), c.data(), m, k, n); });
+  c.Fill(0.0f);
+  const double tiled_sec = TimePerRep([&] {
+    ml::kernels::GemmAccum(a.data(), b.data(), c.data(), m, k, n);
+  });
+  res.naive_gflops = flops / naive_sec * 1e-9;
+  res.tiled_gflops = flops / tiled_sec * 1e-9;
+  return res;
+}
+
+std::vector<Sample> SyntheticSamples(const M3ModelConfig& cfg, int count) {
+  Rng rng(7);
+  std::vector<Sample> samples(static_cast<std::size_t>(count));
+  for (auto& s : samples) {
+    const int hops = 1 + static_cast<int>(rng.NextBounded(
+                             static_cast<std::size_t>(cfg.max_seq)));
+    s.fg_feat = ml::Tensor::Randn(1, cfg.feat_dim, rng, 1.0f);
+    s.bg_seq = ml::Tensor::Randn(hops, cfg.feat_dim, rng, 1.0f);
+    s.spec = ml::Tensor::Randn(1, cfg.spec_dim, rng, 1.0f);
+    s.target = ml::Tensor::Randn(1, cfg.out_dim, rng, 0.5f);
+    s.baseline = ml::Tensor::Randn(1, cfg.out_dim, rng, 0.5f);
+    s.mask = ml::Tensor::Zeros(1, cfg.out_dim);
+    s.mask.Fill(1.0f);
+  }
+  return samples;
+}
+
+struct TrainerResult {
+  int num_samples = 0;
+  int epochs = 0;
+  double seed_serial_sec = 0.0;     // naive kernels, 1 thread (seed baseline)
+  double tiled_serial_sec = 0.0;    // tiled kernels, 1 thread
+  double tiled_parallel_sec = 0.0;  // tiled kernels, 8 threads
+  unsigned pool_threads = 0;
+};
+
+double RunTrainer(const M3ModelConfig& cfg, const std::vector<Sample>& samples, int epochs,
+                  bool tiled, unsigned threads) {
+  ml::kernels::SetUseTiled(tiled);
+  M3Model model(cfg);
+  TrainOptions opts;
+  opts.epochs = epochs;
+  opts.batch_size = 16;
+  opts.val_frac = 0.1;
+  opts.seed = 5;
+  opts.num_threads = threads;
+  const auto t0 = Clock::now();
+  TrainModel(model, samples, opts);
+  ml::kernels::SetUseTiled(true);
+  return SecondsSince(t0);
+}
+
+TrainerResult BenchTrainer(int num_samples, int epochs) {
+  const M3ModelConfig cfg;  // full paper-scale model
+  const std::vector<Sample> samples = SyntheticSamples(cfg, num_samples);
+  TrainerResult res;
+  res.num_samples = num_samples;
+  res.epochs = epochs;
+  res.pool_threads = ThreadPool::Instance().num_threads();
+  res.seed_serial_sec = RunTrainer(cfg, samples, epochs, /*tiled=*/false, /*threads=*/1);
+  res.tiled_serial_sec = RunTrainer(cfg, samples, epochs, /*tiled=*/true, /*threads=*/1);
+  res.tiled_parallel_sec = RunTrainer(cfg, samples, epochs, /*tiled=*/true, /*threads=*/8);
+  return res;
+}
+
+}  // namespace
+
+double BenchTrainerOnly(int num_samples, int epochs, bool tiled) {
+  const M3ModelConfig cfg;
+  const std::vector<Sample> samples = SyntheticSamples(cfg, num_samples);
+  return RunTrainer(cfg, samples, epochs, tiled, /*threads=*/1);
+}
+
+}  // namespace m3
+
+int main(int argc, char** argv) {
+  const int trainer_samples = argc > 1 ? std::atoi(argv[1]) : 64;
+  const int trainer_epochs = argc > 2 ? std::atoi(argv[2]) : 2;
+
+  // Profiling mode: run only the requested trainer configuration so a
+  // profiler sees one code path (usage: micro_ml_speed N E tiled|naive).
+  if (argc > 3) {
+    const bool tiled = std::string(argv[3]) != "naive";
+    const double sec = m3::BenchTrainerOnly(trainer_samples, trainer_epochs, tiled);
+    std::printf("{\"trainer_only\": {\"tiled\": %s, \"sec\": %.3f}}\n",
+                tiled ? "true" : "false", sec);
+    return 0;
+  }
+
+  std::vector<m3::GemmResult> gemms;
+  // Forward shapes of the model (sequence projection, head layers) plus a
+  // square blocked case.
+  gemms.push_back(m3::BenchGemm("seq_in_proj", 8, 1010, 96));
+  gemms.push_back(m3::BenchGemm("head_fc1", 1, 1127, 256));
+  gemms.push_back(m3::BenchGemm("head_fc2", 1, 256, 400));
+  gemms.push_back(m3::BenchGemm("square_256", 256, 256, 256));
+
+  const m3::TrainerResult tr = m3::BenchTrainer(trainer_samples, trainer_epochs);
+
+  const double samples_per_epoch =
+      static_cast<double>(tr.num_samples) * 0.9;  // 10% val split
+  const double seed_sps = samples_per_epoch * tr.epochs / tr.seed_serial_sec;
+  const double tiled_sps = samples_per_epoch * tr.epochs / tr.tiled_serial_sec;
+  const double par_sps = samples_per_epoch * tr.epochs / tr.tiled_parallel_sec;
+
+  std::printf("{\n");
+  std::printf("  \"gemm\": [\n");
+  for (std::size_t i = 0; i < gemms.size(); ++i) {
+    const auto& g = gemms[i];
+    std::printf("    {\"name\": \"%s\", \"m\": %d, \"k\": %d, \"n\": %d, "
+                "\"naive_gflops\": %.3f, \"tiled_gflops\": %.3f, \"speedup\": %.2f}%s\n",
+                g.name.c_str(), g.m, g.k, g.n, g.naive_gflops, g.tiled_gflops,
+                g.tiled_gflops / g.naive_gflops, i + 1 < gemms.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"trainer\": {\n");
+  std::printf("    \"num_samples\": %d, \"epochs\": %d, \"pool_threads\": %u,\n",
+              tr.num_samples, tr.epochs, tr.pool_threads);
+  std::printf("    \"seed_serial_sec\": %.3f, \"seed_serial_samples_per_sec\": %.1f,\n",
+              tr.seed_serial_sec, seed_sps);
+  std::printf("    \"tiled_serial_sec\": %.3f, \"tiled_serial_samples_per_sec\": %.1f,\n",
+              tr.tiled_serial_sec, tiled_sps);
+  std::printf("    \"tiled_parallel8_sec\": %.3f, \"tiled_parallel8_samples_per_sec\": %.1f,\n",
+              tr.tiled_parallel_sec, par_sps);
+  std::printf("    \"speedup_tiled_serial_vs_seed\": %.2f,\n",
+              tr.seed_serial_sec / tr.tiled_serial_sec);
+  std::printf("    \"speedup_parallel8_vs_seed\": %.2f\n",
+              tr.seed_serial_sec / tr.tiled_parallel_sec);
+  std::printf("  }\n");
+  std::printf("}\n");
+  return 0;
+}

@@ -29,6 +29,10 @@ M3Model::M3Model(const M3ModelConfig& cfg) : cfg_(cfg) {
 
 ml::Var M3Model::Forward(ml::Graph& g, const ml::Tensor& fg_feat, const ml::Tensor& bg_seq,
                          const ml::Tensor& spec, bool use_context) {
+  // Upper bound on tape length: encoder prologue + per-block ops (which
+  // grow with the head count) + the MLP head and loss nodes.
+  g.Reserve(32 + static_cast<std::size_t>(cfg_.num_layers) *
+                     (48 + 16 * static_cast<std::size_t>(cfg_.num_heads)));
   ml::Var ctx = use_context ? bg_encoder_.Encode(g, bg_seq)
                             : g.Input(ml::Tensor::Zeros(1, cfg_.d_model));
   ml::Var in = g.ConcatCols({g.Input(fg_feat), ctx, g.Input(spec)});

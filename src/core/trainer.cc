@@ -1,21 +1,95 @@
 #include "core/trainer.h"
 
+#include <algorithm>
+#include <array>
 #include <cstdio>
 #include <numeric>
+#include <unordered_map>
+
+#include "ml/kernels.h"
+#include "util/parallel.h"
 
 namespace m3 {
+namespace {
+
+// Per-slot parameter-gradient buffers for data-parallel minibatches.
+//
+// A batch is split into kGradSlots contiguous sample ranges ("slots"); each
+// slot accumulates its samples' gradients, in sample order, into its own
+// buffers, and the slots are then reduced into Parameter::grad in slot
+// order. Both orders depend only on the batch layout — never on thread
+// count or scheduling — so training is bitwise deterministic for any
+// number of workers (float addition is not associative, so a fixed
+// reduction tree is the only way to get identical parameters).
+constexpr std::size_t kGradSlots = 8;
+
+class GradSlots {
+ public:
+  explicit GradSlots(const std::vector<ml::Parameter*>& params) : params_(params) {
+    index_.reserve(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) index_[params[i]] = i;
+    for (auto& slot : grads_) {
+      slot.resize(params.size());
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        slot[i] = ml::Tensor::Zeros(params[i]->value.rows(), params[i]->value.cols());
+      }
+    }
+  }
+
+  /// Gradient sink for Graph::Backward routing parameter grads to `slot`.
+  std::function<ml::Tensor&(ml::Parameter&)> SinkFor(std::size_t slot) {
+    return [this, slot](ml::Parameter& p) -> ml::Tensor& {
+      return grads_[slot][index_.at(&p)];
+    };
+  }
+
+  /// Reduces all slots into Parameter::grad in slot order (scaled by
+  /// `alpha`, the minibatch 1/n factor) and zeroes the buffers for the
+  /// next batch. Single pass over memory per parameter; the element-wise
+  /// addition order is the slot order, so the result is bitwise identical
+  /// to summing the slots one at a time.
+  void ReduceIntoParams(std::size_t slots_used, float alpha) {
+    std::array<float*, kGradSlots> srcs;
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      for (std::size_t s = 0; s < slots_used; ++s) srcs[s] = grads_[s][i].data();
+      ml::kernels::ReduceScaleAndZero(params_[i]->grad.data(), srcs.data(), slots_used,
+                                      grads_[0][i].size(), alpha);
+    }
+  }
+
+ private:
+  const std::vector<ml::Parameter*>& params_;
+  std::unordered_map<const ml::Parameter*, std::size_t> index_;
+  std::array<std::vector<ml::Tensor>, kGradSlots> grads_;
+};
+
+double SampleLoss(M3Model& model, const Sample& s, bool use_context, bool use_baseline,
+                  ml::Graph& g, ml::Var* loss_out) {
+  ml::Var pred = model.Forward(g, s.fg_feat, s.bg_seq, s.spec, use_context);
+  if (use_baseline) pred = g.Add(pred, g.Input(s.baseline));
+  const ml::Var loss = g.L1Loss(pred, g.Input(s.target), g.Input(s.mask));
+  if (loss_out != nullptr) *loss_out = loss;
+  return static_cast<double>(g.value(loss).at(0, 0));
+}
+
+}  // namespace
 
 double EvaluateLoss(M3Model& model, const std::vector<Sample>& samples, bool use_context,
-                    bool use_baseline) {
+                    bool use_baseline, unsigned num_threads) {
   if (samples.empty()) return 0.0;
+  // Forward passes only touch shared state read-only, so samples can run
+  // on pool workers; per-sample losses are summed in index order so the
+  // result is independent of thread count.
+  std::vector<double> losses(samples.size());
+  ParallelFor(
+      samples.size(),
+      [&](std::size_t i) {
+        ml::Graph g;
+        losses[i] = SampleLoss(model, samples[i], use_context, use_baseline, g, nullptr);
+      },
+      num_threads);
   double total = 0.0;
-  for (const Sample& s : samples) {
-    ml::Graph g;
-    ml::Var pred = model.Forward(g, s.fg_feat, s.bg_seq, s.spec, use_context);
-    if (use_baseline) pred = g.Add(pred, g.Input(s.baseline));
-    const ml::Var loss = g.L1Loss(pred, g.Input(s.target), g.Input(s.mask));
-    total += static_cast<double>(g.value(loss).at(0, 0));
-  }
+  for (double l : losses) total += l;
   return total / static_cast<double>(samples.size());
 }
 
@@ -42,6 +116,9 @@ TrainReport TrainModel(M3Model& model, const std::vector<Sample>& samples,
                                  .beta2 = 0.999f,
                                  .eps = 1e-8f,
                                  .grad_clip = 1.0f});
+  const std::vector<ml::Parameter*> params = model.params();
+  GradSlots slots(params);
+  std::vector<double> sample_loss(static_cast<std::size_t>(opts.batch_size));
 
   TrainReport report;
   for (int epoch = 0; epoch < opts.epochs; ++epoch) {
@@ -53,30 +130,46 @@ TrainReport TrainModel(M3Model& model, const std::vector<Sample>& samples,
       std::swap(train_idx[i - 1], train_idx[rng.NextBounded(i)]);
     }
     double epoch_loss = 0.0;
-    std::size_t batches = 0;
+    std::size_t epoch_samples = 0;
     for (std::size_t start = 0; start < train_idx.size();
          start += static_cast<std::size_t>(opts.batch_size)) {
       const std::size_t end =
           std::min(train_idx.size(), start + static_cast<std::size_t>(opts.batch_size));
-      double batch_loss = 0.0;
-      for (std::size_t k = start; k < end; ++k) {
-        const Sample& s = samples[train_idx[k]];
-        ml::Graph g;
-        ml::Var pred = model.Forward(g, s.fg_feat, s.bg_seq, s.spec, opts.use_context);
-        if (opts.use_baseline) pred = g.Add(pred, g.Input(s.baseline));
-        const ml::Var loss = g.L1Loss(pred, g.Input(s.target), g.Input(s.mask));
-        batch_loss += static_cast<double>(g.value(loss).at(0, 0));
-        g.Backward(loss);
-      }
-      adam.ScaleGrads(1.0f / static_cast<float>(end - start));
+      const std::size_t b = end - start;
+      // Slot layout depends only on the batch size: slot s owns the
+      // contiguous samples [s*per, (s+1)*per). Each slot runs its samples
+      // sequentially on one worker; slots run concurrently.
+      const std::size_t slots_used = std::min(b, kGradSlots);
+      const std::size_t per = (b + slots_used - 1) / slots_used;
+      ParallelFor(
+          slots_used,
+          [&](std::size_t s) {
+            const std::size_t k_begin = std::min(b, s * per);
+            const std::size_t k_end = std::min(b, (s + 1) * per);
+            for (std::size_t k = k_begin; k < k_end; ++k) {
+              const Sample& smp = samples[train_idx[start + k]];
+              ml::Graph g;
+              g.set_param_grad_sink(slots.SinkFor(s));
+              ml::Var loss;
+              sample_loss[k] =
+                  SampleLoss(model, smp, opts.use_context, opts.use_baseline, g, &loss);
+              g.Backward(loss);
+            }
+          },
+          opts.num_threads);
+      slots.ReduceIntoParams(slots_used, 1.0f / static_cast<float>(b));
       adam.Step();
-      epoch_loss += batch_loss / static_cast<double>(end - start);
-      ++batches;
+      // Per-sample batch loss summed in sample order (deterministic), and
+      // epoch loss weighted by batch size so unequal final batches do not
+      // skew the reported per-sample mean.
+      for (std::size_t k = 0; k < b; ++k) epoch_loss += sample_loss[k];
+      epoch_samples += b;
     }
-    report.train_loss.push_back(batches ? epoch_loss / static_cast<double>(batches) : 0.0);
+    report.train_loss.push_back(
+        epoch_samples ? epoch_loss / static_cast<double>(epoch_samples) : 0.0);
     if (!val_set.empty()) {
-      report.val_loss.push_back(
-          EvaluateLoss(model, val_set, opts.use_context, opts.use_baseline));
+      report.val_loss.push_back(EvaluateLoss(model, val_set, opts.use_context,
+                                             opts.use_baseline, opts.num_threads));
     }
     if (opts.verbose) {
       std::printf("epoch %3d  train %.4f  val %.4f\n", epoch, report.train_loss.back(),

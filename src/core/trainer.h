@@ -22,6 +22,10 @@ struct TrainOptions {
   bool use_context = true;   // false trains the "m3 w/o context" ablation
   bool use_baseline = true;  // false trains an absolute (non-residual) head
   bool verbose = false;
+  // Worker cap for data-parallel batches (0 = full thread pool). Training
+  // is deterministic for any value: gradients reduce in a fixed slot
+  // order, so the final parameters are bitwise identical at any width.
+  unsigned num_threads = 0;
   // When set, the model is checkpointed here every `checkpoint_every`
   // epochs (and training can be resumed or interrupted safely).
   std::string checkpoint_path;
@@ -37,7 +41,10 @@ TrainReport TrainModel(M3Model& model, const std::vector<Sample>& samples,
                        const TrainOptions& opts);
 
 /// Mean masked L1 loss of the model over a sample set (no training).
+/// Samples are evaluated on pool workers; the result is deterministic
+/// (per-sample losses are summed in index order).
 double EvaluateLoss(M3Model& model, const std::vector<Sample>& samples,
-                    bool use_context = true, bool use_baseline = true);
+                    bool use_context = true, bool use_baseline = true,
+                    unsigned num_threads = 0);
 
 }  // namespace m3

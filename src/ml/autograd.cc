@@ -3,12 +3,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ml/kernels.h"
+
 namespace m3::ml {
 namespace {
 
 constexpr float kRmsEps = 1e-6f;
-
-float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
 
 void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
   if (a.rows() != b.rows() || a.cols() != b.cols()) {
@@ -25,8 +25,27 @@ Var Graph::Emit(Node node) {
 
 Tensor& Graph::MutableGrad(std::int32_t id) {
   Node& n = nodes_[static_cast<std::size_t>(id)];
-  if (n.grad.empty()) n.grad = Tensor::Zeros(n.val.rows(), n.val.cols());
+  if (n.op == Op::kParam) return ParamGradTarget(n);
+  if (n.grad.empty()) {
+    const Tensor& v = NodeValue(n);
+    n.grad = Tensor::Zeros(v.rows(), v.cols());
+  }
   return n.grad;
+}
+
+void Graph::AccumulateGrad(std::int32_t id, const Tensor& t) {
+  Node& n = nodes_[static_cast<std::size_t>(id)];
+  if (n.op == Op::kParam) {
+    ParamGradTarget(n).AddInPlace(t);
+    return;
+  }
+  // First touch copies instead of zero-filling then adding: the whole
+  // tensor is overwritten either way.
+  if (n.grad.empty()) {
+    n.grad = t;
+  } else {
+    n.grad.AddInPlace(t);
+  }
 }
 
 Var Graph::Input(Tensor value) {
@@ -38,7 +57,9 @@ Var Graph::Input(Tensor value) {
 
 Var Graph::Param(Parameter* param) {
   Node n;
-  n.val = param->value;  // copy keeps the tape self-contained
+  n.ref = &param->value;  // aliased, not copied: ~40% of the old tape bytes
+                          // were parameter copies (the param outlives the
+                          // graph and is only updated between episodes)
   n.op = Op::kParam;
   n.param = param;
   return Emit(std::move(n));
@@ -49,16 +70,7 @@ Var Graph::MatMul(Var a, Var b) {
   const Tensor& B = value(b);
   if (A.cols() != B.rows()) throw std::invalid_argument("MatMul: inner dims differ");
   Tensor out(A.rows(), B.cols());
-  const int m = A.rows(), k = A.cols(), n = B.cols();
-  for (int i = 0; i < m; ++i) {
-    for (int p = 0; p < k; ++p) {
-      const float av = A.at(i, p);
-      if (av == 0.0f) continue;
-      const float* brow = B.data() + static_cast<std::size_t>(p) * n;
-      float* orow = out.data() + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  kernels::GemmAccum(A.data(), B.data(), out.data(), A.rows(), A.cols(), B.cols());
   Node node;
   node.val = std::move(out);
   node.op = Op::kMatMul;
@@ -71,10 +83,8 @@ Var Graph::Add(Var a, Var b) {
   const Tensor& B = value(b);
   Node node;
   if (B.rows() == 1 && A.rows() != 1 && B.cols() == A.cols()) {
-    Tensor out = A;
-    for (int i = 0; i < A.rows(); ++i) {
-      for (int j = 0; j < A.cols(); ++j) out.at(i, j) += B.at(0, j);
-    }
+    Tensor out(A.rows(), A.cols());
+    kernels::BiasAddRows(out.data(), A.data(), B.data(), A.rows(), A.cols());
     node.val = std::move(out);
     node.op = Op::kAddBroadcast;
   } else {
@@ -93,7 +103,7 @@ Var Graph::Sub(Var a, Var b) {
   const Tensor& B = value(b);
   CheckSameShape(A, B, "Sub");
   Tensor out = A;
-  for (std::size_t i = 0; i < out.size(); ++i) out.vec()[i] -= B.vec()[i];
+  kernels::AxpyAccum(out.data(), B.data(), -1.0f, out.size());
   Node node;
   node.val = std::move(out);
   node.op = Op::kSub;
@@ -126,8 +136,9 @@ Var Graph::Scale(Var a, float s) {
 }
 
 Var Graph::Relu(Var a) {
-  Tensor out = value(a);
-  for (float& v : out.vec()) v = v > 0.0f ? v : 0.0f;
+  const Tensor& A = value(a);
+  Tensor out(A.rows(), A.cols());
+  kernels::ReluForward(out.data(), A.data(), A.size());
   Node node;
   node.val = std::move(out);
   node.op = Op::kRelu;
@@ -136,8 +147,9 @@ Var Graph::Relu(Var a) {
 }
 
 Var Graph::Gelu(Var a) {
-  Tensor out = value(a);
-  for (float& v : out.vec()) v = v * Sigmoid(1.702f * v);
+  const Tensor& A = value(a);
+  Tensor out(A.rows(), A.cols());
+  kernels::GeluForward(out.data(), A.data(), A.size());
   Node node;
   node.val = std::move(out);
   node.op = Op::kGelu;
@@ -157,16 +169,7 @@ Var Graph::Tanh(Var a) {
 
 Var Graph::Softmax(Var a) {
   Tensor out = value(a);
-  for (int i = 0; i < out.rows(); ++i) {
-    float mx = out.at(i, 0);
-    for (int j = 1; j < out.cols(); ++j) mx = std::max(mx, out.at(i, j));
-    float sum = 0.0f;
-    for (int j = 0; j < out.cols(); ++j) {
-      out.at(i, j) = std::exp(out.at(i, j) - mx);
-      sum += out.at(i, j);
-    }
-    for (int j = 0; j < out.cols(); ++j) out.at(i, j) /= sum;
-  }
+  kernels::SoftmaxRows(out.data(), out.rows(), out.cols());
   Node node;
   node.val = std::move(out);
   node.op = Op::kSoftmax;
@@ -252,9 +255,7 @@ Var Graph::SliceCols(Var a, int start, int len) {
 Var Graph::MeanRows(Var a) {
   const Tensor& A = value(a);
   Tensor out(1, A.cols());
-  for (int i = 0; i < A.rows(); ++i) {
-    for (int j = 0; j < A.cols(); ++j) out.at(0, j) += A.at(i, j);
-  }
+  kernels::ColSumAccum(out.data(), A.data(), A.rows(), A.cols());
   for (float& v : out.vec()) v /= static_cast<float>(A.rows());
   Node node;
   node.val = std::move(out);
@@ -315,7 +316,11 @@ void Graph::Backward(Var loss) {
   if (L.rows() != 1 || L.cols() != 1) {
     throw std::invalid_argument("Backward: loss must be scalar [1,1]");
   }
-  MutableGrad(loss.id).at(0, 0) = 1.0f;
+  {
+    Tensor seed(1, 1);
+    seed.at(0, 0) = 1.0f;
+    AccumulateGrad(loss.id, seed);
+  }
 
   for (std::int32_t id = static_cast<std::int32_t>(nodes_.size()) - 1; id >= 0; --id) {
     Node& n = nodes_[static_cast<std::size_t>(id)];
@@ -325,57 +330,37 @@ void Graph::Backward(Var loss) {
       case Op::kInput:
         break;
       case Op::kParam:
-        n.param->grad.AddInPlace(go);
-        break;
+        break;  // gradient already accumulated directly via ParamGradTarget
       case Op::kMatMul: {
-        const Tensor& A = nodes_[static_cast<std::size_t>(n.in[0])].val;
-        const Tensor& B = nodes_[static_cast<std::size_t>(n.in[1])].val;
+        const Tensor& A = NodeValue(nodes_[static_cast<std::size_t>(n.in[0])]);
+        const Tensor& B = NodeValue(nodes_[static_cast<std::size_t>(n.in[1])]);
         Tensor& ga = MutableGrad(n.in[0]);
         Tensor& gb = MutableGrad(n.in[1]);
         const int m = A.rows(), k = A.cols(), c = B.cols();
-        // ga += go * B^T
-        for (int i = 0; i < m; ++i) {
-          for (int j = 0; j < c; ++j) {
-            const float g = go.at(i, j);
-            if (g == 0.0f) continue;
-            const float* brow = B.data();
-            for (int p = 0; p < k; ++p) ga.at(i, p) += g * brow[static_cast<std::size_t>(p) * c + j];
-          }
-        }
-        // gb += A^T * go
-        for (int p = 0; p < k; ++p) {
-          for (int i = 0; i < m; ++i) {
-            const float a = A.at(i, p);
-            if (a == 0.0f) continue;
-            const float* grow = go.data() + static_cast<std::size_t>(i) * c;
-            float* gbrow = gb.data() + static_cast<std::size_t>(p) * c;
-            for (int j = 0; j < c; ++j) gbrow[j] += a * grow[j];
-          }
-        }
+        kernels::GemmAccumNT(go.data(), B.data(), ga.data(), m, c, k);
+        kernels::GemmAccumTN(A.data(), go.data(), gb.data(), m, k, c);
         break;
       }
       case Op::kAdd: {
-        MutableGrad(n.in[0]).AddInPlace(go);
-        MutableGrad(n.in[1]).AddInPlace(go);
+        AccumulateGrad(n.in[0], go);
+        AccumulateGrad(n.in[1], go);
         break;
       }
       case Op::kAddBroadcast: {
-        MutableGrad(n.in[0]).AddInPlace(go);
+        AccumulateGrad(n.in[0], go);
         Tensor& gb = MutableGrad(n.in[1]);
-        for (int i = 0; i < go.rows(); ++i) {
-          for (int j = 0; j < go.cols(); ++j) gb.at(0, j) += go.at(i, j);
-        }
+        kernels::ColSumAccum(gb.data(), go.data(), go.rows(), go.cols());
         break;
       }
       case Op::kSub: {
-        MutableGrad(n.in[0]).AddInPlace(go);
+        AccumulateGrad(n.in[0], go);
         Tensor& gb = MutableGrad(n.in[1]);
-        for (std::size_t i = 0; i < go.size(); ++i) gb.vec()[i] -= go.vec()[i];
+        kernels::AxpyAccum(gb.data(), go.data(), -1.0f, go.size());
         break;
       }
       case Op::kMul: {
-        const Tensor& A = nodes_[static_cast<std::size_t>(n.in[0])].val;
-        const Tensor& B = nodes_[static_cast<std::size_t>(n.in[1])].val;
+        const Tensor& A = NodeValue(nodes_[static_cast<std::size_t>(n.in[0])]);
+        const Tensor& B = NodeValue(nodes_[static_cast<std::size_t>(n.in[1])]);
         Tensor& ga = MutableGrad(n.in[0]);
         Tensor& gb = MutableGrad(n.in[1]);
         for (std::size_t i = 0; i < go.size(); ++i) {
@@ -386,25 +371,19 @@ void Graph::Backward(Var loss) {
       }
       case Op::kScale: {
         Tensor& ga = MutableGrad(n.in[0]);
-        for (std::size_t i = 0; i < go.size(); ++i) ga.vec()[i] += go.vec()[i] * n.scalar;
+        kernels::AxpyAccum(ga.data(), go.data(), n.scalar, go.size());
         break;
       }
       case Op::kRelu: {
-        const Tensor& X = nodes_[static_cast<std::size_t>(n.in[0])].val;
+        const Tensor& X = NodeValue(nodes_[static_cast<std::size_t>(n.in[0])]);
         Tensor& ga = MutableGrad(n.in[0]);
-        for (std::size_t i = 0; i < go.size(); ++i) {
-          if (X.vec()[i] > 0.0f) ga.vec()[i] += go.vec()[i];
-        }
+        kernels::ReluBackwardAccum(ga.data(), go.data(), X.data(), go.size());
         break;
       }
       case Op::kGelu: {
-        const Tensor& X = nodes_[static_cast<std::size_t>(n.in[0])].val;
+        const Tensor& X = NodeValue(nodes_[static_cast<std::size_t>(n.in[0])]);
         Tensor& ga = MutableGrad(n.in[0]);
-        for (std::size_t i = 0; i < go.size(); ++i) {
-          const float x = X.vec()[i];
-          const float s = Sigmoid(1.702f * x);
-          ga.vec()[i] += go.vec()[i] * (s + x * 1.702f * s * (1.0f - s));
-        }
+        kernels::GeluBackwardAccum(ga.data(), go.data(), X.data(), go.size());
         break;
       }
       case Op::kTanh: {
@@ -417,13 +396,8 @@ void Graph::Backward(Var loss) {
       }
       case Op::kSoftmax: {
         Tensor& ga = MutableGrad(n.in[0]);
-        for (int i = 0; i < n.val.rows(); ++i) {
-          float dot = 0.0f;
-          for (int j = 0; j < n.val.cols(); ++j) dot += go.at(i, j) * n.val.at(i, j);
-          for (int j = 0; j < n.val.cols(); ++j) {
-            ga.at(i, j) += n.val.at(i, j) * (go.at(i, j) - dot);
-          }
-        }
+        kernels::SoftmaxBackwardAccum(ga.data(), go.data(), n.val.data(), n.val.rows(),
+                                      n.val.cols());
         break;
       }
       case Op::kTranspose: {
@@ -434,8 +408,8 @@ void Graph::Backward(Var loss) {
         break;
       }
       case Op::kRmsNorm: {
-        const Tensor& X = nodes_[static_cast<std::size_t>(n.in[0])].val;
-        const Tensor& G = nodes_[static_cast<std::size_t>(n.in[1])].val;
+        const Tensor& X = NodeValue(nodes_[static_cast<std::size_t>(n.in[0])]);
+        const Tensor& G = NodeValue(nodes_[static_cast<std::size_t>(n.in[1])]);
         Tensor& gx = MutableGrad(n.in[0]);
         Tensor& gg = MutableGrad(n.in[1]);
         const int c = X.cols();
@@ -482,9 +456,9 @@ void Graph::Backward(Var loss) {
         break;
       }
       case Op::kL1Loss: {
-        const Tensor& P = nodes_[static_cast<std::size_t>(n.in[0])].val;
-        const Tensor& T = nodes_[static_cast<std::size_t>(n.in[1])].val;
-        const Tensor& M = nodes_[static_cast<std::size_t>(n.in[2])].val;
+        const Tensor& P = NodeValue(nodes_[static_cast<std::size_t>(n.in[0])]);
+        const Tensor& T = NodeValue(nodes_[static_cast<std::size_t>(n.in[1])]);
+        const Tensor& M = NodeValue(nodes_[static_cast<std::size_t>(n.in[2])]);
         Tensor& gp = MutableGrad(n.in[0]);
         const float g = go.at(0, 0) / n.scalar;
         for (std::size_t i = 0; i < P.size(); ++i) {
@@ -494,9 +468,9 @@ void Graph::Backward(Var loss) {
         break;
       }
       case Op::kMseLoss: {
-        const Tensor& P = nodes_[static_cast<std::size_t>(n.in[0])].val;
-        const Tensor& T = nodes_[static_cast<std::size_t>(n.in[1])].val;
-        const Tensor& M = nodes_[static_cast<std::size_t>(n.in[2])].val;
+        const Tensor& P = NodeValue(nodes_[static_cast<std::size_t>(n.in[0])]);
+        const Tensor& T = NodeValue(nodes_[static_cast<std::size_t>(n.in[1])]);
+        const Tensor& M = NodeValue(nodes_[static_cast<std::size_t>(n.in[2])]);
         Tensor& gp = MutableGrad(n.in[0]);
         const float g = go.at(0, 0) / n.scalar;
         for (std::size_t i = 0; i < P.size(); ++i) {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "ml/tensor.h"
@@ -20,6 +21,18 @@ struct Var {
 
 class Graph {
  public:
+  /// Pre-sizes the tape for a forward episode (avoids vector regrowth;
+  /// call before the first op with an upper bound on the node count).
+  void Reserve(std::size_t nodes) { nodes_.reserve(nodes); }
+
+  /// Redirects parameter-gradient accumulation: when set, Backward()
+  /// accumulates into sink(param) instead of param.grad. Used for
+  /// per-thread gradient buffers in data-parallel training; the returned
+  /// tensor must have the parameter's shape and outlive Backward().
+  void set_param_grad_sink(std::function<Tensor&(Parameter&)> sink) {
+    param_grad_sink_ = std::move(sink);
+  }
+
   /// Leaf holding a constant (no gradient flows out of the graph).
   Var Input(Tensor value);
 
@@ -45,7 +58,7 @@ class Graph {
   Var L1Loss(Var pred, Var target, Var mask);  // -> [1,1]; mask in {0,1}
   Var MseLoss(Var pred, Var target, Var mask); // -> [1,1]
 
-  const Tensor& value(Var v) const { return nodes_[static_cast<std::size_t>(v.id)].val; }
+  const Tensor& value(Var v) const { return NodeValue(nodes_[static_cast<std::size_t>(v.id)]); }
   const Tensor& grad(Var v) const { return nodes_[static_cast<std::size_t>(v.id)].grad; }
 
   /// Seeds d(loss)=1 and back-propagates through the tape. `loss` must be
@@ -62,8 +75,10 @@ class Graph {
   };
 
   struct Node {
-    Tensor val;
-    Tensor grad;  // allocated lazily in Backward
+    Tensor val;                // owned value (empty for kParam: see `ref`)
+    const Tensor* ref = nullptr;  // kParam aliases param->value instead of copying
+    Tensor grad;  // allocated lazily in Backward (unused for kParam, whose
+                  // gradient goes straight to the parameter / sink buffer)
     Op op = Op::kInput;
     std::vector<std::int32_t> in;
     Parameter* param = nullptr;
@@ -71,10 +86,20 @@ class Graph {
     int aux = 0;          // slice length
   };
 
+  static const Tensor& NodeValue(const Node& n) { return n.ref ? *n.ref : n.val; }
+
   Var Emit(Node node);
+  /// Gradient buffer for the node: param nodes resolve to the parameter's
+  /// grad (or the sink buffer), so GEMM backward accumulates there
+  /// directly with no intermediate per-node tensor.
   Tensor& MutableGrad(std::int32_t id);
+  void AccumulateGrad(std::int32_t id, const Tensor& t);
+  Tensor& ParamGradTarget(Node& n) {
+    return param_grad_sink_ ? param_grad_sink_(*n.param) : n.param->grad;
+  }
 
   std::vector<Node> nodes_;
+  std::function<Tensor&(Parameter&)> param_grad_sink_;
   bool backward_done_ = false;
 };
 

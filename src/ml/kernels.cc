@@ -1,0 +1,363 @@
+// Tiled kernel implementations. This translation unit is compiled with
+// aggressive optimization flags (see src/CMakeLists.txt, M3_KERNEL_NATIVE),
+// so the loops below are written to autovectorize: contiguous unit-stride
+// inner loops, restrict-qualified pointers, and register-resident
+// accumulator tiles with compile-time extents.
+#include "ml/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+
+#if defined(__GNUC__)
+#define M3_RESTRICT __restrict__
+#else
+#define M3_RESTRICT
+#endif
+
+namespace m3::ml::kernels {
+namespace {
+
+std::atomic<bool> g_use_tiled{true};
+
+inline float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+// Micro-tile extents. kMr rows of C are updated at once so each loaded
+// B-row segment is reused kMr times; kNc columns of C live in a local
+// accumulator that stays in L1/registers across the whole k loop instead
+// of being streamed through memory once per k step.
+constexpr int kMr = 4;
+constexpr int kNc = 64;
+
+// C[i0..i0+ib, j0..j0+jb) += A[i0.., :] * B[:, j0..) with the C tile held
+// in `acc` (fixed stride kNc so the compiler sees constant offsets).
+inline void MicroKernel(const float* M3_RESTRICT a, const float* M3_RESTRICT b,
+                        float* M3_RESTRICT c, int m, int k, int n, int i0, int ib,
+                        int j0, int jb) {
+  float acc[kMr * kNc];
+  for (int r = 0; r < ib; ++r) {
+    std::memcpy(acc + r * kNc, c + static_cast<std::size_t>(i0 + r) * n + j0,
+                static_cast<std::size_t>(jb) * sizeof(float));
+  }
+  if (ib == kMr) {
+    // Full-height tile: fixed row count lets the compiler keep all four
+    // broadcast scalars live and fuse the four AXPYs into one pass over b.
+    for (int p = 0; p < k; ++p) {
+      const float* M3_RESTRICT bp = b + static_cast<std::size_t>(p) * n + j0;
+      const float a0 = a[static_cast<std::size_t>(i0 + 0) * k + p];
+      const float a1 = a[static_cast<std::size_t>(i0 + 1) * k + p];
+      const float a2 = a[static_cast<std::size_t>(i0 + 2) * k + p];
+      const float a3 = a[static_cast<std::size_t>(i0 + 3) * k + p];
+      for (int j = 0; j < jb; ++j) {
+        const float bv = bp[j];
+        acc[0 * kNc + j] += a0 * bv;
+        acc[1 * kNc + j] += a1 * bv;
+        acc[2 * kNc + j] += a2 * bv;
+        acc[3 * kNc + j] += a3 * bv;
+      }
+    }
+  } else {
+    for (int p = 0; p < k; ++p) {
+      const float* M3_RESTRICT bp = b + static_cast<std::size_t>(p) * n + j0;
+      for (int r = 0; r < ib; ++r) {
+        const float av = a[static_cast<std::size_t>(i0 + r) * k + p];
+        float* M3_RESTRICT accr = acc + r * kNc;
+        for (int j = 0; j < jb; ++j) accr[j] += av * bp[j];
+      }
+    }
+  }
+  for (int r = 0; r < ib; ++r) {
+    std::memcpy(c + static_cast<std::size_t>(i0 + r) * n + j0, acc + r * kNc,
+                static_cast<std::size_t>(jb) * sizeof(float));
+  }
+  (void)m;
+}
+
+void GemmAccumTiled(const float* M3_RESTRICT a, const float* M3_RESTRICT b,
+                    float* M3_RESTRICT c, int m, int k, int n) {
+  for (int j0 = 0; j0 < n; j0 += kNc) {
+    const int jb = std::min(kNc, n - j0);
+    for (int i0 = 0; i0 < m; i0 += kMr) {
+      const int ib = std::min(kMr, m - i0);
+      MicroKernel(a, b, c, m, k, n, i0, ib, j0, jb);
+    }
+  }
+}
+
+// dA[i,p] = dot(dC[i,:], B[p,:]) — both operands walked with unit stride
+// (the seed's loop nest walked B column-wise with stride n). Four B rows
+// are processed per pass so each loaded dC segment is reused, and eight
+// independent accumulators per dot product keep the reduction vectorizable
+// without reassociating a single serial sum.
+void GemmAccumNTTiled(const float* M3_RESTRICT dc, const float* M3_RESTRICT b,
+                      float* M3_RESTRICT da, int m, int n, int k) {
+  constexpr int kPr = 4;   // B rows (= dA columns) per pass
+  constexpr int kLanes = 8;
+  for (int i = 0; i < m; ++i) {
+    const float* M3_RESTRICT gi = dc + static_cast<std::size_t>(i) * n;
+    float* M3_RESTRICT dai = da + static_cast<std::size_t>(i) * k;
+    int p0 = 0;
+    for (; p0 + kPr <= k; p0 += kPr) {
+      float lanes[kPr][kLanes] = {};
+      int j = 0;
+      for (; j + kLanes <= n; j += kLanes) {
+        for (int r = 0; r < kPr; ++r) {
+          const float* M3_RESTRICT bp = b + static_cast<std::size_t>(p0 + r) * n + j;
+          const float* M3_RESTRICT gj = gi + j;
+          for (int l = 0; l < kLanes; ++l) lanes[r][l] += gj[l] * bp[l];
+        }
+      }
+      for (; j < n; ++j) {
+        for (int r = 0; r < kPr; ++r) {
+          lanes[r][0] += gi[j] * b[static_cast<std::size_t>(p0 + r) * n + j];
+        }
+      }
+      for (int r = 0; r < kPr; ++r) {
+        float s = 0.0f;
+        for (int l = 0; l < kLanes; ++l) s += lanes[r][l];
+        dai[p0 + r] += s;
+      }
+    }
+    for (; p0 < k; ++p0) {
+      const float* M3_RESTRICT bp = b + static_cast<std::size_t>(p0) * n;
+      float lanes[kLanes] = {};
+      int j = 0;
+      for (; j + kLanes <= n; j += kLanes) {
+        for (int l = 0; l < kLanes; ++l) lanes[l] += gi[j + l] * bp[j + l];
+      }
+      for (; j < n; ++j) lanes[0] += gi[j] * bp[j];
+      float s = 0.0f;
+      for (int l = 0; l < kLanes; ++l) s += lanes[l];
+      dai[p0] += s;
+    }
+  }
+}
+
+// dB[p,:] += sum_i A[i,p] * dC[i,:] — same register-tile shape as the
+// forward kernel with the roles of A and C swapped: a kMr-column strip of
+// A drives rank-1 updates into a dB tile held in local accumulators.
+void GemmAccumTNTiled(const float* M3_RESTRICT a, const float* M3_RESTRICT dc,
+                      float* M3_RESTRICT db, int m, int k, int n) {
+  if (m <= 16) {
+    // Short-m fast path (the common case here: m is a sequence length or
+    // 1). dB is the large streamed operand; each of its rows is read and
+    // written exactly once while all m dC rows stay in L1, and the tile
+    // buffer round-trip above would only add copy traffic.
+    for (int p = 0; p < k; ++p) {
+      float* M3_RESTRICT dbrow = db + static_cast<std::size_t>(p) * n;
+      for (int i = 0; i < m; ++i) {
+        const float av = a[static_cast<std::size_t>(i) * k + p];
+        const float* M3_RESTRICT gi = dc + static_cast<std::size_t>(i) * n;
+        for (int j = 0; j < n; ++j) dbrow[j] += av * gi[j];
+      }
+    }
+    return;
+  }
+  for (int j0 = 0; j0 < n; j0 += kNc) {
+    const int jb = std::min(kNc, n - j0);
+    for (int p0 = 0; p0 < k; p0 += kMr) {
+      const int pb = std::min(kMr, k - p0);
+      float acc[kMr * kNc];
+      for (int r = 0; r < pb; ++r) {
+        std::memcpy(acc + r * kNc, db + static_cast<std::size_t>(p0 + r) * n + j0,
+                    static_cast<std::size_t>(jb) * sizeof(float));
+      }
+      if (pb == kMr) {
+        for (int i = 0; i < m; ++i) {
+          const float* M3_RESTRICT gi = dc + static_cast<std::size_t>(i) * n + j0;
+          const float* ap = a + static_cast<std::size_t>(i) * k + p0;
+          const float a0 = ap[0], a1 = ap[1], a2 = ap[2], a3 = ap[3];
+          for (int j = 0; j < jb; ++j) {
+            const float gv = gi[j];
+            acc[0 * kNc + j] += a0 * gv;
+            acc[1 * kNc + j] += a1 * gv;
+            acc[2 * kNc + j] += a2 * gv;
+            acc[3 * kNc + j] += a3 * gv;
+          }
+        }
+      } else {
+        for (int i = 0; i < m; ++i) {
+          const float* M3_RESTRICT gi = dc + static_cast<std::size_t>(i) * n + j0;
+          const float* ap = a + static_cast<std::size_t>(i) * k + p0;
+          for (int r = 0; r < pb; ++r) {
+            const float av = ap[r];
+            float* M3_RESTRICT accr = acc + r * kNc;
+            for (int j = 0; j < jb; ++j) accr[j] += av * gi[j];
+          }
+        }
+      }
+      for (int r = 0; r < pb; ++r) {
+        std::memcpy(db + static_cast<std::size_t>(p0 + r) * n + j0, acc + r * kNc,
+                    static_cast<std::size_t>(jb) * sizeof(float));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void SetUseTiled(bool use_tiled) { g_use_tiled.store(use_tiled, std::memory_order_relaxed); }
+bool UseTiled() { return g_use_tiled.load(std::memory_order_relaxed); }
+
+void GemmAccum(const float* a, const float* b, float* c, int m, int k, int n) {
+  if (UseTiled()) {
+    GemmAccumTiled(a, b, c, m, k, n);
+  } else {
+    GemmAccumNaive(a, b, c, m, k, n);
+  }
+}
+
+void GemmAccumNT(const float* dc, const float* b, float* da, int m, int n, int k) {
+  if (UseTiled()) {
+    GemmAccumNTTiled(dc, b, da, m, n, k);
+  } else {
+    GemmAccumNTNaive(dc, b, da, m, n, k);
+  }
+}
+
+void GemmAccumTN(const float* a, const float* dc, float* db, int m, int k, int n) {
+  if (UseTiled()) {
+    GemmAccumTNTiled(a, dc, db, m, k, n);
+  } else {
+    GemmAccumTNNaive(a, dc, db, m, k, n);
+  }
+}
+
+void BiasAddRows(float* out, const float* x, const float* bias, int rows, int cols) {
+  for (int r = 0; r < rows; ++r) {
+    float* M3_RESTRICT orow = out + static_cast<std::size_t>(r) * cols;
+    const float* M3_RESTRICT xrow = x + static_cast<std::size_t>(r) * cols;
+    for (int j = 0; j < cols; ++j) orow[j] = xrow[j] + bias[j];
+  }
+}
+
+void ColSumAccum(float* bg, const float* go, int rows, int cols) {
+  for (int r = 0; r < rows; ++r) {
+    const float* M3_RESTRICT grow = go + static_cast<std::size_t>(r) * cols;
+    for (int j = 0; j < cols; ++j) bg[j] += grow[j];
+  }
+}
+
+void AxpyAccum(float* y, const float* x, float alpha, std::size_t size) {
+  float* M3_RESTRICT yp = y;
+  const float* M3_RESTRICT xp = x;
+  for (std::size_t i = 0; i < size; ++i) yp[i] += alpha * xp[i];
+}
+
+void AddAndZero(float* dst, float* src, std::size_t size) {
+  float* M3_RESTRICT d = dst;
+  float* M3_RESTRICT s = src;
+  for (std::size_t i = 0; i < size; ++i) {
+    d[i] += s[i];
+    s[i] = 0.0f;
+  }
+}
+
+void ReduceScaleAndZero(float* dst, float* const* srcs, std::size_t nsrcs, std::size_t size,
+                        float alpha) {
+  for (std::size_t i = 0; i < size; ++i) {
+    float acc = 0.0f;
+    for (std::size_t s = 0; s < nsrcs; ++s) {
+      acc += srcs[s][i];
+      srcs[s][i] = 0.0f;
+    }
+    dst[i] = acc * alpha;
+  }
+}
+
+void ScaleInPlace(float* x, float alpha, std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) x[i] *= alpha;
+}
+
+double SumSquares(const float* x, std::size_t size) {
+  if (!UseTiled()) return SumSquaresNaive(x, size);
+  // Eight independent double accumulators so the reduction vectorizes
+  // without changing the (documented, deterministic) summation order from
+  // run to run.
+  constexpr std::size_t kLanes = 8;
+  double lanes[kLanes] = {};
+  std::size_t i = 0;
+  for (; i + kLanes <= size; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const double g = static_cast<double>(x[i + l]);
+      lanes[l] += g * g;
+    }
+  }
+  for (; i < size; ++i) {
+    const double g = static_cast<double>(x[i]);
+    lanes[0] += g * g;
+  }
+  double total = 0.0;
+  for (std::size_t l = 0; l < kLanes; ++l) total += lanes[l];
+  return total;
+}
+
+void AdamStep(float* value, float* grad, float* m, float* v, std::size_t size,
+              float lr, float beta1, float beta2, float eps, float bc1, float bc2,
+              float gscale) {
+  float* M3_RESTRICT val = value;
+  float* M3_RESTRICT g = grad;
+  float* M3_RESTRICT mp = m;
+  float* M3_RESTRICT vp = v;
+  const float om1 = 1.0f - beta1;
+  const float om2 = 1.0f - beta2;
+  for (std::size_t i = 0; i < size; ++i) {
+    const float gi = g[i] * gscale;
+    g[i] = 0.0f;
+    const float mi = beta1 * mp[i] + om1 * gi;
+    const float vi = beta2 * vp[i] + om2 * gi * gi;
+    mp[i] = mi;
+    vp[i] = vi;
+    val[i] -= lr * (mi / bc1) / (std::sqrt(vi / bc2) + eps);
+  }
+}
+
+void ReluForward(float* dst, const float* src, std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+}
+
+void ReluBackwardAccum(float* ga, const float* go, const float* x, std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) {
+    if (x[i] > 0.0f) ga[i] += go[i];
+  }
+}
+
+void GeluForward(float* dst, const float* src, std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) dst[i] = src[i] * Sigmoid(1.702f * src[i]);
+}
+
+void GeluBackwardAccum(float* ga, const float* go, const float* x, std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) {
+    const float s = Sigmoid(1.702f * x[i]);
+    ga[i] += go[i] * (s + x[i] * 1.702f * s * (1.0f - s));
+  }
+}
+
+void SoftmaxRows(float* data, int rows, int cols) {
+  for (int r = 0; r < rows; ++r) {
+    float* M3_RESTRICT row = data + static_cast<std::size_t>(r) * cols;
+    float mx = row[0];
+    for (int j = 1; j < cols; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (int j = 0; j < cols; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      sum += row[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int j = 0; j < cols; ++j) row[j] *= inv;
+  }
+}
+
+void SoftmaxBackwardAccum(float* ga, const float* go, const float* y, int rows, int cols) {
+  for (int r = 0; r < rows; ++r) {
+    const float* M3_RESTRICT yrow = y + static_cast<std::size_t>(r) * cols;
+    const float* M3_RESTRICT grow = go + static_cast<std::size_t>(r) * cols;
+    float* M3_RESTRICT garow = ga + static_cast<std::size_t>(r) * cols;
+    float dot = 0.0f;
+    for (int j = 0; j < cols; ++j) dot += grow[j] * yrow[j];
+    for (int j = 0; j < cols; ++j) garow[j] += yrow[j] * (grow[j] - dot);
+  }
+}
+
+}  // namespace m3::ml::kernels

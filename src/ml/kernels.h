@@ -1,0 +1,109 @@
+// Compute kernels for the ML stack: cache-blocked row-major GEMM in the
+// three shapes autograd needs, fused bias-add, and vectorizable
+// elementwise loops. autograd.cc routes every hot loop through this layer.
+//
+// Two implementations are provided behind a runtime switch:
+//   - tiled:  register/cache-blocked kernels (kernels.cc, compiled with
+//             aggressive optimization flags when M3_KERNEL_NATIVE is on);
+//   - naive:  the seed's original triple loops (kernels_naive.cc, compiled
+//             with the project's default flags).
+// The naive path is kept as the parity reference for tests and as the
+// in-process "seed serial baseline" for bench/micro_ml_speed.cc, so the
+// speedup measurement does not depend on checking out an old revision.
+//
+// All kernels are deterministic: for a fixed implementation the floating
+// point summation order depends only on the operand shapes, never on
+// thread count or timing (the kernels themselves are single-threaded;
+// callers parallelize across independent problems).
+#pragma once
+
+#include <cstddef>
+
+namespace m3::ml::kernels {
+
+/// Selects the tiled (default) or naive reference implementation for the
+/// dispatching kernels below. Not thread-safe; flip only while no kernels
+/// are in flight (bench/test setup code).
+void SetUseTiled(bool use_tiled);
+bool UseTiled();
+
+// ----- GEMM family (row-major, accumulate into the output) -----
+//
+// Shapes follow autograd's MatMul: A [m,k], B [k,n], C/dC [m,n].
+
+/// C += A * B
+void GemmAccum(const float* a, const float* b, float* c, int m, int k, int n);
+
+/// dA += dC * B^T without materializing B^T (dC [m,n], B [k,n], dA [m,k]).
+void GemmAccumNT(const float* dc, const float* b, float* da, int m, int n, int k);
+
+/// dB += A^T * dC without materializing A^T (A [m,k], dC [m,n], dB [k,n]).
+void GemmAccumTN(const float* a, const float* dc, float* db, int m, int k, int n);
+
+// Naive reference versions (the seed's exact loop nests).
+void GemmAccumNaive(const float* a, const float* b, float* c, int m, int k, int n);
+void GemmAccumNTNaive(const float* dc, const float* b, float* da, int m, int n, int k);
+void GemmAccumTNNaive(const float* a, const float* dc, float* db, int m, int k, int n);
+
+// ----- fused / elementwise kernels -----
+
+/// out[r,:] = x[r,:] + bias[0,:] (fused broadcast bias-add; out may alias x).
+void BiasAddRows(float* out, const float* x, const float* bias, int rows, int cols);
+
+/// bg[0,:] += sum_r go[r,:] (bias gradient reduction).
+void ColSumAccum(float* bg, const float* go, int rows, int cols);
+
+/// y += alpha * x
+void AxpyAccum(float* y, const float* x, float alpha, std::size_t size);
+
+/// dst += src; src = 0 (single pass; gradient-slot reduction).
+void AddAndZero(float* dst, float* src, std::size_t size);
+
+/// dst[i] = alpha * (srcs[0][i] + srcs[1][i] + ...); srcs zeroed. One pass
+/// over memory instead of nsrcs+1 passes (dst is overwritten, not read, and
+/// the minibatch 1/n scaling rides along for free). The per-element addition
+/// order is the srcs order, so the result is independent of thread count.
+void ReduceScaleAndZero(float* dst, float* const* srcs, std::size_t nsrcs, std::size_t size,
+                        float alpha);
+
+/// x *= alpha
+void ScaleInPlace(float* x, float alpha, std::size_t size);
+
+/// sum of x[i]^2 accumulated in double (gradient-norm clipping).
+double SumSquares(const float* x, std::size_t size);
+
+/// One fused Adam update over a parameter block: given bias-correction
+/// terms bc1 = 1-beta1^t and bc2 = 1-beta2^t, reads each gradient as
+/// grad[i] * gscale (global-norm clip factor, 1 when not clipping),
+/// updates m/v in place, applies the step to `value`, and zeroes the
+/// gradient — one pass instead of clip-scale + step + zero.
+void AdamStep(float* value, float* grad, float* m, float* v, std::size_t size,
+              float lr, float beta1, float beta2, float eps, float bc1, float bc2,
+              float gscale);
+
+// Naive reference versions of the optimizer loops (seed's scalar code),
+// dispatched by SetUseTiled like the GEMMs so the bench baseline matches
+// the seed end to end.
+void AdamStepNaive(float* value, const float* grad, float* m, float* v, std::size_t size,
+                   float lr, float beta1, float beta2, float eps, float bc1, float bc2);
+double SumSquaresNaive(const float* x, std::size_t size);
+
+/// dst = max(src, 0); dst may alias src.
+void ReluForward(float* dst, const float* src, std::size_t size);
+
+/// ga += go where x > 0.
+void ReluBackwardAccum(float* ga, const float* go, const float* x, std::size_t size);
+
+/// dst = src * sigmoid(1.702 * src) (SiLU-style GELU); dst may alias src.
+void GeluForward(float* dst, const float* src, std::size_t size);
+
+/// ga += go * d/dx[x * sigmoid(1.702 x)].
+void GeluBackwardAccum(float* ga, const float* go, const float* x, std::size_t size);
+
+/// Row-wise softmax in place.
+void SoftmaxRows(float* data, int rows, int cols);
+
+/// ga += softmax backward given output y and upstream go (row-wise).
+void SoftmaxBackwardAccum(float* ga, const float* go, const float* y, int rows, int cols);
+
+}  // namespace m3::ml::kernels

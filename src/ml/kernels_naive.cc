@@ -1,0 +1,69 @@
+// Naive reference GEMM kernels: the seed revision's exact loop nests,
+// kept in a separate translation unit compiled with the project's default
+// flags (no M3_KERNEL_NATIVE treatment) so that parity tests and
+// bench/micro_ml_speed.cc compare the tiled kernels against a faithful
+// in-process reproduction of the seed's serial compute path.
+#include "ml/kernels.h"
+
+#include <cmath>
+#include <cstddef>
+
+namespace m3::ml::kernels {
+
+void GemmAccumNaive(const float* a, const float* b, float* c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const float av = a[static_cast<std::size_t>(i) * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<std::size_t>(p) * n;
+      float* crow = c + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmAccumNTNaive(const float* dc, const float* b, float* da, int m, int n, int k) {
+  // Seed loop: for each dC element, scatter into dA walking B column-wise.
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const float g = dc[static_cast<std::size_t>(i) * n + j];
+      if (g == 0.0f) continue;
+      float* darow = da + static_cast<std::size_t>(i) * k;
+      for (int p = 0; p < k; ++p) darow[p] += g * b[static_cast<std::size_t>(p) * n + j];
+    }
+  }
+}
+
+void GemmAccumTNNaive(const float* a, const float* dc, float* db, int m, int k, int n) {
+  for (int p = 0; p < k; ++p) {
+    for (int i = 0; i < m; ++i) {
+      const float av = a[static_cast<std::size_t>(i) * k + p];
+      if (av == 0.0f) continue;
+      const float* grow = dc + static_cast<std::size_t>(i) * n;
+      float* dbrow = db + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) dbrow[j] += av * grow[j];
+    }
+  }
+}
+
+void AdamStepNaive(float* value, const float* grad, float* m, float* v, std::size_t size,
+                   float lr, float beta1, float beta2, float eps, float bc1, float bc2) {
+  for (std::size_t i = 0; i < size; ++i) {
+    const float g = grad[i];
+    m[i] = beta1 * m[i] + (1.0f - beta1) * g;
+    v[i] = beta2 * v[i] + (1.0f - beta2) * g * g;
+    const float mhat = m[i] / bc1;
+    const float vhat = v[i] / bc2;
+    value[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+double SumSquaresNaive(const float* x, std::size_t size) {
+  double norm_sq = 0.0;
+  for (std::size_t i = 0; i < size; ++i) {
+    norm_sq += static_cast<double>(x[i]) * x[i];
+  }
+  return norm_sq;
+}
+
+}  // namespace m3::ml::kernels

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "ml/kernels.h"
+
 namespace m3::ml {
 
 Adam::Adam(std::vector<Parameter*> params, Options opts)
@@ -13,38 +15,50 @@ void Adam::ZeroGrad() {
 
 void Adam::ScaleGrads(float factor) {
   for (Parameter* p : params_) {
-    for (float& g : p->grad.vec()) g *= factor;
+    kernels::ScaleInPlace(p->grad.data(), factor, p->grad.size());
   }
 }
 
 void Adam::Step() {
   ++step_;
+  const float bc1 = 1.0f - std::pow(opts_.beta1, static_cast<float>(step_));
+  const float bc2 = 1.0f - std::pow(opts_.beta2, static_cast<float>(step_));
+
+  if (!kernels::UseTiled()) {
+    // Reference path: the seed's separate clip / step / zero passes.
+    if (opts_.grad_clip > 0.0f) {
+      double norm_sq = 0.0;
+      for (Parameter* p : params_) {
+        norm_sq += kernels::SumSquaresNaive(p->grad.data(), p->grad.size());
+      }
+      const double norm = std::sqrt(norm_sq);
+      if (norm > opts_.grad_clip) {
+        ScaleGrads(static_cast<float>(opts_.grad_clip / norm));
+      }
+    }
+    for (Parameter* p : params_) {
+      kernels::AdamStepNaive(p->value.data(), p->grad.data(), p->adam_m.data(),
+                             p->adam_v.data(), p->value.size(), opts_.lr, opts_.beta1,
+                             opts_.beta2, opts_.eps, bc1, bc2);
+      p->ZeroGrad();
+    }
+    return;
+  }
+
+  // Fused path: one norm pass, then one pass that clips, steps, and zeroes.
+  float gscale = 1.0f;
   if (opts_.grad_clip > 0.0f) {
     double norm_sq = 0.0;
     for (Parameter* p : params_) {
-      for (float g : p->grad.vec()) norm_sq += static_cast<double>(g) * g;
+      norm_sq += kernels::SumSquares(p->grad.data(), p->grad.size());
     }
     const double norm = std::sqrt(norm_sq);
-    if (norm > opts_.grad_clip) {
-      const float scale = static_cast<float>(opts_.grad_clip / norm);
-      ScaleGrads(scale);
-    }
+    if (norm > opts_.grad_clip) gscale = static_cast<float>(opts_.grad_clip / norm);
   }
-
-  const float bc1 = 1.0f - std::pow(opts_.beta1, static_cast<float>(step_));
-  const float bc2 = 1.0f - std::pow(opts_.beta2, static_cast<float>(step_));
   for (Parameter* p : params_) {
-    for (std::size_t i = 0; i < p->value.size(); ++i) {
-      const float g = p->grad.vec()[i];
-      float& m = p->adam_m.vec()[i];
-      float& v = p->adam_v.vec()[i];
-      m = opts_.beta1 * m + (1.0f - opts_.beta1) * g;
-      v = opts_.beta2 * v + (1.0f - opts_.beta2) * g * g;
-      const float mhat = m / bc1;
-      const float vhat = v / bc2;
-      p->value.vec()[i] -= opts_.lr * mhat / (std::sqrt(vhat) + opts_.eps);
-    }
-    p->ZeroGrad();
+    kernels::AdamStep(p->value.data(), p->grad.data(), p->adam_m.data(),
+                      p->adam_v.data(), p->value.size(), opts_.lr, opts_.beta1,
+                      opts_.beta2, opts_.eps, bc1, bc2, gscale);
   }
 }
 

@@ -1,0 +1,200 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace m3 {
+namespace {
+
+// Set while a thread (pool worker or participating caller) is executing
+// items of a job; nested ParallelFor calls from inside `fn` run inline.
+thread_local bool t_in_parallel_region = false;
+
+unsigned EnvThreadCount() {
+  if (const char* env = std::getenv("M3_NUM_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+struct Shard {
+  std::atomic<std::size_t> next{0};
+  std::size_t end = 0;
+};
+
+struct Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::vector<Shard> shards;
+  std::size_t chunk = 1;
+  unsigned workers_needed = 0;           // pool workers participating (excl. caller)
+  std::atomic<unsigned> workers_active{0};
+  std::exception_ptr error;
+  std::mutex error_mu;
+
+  void Record(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (!error) error = std::move(e);
+  }
+
+  // Drains the participant's own shard, then steals from the fullest
+  // remaining shard until every index range is claimed.
+  void Run(std::size_t self) {
+    t_in_parallel_region = true;
+    for (;;) {
+      Shard& own = shards[self];
+      const std::size_t i = own.next.fetch_add(chunk, std::memory_order_relaxed);
+      if (i < own.end) {
+        RunRange(i, std::min(i + chunk, own.end));
+        continue;
+      }
+      // Own shard drained: steal from the shard with the most work left.
+      std::size_t victim = shards.size();
+      std::size_t best_left = 0;
+      for (std::size_t s = 0; s < shards.size(); ++s) {
+        if (s == self) continue;
+        const std::size_t nxt = shards[s].next.load(std::memory_order_relaxed);
+        const std::size_t left = nxt < shards[s].end ? shards[s].end - nxt : 0;
+        if (left > best_left) {
+          best_left = left;
+          victim = s;
+        }
+      }
+      if (victim == shards.size()) break;  // nothing left anywhere
+      Shard& v = shards[victim];
+      const std::size_t j = v.next.fetch_add(chunk, std::memory_order_relaxed);
+      if (j < v.end) RunRange(j, std::min(j + chunk, v.end));
+    }
+    t_in_parallel_region = false;
+  }
+
+  void RunRange(std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        (*fn)(i);
+      } catch (...) {
+        Record(std::current_exception());
+      }
+    }
+  }
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mu;                    // guards job / generation / stop
+  std::condition_variable work_cv;  // workers wait here for a new job
+  std::condition_variable done_cv;  // caller waits here for workers_active == 0
+  Job* job = nullptr;
+  std::uint64_t generation = 0;
+  bool stop = false;
+  std::mutex dispatch_mu;  // serializes top-level ParallelFor callers
+  std::vector<std::thread> threads;
+
+  void WorkerLoop(std::size_t worker_idx) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      Job* my_job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+        // Worker w runs shard w + 1 (the caller owns shard 0).
+        if (job != nullptr && worker_idx < job->workers_needed) my_job = job;
+      }
+      if (my_job == nullptr) continue;
+      my_job->Run(worker_idx + 1);
+      if (my_job->workers_active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mu);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool& ThreadPool::Instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::ThreadPool() : impl_(new Impl) {
+  num_threads_ = std::max(1u, EnvThreadCount());
+  impl_->threads.reserve(num_threads_ - 1);
+  for (unsigned w = 0; w + 1 < num_threads_; ++w) {
+    impl_->threads.emplace_back([this, w] { impl_->WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->threads) t.join();
+  delete impl_;
+}
+
+void ThreadPool::ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                             unsigned max_threads) {
+  if (n == 0) return;
+  unsigned p = max_threads ? std::min(max_threads, num_threads_) : num_threads_;
+  p = std::max(1u, std::min<unsigned>(p, static_cast<unsigned>(n)));
+  if (p == 1 || t_in_parallel_region) {
+    // Serial width, or nested inside another parallel region: run inline.
+    const bool was_nested = t_in_parallel_region;
+    t_in_parallel_region = true;
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    t_in_parallel_region = was_nested;
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  std::lock_guard<std::mutex> dispatch(impl_->dispatch_mu);
+  Job job;
+  job.fn = &fn;
+  job.shards = std::vector<Shard>(p);
+  job.chunk = std::max<std::size_t>(1, n / (static_cast<std::size_t>(p) * 8));
+  const std::size_t per = (n + p - 1) / p;
+  for (unsigned s = 0; s < p; ++s) {
+    const std::size_t begin = std::min<std::size_t>(n, per * s);
+    job.shards[s].next.store(begin, std::memory_order_relaxed);
+    job.shards[s].end = std::min<std::size_t>(n, per * (s + 1));
+  }
+  job.workers_needed = p - 1;
+  job.workers_active.store(p - 1, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->job = &job;
+    ++impl_->generation;
+  }
+  impl_->work_cv.notify_all();
+
+  job.Run(0);  // the caller works shard 0
+
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->done_cv.wait(
+        lock, [&] { return job.workers_active.load(std::memory_order_acquire) == 0; });
+    impl_->job = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace m3

@@ -1,0 +1,157 @@
+#include "ml/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ml/autograd.h"
+#include "ml/tensor.h"
+#include "util/rng.h"
+
+namespace m3::ml {
+namespace {
+
+std::vector<float> RandomVec(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.Normal(0.0, 1.0));
+  return v;
+}
+
+void ExpectAllNear(const std::vector<float>& got, const std::vector<float>& want,
+                   float tol, const char* what) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], tol * std::max(1.0f, std::abs(want[i])))
+        << what << " at flat index " << i;
+  }
+}
+
+// Shapes chosen to cover ragged tiles: below, at, and across the kernel's
+// 4-row / 64-column blocking, plus the model's real shapes (seq x feat,
+// head fc1/fc2).
+struct Shape {
+  int m, k, n;
+};
+const Shape kShapes[] = {
+    {1, 1, 1},   {1, 7, 5},    {3, 5, 7},    {4, 64, 64},  {5, 67, 129},
+    {8, 96, 96}, {2, 33, 400}, {17, 40, 70}, {1, 256, 400}, {6, 1010, 96},
+};
+
+// The tiled kernels reassociate the k-length reductions, so the rounding
+// gap to the naive order grows ~sqrt(k): scale the 1e-5 tolerance
+// accordingly for long inner dimensions.
+float GemmTol(int k) { return 1e-5f * std::max(1.0f, std::sqrt(static_cast<float>(k) / 64.0f)); }
+
+TEST(Kernels, GemmAccumMatchesNaive) {
+  Rng rng(11);
+  for (const Shape& s : kShapes) {
+    const std::vector<float> a = RandomVec(static_cast<std::size_t>(s.m) * s.k, rng);
+    const std::vector<float> b = RandomVec(static_cast<std::size_t>(s.k) * s.n, rng);
+    const std::vector<float> c0 = RandomVec(static_cast<std::size_t>(s.m) * s.n, rng);
+    std::vector<float> c_tiled = c0, c_naive = c0;
+    kernels::GemmAccum(a.data(), b.data(), c_tiled.data(), s.m, s.k, s.n);
+    kernels::GemmAccumNaive(a.data(), b.data(), c_naive.data(), s.m, s.k, s.n);
+    ExpectAllNear(c_tiled, c_naive, GemmTol(s.k), "GemmAccum");
+  }
+}
+
+TEST(Kernels, GemmAccumNTMatchesNaive) {
+  Rng rng(12);
+  for (const Shape& s : kShapes) {
+    const std::vector<float> dc = RandomVec(static_cast<std::size_t>(s.m) * s.n, rng);
+    const std::vector<float> b = RandomVec(static_cast<std::size_t>(s.k) * s.n, rng);
+    const std::vector<float> da0 = RandomVec(static_cast<std::size_t>(s.m) * s.k, rng);
+    std::vector<float> da_tiled = da0, da_naive = da0;
+    kernels::GemmAccumNT(dc.data(), b.data(), da_tiled.data(), s.m, s.n, s.k);
+    kernels::GemmAccumNTNaive(dc.data(), b.data(), da_naive.data(), s.m, s.n, s.k);
+    ExpectAllNear(da_tiled, da_naive, GemmTol(s.n), "GemmAccumNT");
+  }
+}
+
+TEST(Kernels, GemmAccumTNMatchesNaive) {
+  Rng rng(13);
+  for (const Shape& s : kShapes) {
+    const std::vector<float> a = RandomVec(static_cast<std::size_t>(s.m) * s.k, rng);
+    const std::vector<float> dc = RandomVec(static_cast<std::size_t>(s.m) * s.n, rng);
+    const std::vector<float> db0 = RandomVec(static_cast<std::size_t>(s.k) * s.n, rng);
+    std::vector<float> db_tiled = db0, db_naive = db0;
+    kernels::GemmAccumTN(a.data(), dc.data(), db_tiled.data(), s.m, s.k, s.n);
+    kernels::GemmAccumTNNaive(a.data(), dc.data(), db_naive.data(), s.m, s.k, s.n);
+    ExpectAllNear(db_tiled, db_naive, GemmTol(s.m), "GemmAccumTN");
+  }
+}
+
+TEST(Kernels, GemmAgainstHandComputedValues) {
+  // [2,3] x [3,2] sanity check with exact values.
+  const std::vector<float> a = {1, 2, 3, 4, 5, 6};
+  const std::vector<float> b = {1, 0, 0, 1, 1, 1};
+  std::vector<float> c(4, 0.0f);
+  kernels::GemmAccum(a.data(), b.data(), c.data(), 2, 3, 2);
+  EXPECT_FLOAT_EQ(c[0], 4.0f);
+  EXPECT_FLOAT_EQ(c[1], 5.0f);
+  EXPECT_FLOAT_EQ(c[2], 10.0f);
+  EXPECT_FLOAT_EQ(c[3], 11.0f);
+}
+
+TEST(Kernels, BiasAddRows) {
+  const std::vector<float> x = {1, 2, 3, 4, 5, 6};
+  const std::vector<float> bias = {10, 20, 30};
+  std::vector<float> out(6);
+  kernels::BiasAddRows(out.data(), x.data(), bias.data(), 2, 3);
+  const std::vector<float> want = {11, 22, 33, 14, 25, 36};
+  EXPECT_EQ(out, want);
+}
+
+TEST(Kernels, ColSumAccum) {
+  const std::vector<float> go = {1, 2, 3, 4, 5, 6};
+  std::vector<float> bg = {100, 200, 300};
+  kernels::ColSumAccum(bg.data(), go.data(), 2, 3);
+  EXPECT_FLOAT_EQ(bg[0], 105.0f);
+  EXPECT_FLOAT_EQ(bg[1], 207.0f);
+  EXPECT_FLOAT_EQ(bg[2], 309.0f);
+}
+
+TEST(Kernels, SoftmaxRowsNormalizes) {
+  Rng rng(14);
+  std::vector<float> data = RandomVec(3 * 17, rng);
+  kernels::SoftmaxRows(data.data(), 3, 17);
+  for (int r = 0; r < 3; ++r) {
+    float sum = 0.0f;
+    for (int j = 0; j < 17; ++j) sum += data[static_cast<std::size_t>(r) * 17 + j];
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+// Graph-level parity: the same MatMul-heavy graph must produce matching
+// values and parameter gradients under the tiled and naive kernel paths.
+TEST(Kernels, GraphParityTiledVsNaive) {
+  struct Result {
+    float loss;
+    Tensor grad_w, grad_b;
+  };
+  auto run = [](bool tiled) -> Result {
+    kernels::SetUseTiled(tiled);
+    Rng rng(15);
+    Parameter w("w", Tensor::Randn(13, 9, rng, 0.5f));
+    Parameter b("b", Tensor::Randn(1, 9, rng, 0.5f));
+    const Tensor x = Tensor::Randn(7, 13, rng, 1.0f);
+    Tensor target = Tensor::Randn(7, 9, rng, 1.0f);
+    Tensor mask(7, 9);
+    mask.Fill(1.0f);
+    Graph g;
+    const Var h = g.Add(g.MatMul(g.Input(x), g.Param(&w)), g.Param(&b));
+    const Var loss = g.MseLoss(g.Relu(h), g.Input(target), g.Input(mask));
+    g.Backward(loss);
+    kernels::SetUseTiled(true);
+    return {g.value(loss).at(0, 0), w.grad, b.grad};
+  };
+  const Result tiled = run(true);
+  const Result naive = run(false);
+  EXPECT_NEAR(tiled.loss, naive.loss, 1e-5f);
+  ExpectAllNear(tiled.grad_w.vec(), naive.grad_w.vec(), 1e-5f, "grad_w");
+  ExpectAllNear(tiled.grad_b.vec(), naive.grad_b.vec(), 1e-5f, "grad_b");
+}
+
+}  // namespace
+}  // namespace m3::ml
