@@ -62,6 +62,8 @@ std::size_t M3Model::num_parameters() {
 }
 
 void M3Model::Save(const std::string& path) { ml::SaveCheckpoint(path, params()); }
-void M3Model::Load(const std::string& path) { ml::LoadCheckpoint(path, params()); }
+ml::CheckpointInfo M3Model::Load(const std::string& path) {
+  return ml::LoadCheckpoint(path, params());
+}
 
 }  // namespace m3

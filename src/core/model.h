@@ -11,6 +11,7 @@
 
 #include "core/feature_map.h"
 #include "core/net_config.h"
+#include "ml/checkpoint.h"
 #include "ml/layers.h"
 #include "ml/optimizer.h"
 #include "ml/transformer.h"
@@ -52,8 +53,14 @@ class M3Model {
   std::vector<ml::Parameter*> params();
   std::size_t num_parameters();
 
+  /// Writes a params-only checkpoint (atomic; parent directories are
+  /// created). TrainModel's checkpoint_path saves carry optimizer/trainer
+  /// state as well — prefer those for resumable training runs.
   void Save(const std::string& path);
-  void Load(const std::string& path);
+  /// Loads any checkpoint version; returns what the file carried (version,
+  /// optimizer/trainer sections). Throws on corrupt or mismatched files
+  /// without modifying the model.
+  ml::CheckpointInfo Load(const std::string& path);
 
   const M3ModelConfig& config() const { return cfg_; }
 

@@ -1,5 +1,13 @@
 // Training loop: minibatch Adam on L1 loss over the 400 percentile outputs
 // (§3.4 step 8), with a held-out validation split.
+//
+// Crash safety: when `checkpoint_path` is set, the trainer periodically
+// writes full-state checkpoints (parameters, Adam moments and step count,
+// epoch counter, learning rate, shuffle RNG state) with last-K rotation, and
+// `resume_from` restores that state so that an interrupted run continues
+// bitwise identically to one that was never interrupted. A SIGINT/SIGTERM
+// (after InstallGracefulShutdownHandlers) or RequestTrainStop() finishes the
+// in-flight batch, saves a mid-epoch checkpoint, and returns.
 #pragma once
 
 #include <cstdint>
@@ -26,17 +34,34 @@ struct TrainOptions {
   // is deterministic for any value: gradients reduce in a fixed slot
   // order, so the final parameters are bitwise identical at any width.
   unsigned num_threads = 0;
-  // When set, the model is checkpointed here every `checkpoint_every`
-  // epochs (and training can be resumed or interrupted safely).
+  // When set, a full-state checkpoint is written here every
+  // `checkpoint_every` epochs, on graceful stop, and at the end of
+  // training. The previous `checkpoint_keep - 1` checkpoints are kept as
+  // `path.1`, `path.2`, ... (newest first) so recovery can fall back past a
+  // file truncated by a crash.
   std::string checkpoint_path;
   int checkpoint_every = 10;
+  int checkpoint_keep = 3;
+  // When set, restores the newest valid checkpoint in this path's rotation
+  // chain (parameters, optimizer, epoch, LR, RNG) and continues training
+  // from there. With the same samples and options, train(N) is bitwise
+  // identical to train(k) -> crash -> resume -> train(N-k), including a
+  // crash mid-epoch. The train/val split is re-derived from the seed stored
+  // in the checkpoint, so `seed` here is ignored on resume.
+  std::string resume_from;
 };
 
 struct TrainReport {
-  std::vector<double> train_loss;  // per epoch
+  std::vector<double> train_loss;  // per epoch actually run this call
   std::vector<double> val_loss;    // per epoch (empty if no val split)
+  int start_epoch = 0;             // first epoch index run (> 0 on resume)
+  bool interrupted = false;        // stopped early by a graceful-stop request
+  std::string resumed_from;        // checkpoint file restored (empty if none)
 };
 
+/// Trains `model` on `samples`. If the training split is empty (no samples,
+/// or val_frac rounds to everything), returns immediately with an empty
+/// report instead of running degenerate epochs.
 TrainReport TrainModel(M3Model& model, const std::vector<Sample>& samples,
                        const TrainOptions& opts);
 
@@ -46,5 +71,16 @@ TrainReport TrainModel(M3Model& model, const std::vector<Sample>& samples,
 double EvaluateLoss(M3Model& model, const std::vector<Sample>& samples,
                     bool use_context = true, bool use_baseline = true,
                     unsigned num_threads = 0);
+
+/// Installs SIGINT/SIGTERM handlers that request a graceful training stop:
+/// TrainModel finishes the batch in flight, saves a checkpoint (when
+/// checkpoint_path is set), and returns with report.interrupted = true.
+void InstallGracefulShutdownHandlers();
+
+/// Programmatic equivalents of the signals, usable from tests/embedders.
+/// The flag is sticky: clear it before starting a run that should not stop.
+void RequestTrainStop();
+void ClearTrainStop();
+bool TrainStopRequested();
 
 }  // namespace m3

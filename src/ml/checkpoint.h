@@ -1,23 +1,108 @@
-// Binary checkpoints: a versioned header followed by named parameter
-// tensors in little-endian float32.
+// Binary checkpoints: a versioned, checksummed container for named parameter
+// tensors plus optional optimizer and trainer state.
+//
+// Format v2 (current):
+//
+//   header   : magic u32 | version u32 | payload_size u64 | crc32 u32
+//   payload  : flags u32 | param section | [optimizer section] | [trainer section]
+//
+// The CRC32 covers the entire payload, so truncation or bit corruption at
+// any offset is detected before any state is applied. Writes go to a
+// temporary file in the target directory followed by rename(), so a crash
+// mid-save never clobbers the previous good checkpoint. Version-1 files
+// (params only, no checksum) remain loadable.
+//
+// All integers and floats are little-endian; tensors are row-major float32.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "ml/tensor.h"
+#include "util/rng.h"
 
 namespace m3::ml {
 
-/// Writes all parameters (name, shape, data) to `path`. Throws on I/O error.
-void SaveCheckpoint(const std::string& path, const std::vector<Parameter*>& params);
+inline constexpr std::uint32_t kCheckpointVersionLatest = 2;
+
+/// Optional training state carried by a v2 checkpoint alongside the
+/// parameter tensors. Each section is independently present.
+struct CheckpointExtra {
+  // --- optimizer section: Adam moments (per parameter) + step count ---
+  bool has_optimizer = false;
+  std::int64_t adam_step = 0;
+
+  // --- trainer section: enough to make resume bitwise identical ---
+  bool has_trainer = false;
+  std::int32_t epochs_done = 0;      // epochs fully completed
+  std::int64_t batch_offset = 0;     // samples consumed in the current epoch
+                                     // (> 0 only for a mid-epoch save)
+  double partial_epoch_loss = 0.0;   // loss accumulated before a mid-epoch save
+  std::uint64_t partial_epoch_samples = 0;
+  float lr = 0.0f;                   // learning rate after decays so far
+  std::uint64_t split_seed = 0;      // seed of the train/val split shuffle
+  RngState shuffle_rng{};            // epoch-shuffle RNG, captured at save time
+};
+
+/// What a load found and applied. `extra.has_*` report which sections were
+/// present; for v1 files both are false and Adam state is zeroed.
+struct CheckpointInfo {
+  std::uint32_t version = 0;
+  CheckpointExtra extra;
+};
+
+/// Writes all parameters (name, shape, data), and optionally Adam moments and
+/// trainer state, to `path`. Parent directories are created as needed. The
+/// write is atomic: data goes to `path + ".tmp"`, is flushed and fsynced,
+/// then renamed over `path`, so an interrupted save never leaves a partially
+/// written file at `path`. Throws std::runtime_error on I/O error.
+void SaveCheckpoint(const std::string& path, const std::vector<Parameter*>& params,
+                    const CheckpointExtra* extra = nullptr);
 
 /// Loads a checkpoint into the given parameters. Parameters are matched by
-/// name; every parameter must be present with a matching shape, otherwise
-/// throws std::runtime_error. Adam state is reset.
-void LoadCheckpoint(const std::string& path, const std::vector<Parameter*>& params);
+/// name; every parameter must be present with a matching shape. The file is
+/// fully parsed and validated (magic, version, CRC, every declared length
+/// checked against the actual payload) *before* any parameter is touched, so
+/// a corrupt file throws std::runtime_error and leaves `params` unchanged.
+/// If the optimizer section is present, Adam moments are restored; otherwise
+/// they are reset to zero. Gradients are always zeroed.
+CheckpointInfo LoadCheckpoint(const std::string& path,
+                              const std::vector<Parameter*>& params);
 
-/// True if `path` exists and carries the checkpoint magic.
+/// True if `path` exists and carries the checkpoint magic. Cheap; does not
+/// validate the checksum (use LoadCheckpoint for full validation).
 bool IsCheckpointFile(const std::string& path);
+
+/// Shifts the rotation chain `path` -> `path.1` -> ... -> `path.(keep-1)`
+/// (the oldest is dropped), then atomically writes a new checkpoint at
+/// `path`. With keep <= 1 no history is retained. Combined with atomic
+/// writes this guarantees that at every instant at most one file in the
+/// chain is invalid, so recovery always has a good checkpoint to fall back
+/// to.
+void SaveCheckpointRotating(const std::string& path,
+                            const std::vector<Parameter*>& params,
+                            const CheckpointExtra* extra = nullptr, int keep = 3);
+
+/// The rotation chain for `path`, newest first: {path, path.1, ...,
+/// path.(keep-1)}.
+std::vector<std::string> CheckpointRotationChain(const std::string& path, int keep);
+
+struct RecoveredCheckpoint {
+  std::string path;     // the file that actually loaded
+  CheckpointInfo info;
+};
+
+/// Loads the newest checkpoint in the rotation chain of `path` that passes
+/// full validation, skipping truncated/corrupt/missing files. Throws
+/// std::runtime_error if no file in the chain is loadable.
+RecoveredCheckpoint LoadNewestValidCheckpoint(const std::string& path,
+                                              const std::vector<Parameter*>& params,
+                                              int keep = 3);
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320). Exposed for tests that craft
+/// checkpoint payloads by hand.
+std::uint32_t Crc32(const void* data, std::size_t n);
 
 }  // namespace m3::ml

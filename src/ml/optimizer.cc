@@ -9,6 +9,10 @@ namespace m3::ml {
 Adam::Adam(std::vector<Parameter*> params, Options opts)
     : params_(std::move(params)), opts_(opts) {}
 
+std::int64_t Adam::step() const { return step_; }
+
+void Adam::set_step(std::int64_t step) { step_ = step; }
+
 void Adam::ZeroGrad() {
   for (Parameter* p : params_) p->ZeroGrad();
 }

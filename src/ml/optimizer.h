@@ -1,6 +1,7 @@
 // Adam optimizer (Kingma & Ba, 2015).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "ml/tensor.h"
@@ -31,10 +32,17 @@ class Adam {
   const Options& options() const { return opts_; }
   void set_lr(float lr) { opts_.lr = lr; }
 
+  /// Update count so far; with the per-parameter first/second moments (which
+  /// live in Parameter::adam_m / adam_v) this is the optimizer's entire
+  /// state, so exporting {step(), moments} and re-importing them resumes
+  /// training with identical bias correction.
+  std::int64_t step() const;
+  void set_step(std::int64_t step);
+
  private:
   std::vector<Parameter*> params_;
   Options opts_;
-  long step_ = 0;
+  std::int64_t step_ = 0;
 };
 
 }  // namespace m3::ml

@@ -91,6 +91,18 @@ std::size_t Rng::WeightedIndex(const std::vector<double>& weights) noexcept {
   return 0;
 }
 
+RngState Rng::SaveState() const noexcept {
+  return RngState{state_, inc_, seed_, cached_normal_, has_cached_normal_};
+}
+
+void Rng::RestoreState(const RngState& s) noexcept {
+  state_ = s.state;
+  inc_ = s.inc;
+  seed_ = s.seed;
+  cached_normal_ = s.cached_normal;
+  has_cached_normal_ = s.has_cached_normal;
+}
+
 Rng Rng::Fork(std::uint64_t label) noexcept {
   SplitMix64 sm(seed_ ^ (label * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL));
   return Rng(sm.Next());

@@ -26,6 +26,18 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Complete serializable state of an Rng. Capturing and later restoring it
+/// resumes the stream exactly where it left off (including the cached
+/// Box-Muller variate), which is what checkpoint/resume relies on for
+/// bitwise-reproducible training.
+struct RngState {
+  std::uint64_t state = 0;
+  std::uint64_t inc = 0;
+  std::uint64_t seed = 0;
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+};
+
 /// PCG-XSH-RR 32-bit generator (O'Neill 2014).
 class Rng {
  public:
@@ -70,6 +82,13 @@ class Rng {
   /// Derives an independent child generator; distinct labels give
   /// statistically independent streams.
   Rng Fork(std::uint64_t label) noexcept;
+
+  /// Snapshot of the full generator state for checkpointing.
+  RngState SaveState() const noexcept;
+
+  /// Restores a state captured by SaveState(); the stream continues exactly
+  /// from the capture point.
+  void RestoreState(const RngState& s) noexcept;
 
  private:
   std::uint64_t state_;

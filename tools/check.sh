@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# PR gate: tier-1 build + full test suite, then an AddressSanitizer build of
+# the checkpoint/trainer suites so the corruption-handling paths (truncated
+# files, bit flips, hostile length fields) are exercised under ASan.
+#
+# Usage: tools/check.sh [extra cmake args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . "$@"
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "== ASan: checkpoint/trainer robustness suites =="
+cmake -B build-asan -S . -DM3_SANITIZE=address "$@"
+cmake --build build-asan -j"$JOBS" --target m3_tests
+ctest --test-dir build-asan --output-on-failure -j"$JOBS" \
+  -R 'CheckpointV2|Checkpoint\.|Resume|Trainer|ThreadPool'
+
+echo "== all checks passed =="

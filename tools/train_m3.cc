@@ -1,11 +1,17 @@
 // Trains the m3 model on a synthetic Table-2 dataset (ground truth from the
 // packet simulator) and writes a checkpoint.
 //
-// Usage: train_m3 [num_scenarios] [num_fg] [epochs] [out_path]
+// Usage: train_m3 [options] [num_scenarios] [num_fg] [epochs] [out_path]
 // Defaults are sized for a few minutes on a laptop-class CPU.
+//
+// Training is crash-safe: checkpoints are written atomically with last-K
+// rotation, SIGINT/SIGTERM finishes the in-flight batch and saves before
+// exiting, and --resume continues an interrupted run bitwise identically.
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "core/dataset.h"
@@ -16,6 +22,50 @@
 using namespace m3;
 
 namespace {
+
+constexpr const char* kUsage =
+    "Usage: train_m3 [options] [num_scenarios] [num_fg] [epochs] [out_path]\n"
+    "\n"
+    "Positional arguments (defaults in parentheses):\n"
+    "  num_scenarios   training scenarios to generate, >= 1        (400)\n"
+    "  num_fg          foreground flows per scenario, >= 1         (800)\n"
+    "  epochs          training epochs, >= 0                       (60)\n"
+    "  out_path        checkpoint path                             (models/m3_default.ckpt)\n"
+    "\n"
+    "Options:\n"
+    "  --resume[=PATH]        restore full training state (parameters, Adam\n"
+    "                         moments, epoch, LR, RNG) from the newest valid\n"
+    "                         checkpoint in PATH's rotation chain (default:\n"
+    "                         out_path) and continue to `epochs`\n"
+    "  --keep=K               retain the last K rotated checkpoints (3)\n"
+    "  --checkpoint-every=N   checkpoint every N epochs (10)\n"
+    "  --help                 show this message\n"
+    "\n"
+    "SIGINT/SIGTERM (e.g. Ctrl-C) stops gracefully: the current batch\n"
+    "finishes, a checkpoint is saved, and --resume picks up where it left\n"
+    "off — even mid-epoch.\n";
+
+[[noreturn]] void UsageError(const char* fmt, const char* arg) {
+  std::fprintf(stderr, "train_m3: ");
+  std::fprintf(stderr, fmt, arg);
+  std::fprintf(stderr, "\n\n%s", kUsage);
+  std::exit(2);
+}
+
+// Strict integer parse: the whole token must be a number in [min, max].
+// (std::atoi silently accepts "12abc" and returns 0 for garbage, which
+// previously let `train_m3 0` divide by zero in the gen-time report.)
+int ParseInt(const char* arg, const char* what, long min, long max) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(arg, &end, 10);
+  if (end == arg || *end != '\0' || errno == ERANGE || v < min || v > max) {
+    std::fprintf(stderr, "train_m3: invalid %s '%s' (expected integer in [%ld, %ld])\n\n%s",
+                 what, arg, min, max, kUsage);
+    std::exit(2);
+  }
+  return static_cast<int>(v);
+}
 
 // p99 relative-error comparison on the tail of each populated bucket.
 void ReportAccuracy(M3Model& model, const std::vector<Sample>& samples, const char* label) {
@@ -43,13 +93,44 @@ void ReportAccuracy(M3Model& model, const std::vector<Sample>& samples, const ch
 
 int main(int argc, char** argv) {
   DatasetOptions dopts;
-  dopts.num_scenarios = argc > 1 ? std::atoi(argv[1]) : 400;
-  dopts.num_fg = argc > 2 ? std::atoi(argv[2]) : 800;
+  dopts.num_scenarios = 400;
   TrainOptions topts;
-  topts.epochs = argc > 3 ? std::atoi(argv[3]) : 60;
-  const std::string out = argc > 4 ? argv[4] : "models/m3_default.ckpt";
+  topts.epochs = 60;
+  std::string out = "models/m3_default.ckpt";
+  bool resume = false;
+  std::string resume_path;  // empty: use out_path
+
+  int pos = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      std::printf("%s", kUsage);
+      return 0;
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      resume = true;
+    } else if (std::strncmp(arg, "--resume=", 9) == 0) {
+      resume = true;
+      resume_path = arg + 9;
+    } else if (std::strncmp(arg, "--keep=", 7) == 0) {
+      topts.checkpoint_keep = ParseInt(arg + 7, "--keep", 1, 64);
+    } else if (std::strncmp(arg, "--checkpoint-every=", 19) == 0) {
+      topts.checkpoint_every = ParseInt(arg + 19, "--checkpoint-every", 1, 1000000);
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      UsageError("unknown option '%s'", arg);
+    } else {
+      switch (pos++) {
+        case 0: dopts.num_scenarios = ParseInt(arg, "num_scenarios", 1, 1000000); break;
+        case 1: dopts.num_fg = ParseInt(arg, "num_fg", 1, 100000000); break;
+        case 2: topts.epochs = ParseInt(arg, "epochs", 0, 1000000); break;
+        case 3: out = arg; break;
+        default: UsageError("unexpected argument '%s'", arg);
+      }
+    }
+  }
   topts.verbose = true;
-  topts.checkpoint_path = out;  // periodic saves: interruption-safe
+  topts.checkpoint_path = out;  // periodic + shutdown saves: interruption-safe
+  if (resume) topts.resume_from = resume_path.empty() ? out : resume_path;
+  InstallGracefulShutdownHandlers();
 
   std::printf("generating %d scenarios (%d fg flows each)...\n", dopts.num_scenarios,
               dopts.num_fg);
@@ -63,15 +144,38 @@ int main(int argc, char** argv) {
   M3Model model;
   std::printf("model parameters: %zu\n", model.num_parameters());
   const auto t1 = std::chrono::steady_clock::now();
-  const TrainReport report = TrainModel(model, samples, topts);
+  TrainReport report;
+  try {
+    report = TrainModel(model, samples, topts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "train_m3: %s\n", e.what());
+    return 1;
+  }
   const double train_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t1).count();
-  std::printf("trained %d epochs in %.1fs; final train loss %.4f val loss %.4f\n",
-              topts.epochs, train_s, report.train_loss.back(),
-              report.val_loss.empty() ? 0.0 : report.val_loss.back());
+
+  if (!report.resumed_from.empty()) {
+    std::printf("resumed from %s at epoch %d (optimizer + RNG state restored)\n",
+                report.resumed_from.c_str(), report.start_epoch);
+  }
+  const int epochs_run = static_cast<int>(report.train_loss.size());
+  if (report.train_loss.empty()) {
+    std::printf("no full epoch completed (%s) in %.1fs\n",
+                report.interrupted ? "interrupted" : "nothing to train", train_s);
+  } else {
+    std::printf("trained %d epoch%s in %.1fs; final train loss %.4f val loss %.4f\n",
+                epochs_run, epochs_run == 1 ? "" : "s", train_s, report.train_loss.back(),
+                report.val_loss.empty() ? 0.0 : report.val_loss.back());
+  }
+  if (report.interrupted) {
+    std::printf("interrupted: state saved to %s — rerun with --resume to continue\n",
+                out.c_str());
+    return 0;
+  }
 
   ReportAccuracy(model, samples, "train-set");
-  model.Save(out);
-  std::printf("checkpoint written to %s\n", out.c_str());
+  if (!report.train_loss.empty()) {
+    std::printf("checkpoint written to %s\n", out.c_str());
+  }
   return 0;
 }
