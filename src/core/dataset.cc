@@ -1,5 +1,8 @@
 #include "core/dataset.h"
 
+#include <stdexcept>
+
+#include "core/validate.h"
 #include "util/parallel.h"
 
 namespace m3 {
@@ -51,6 +54,13 @@ Sample BuildSample(const PathScenario& scenario, const NetConfig& cfg) {
 }
 
 std::vector<Sample> MakeSyntheticDataset(const DatasetOptions& opts) {
+  StatusOr<std::vector<Sample>> samples = MakeSyntheticDatasetOr(opts);
+  if (!samples.ok()) throw std::runtime_error(samples.status().ToString());
+  return std::move(samples).value();
+}
+
+StatusOr<std::vector<Sample>> MakeSyntheticDatasetOr(const DatasetOptions& opts) {
+  M3_RETURN_IF_ERROR(ValidateDatasetOptions(opts));
   Rng rng(opts.seed);
   // Pre-draw all specs/configs so generation order is independent of
   // thread scheduling.
@@ -68,13 +78,17 @@ std::vector<Sample> MakeSyntheticDataset(const DatasetOptions& opts) {
   }
 
   std::vector<Sample> samples(static_cast<std::size_t>(opts.num_scenarios));
-  ParallelFor(
-      static_cast<std::size_t>(opts.num_scenarios),
-      [&](std::size_t i) {
-        const PathScenario scenario = BuildSyntheticScenario(specs[i]);
-        samples[i] = BuildSample(scenario, cfgs[i]);
-      },
-      opts.num_threads);
+  try {
+    ParallelFor(
+        static_cast<std::size_t>(opts.num_scenarios),
+        [&](std::size_t i) {
+          const PathScenario scenario = BuildSyntheticScenario(specs[i]);
+          samples[i] = BuildSample(scenario, cfgs[i]);
+        },
+        opts.num_threads);
+  } catch (const std::exception& e) {
+    return Status::Internal(e.what()).Annotate("dataset generation");
+  }
   return samples;
 }
 

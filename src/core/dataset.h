@@ -9,6 +9,7 @@
 #include "core/net_config.h"
 #include "core/scenario.h"
 #include "pktsim/config.h"
+#include "util/status.h"
 
 namespace m3 {
 
@@ -49,7 +50,13 @@ struct DatasetOptions {
 };
 
 /// Synthetic Table-2 training set: each scenario draws a fresh workload
-/// spec and a fresh Table-4 network configuration.
+/// spec and a fresh Table-4 network configuration. Throws on invalid
+/// options or a generation failure; prefer MakeSyntheticDatasetOr at
+/// service boundaries.
 std::vector<Sample> MakeSyntheticDataset(const DatasetOptions& opts);
+
+/// Status-returning variant: kInvalidArgument for bad options (checked
+/// before any compute), kInternal if scenario generation fails.
+StatusOr<std::vector<Sample>> MakeSyntheticDatasetOr(const DatasetOptions& opts);
 
 }  // namespace m3

@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/aggregate.h"
@@ -14,6 +15,7 @@
 #include "pathdecomp/decompose.h"
 #include "pathdecomp/sampling.h"
 #include "pktsim/config.h"
+#include "util/status.h"
 
 namespace m3 {
 
@@ -22,6 +24,50 @@ struct M3Options {
   std::uint64_t seed = 1;
   bool use_context = true;   // Fig. 16 ablation switch
   unsigned num_threads = 0;  // path-level parallelism (0 = hardware)
+
+  // --- resilience ---
+  // strict: the first path fault cancels the query and is surfaced as a
+  // non-OK NetworkEstimate::status instead of being degraded around.
+  bool strict = false;
+  // Wall-clock budget for the whole query; 0 = unbounded. When it expires,
+  // remaining paths are cooperatively cancelled and the partial estimate is
+  // returned with status kDeadlineExceeded.
+  double deadline_seconds = 0.0;
+  // Attempts of the primary estimator per path before degrading (2 = one
+  // retry, the default degradation ladder).
+  int max_attempts = 2;
+};
+
+/// Answer-quality accounting for one estimation run. Every sampled path
+/// lands in exactly one of ok / degraded / dropped; `paths_retried` counts
+/// paths that needed more than one primary attempt (whatever the outcome).
+struct DegradationReport {
+  int paths_ok = 0;        // primary estimator produced the estimate
+  int paths_retried = 0;   // needed >= 1 retry (may still be ok)
+  int paths_degraded = 0;  // fell back to the flowSim-only estimate
+  int paths_dropped = 0;   // no estimate; aggregation reweights around them
+
+  // Per-class counts of failed attempts (an attempt is one primary or
+  // fallback execution of a path estimator).
+  int errors_exception = 0;  // a path worker threw
+  int errors_nonfinite = 0;  // model forward produced NaN/inf outputs
+  int errors_deadline = 0;   // path cancelled by the wall-clock budget
+  int errors_validation = 0; // inputs rejected before any compute
+
+  // Non-finite or non-positive slowdown values clamped to the 1.0 floor by
+  // the aggregation guard (accepted estimates only; a clamp never poisons
+  // combined_pct).
+  long long clamped_values = 0;
+
+  // First failure observed (lowest path index), as "path 12: INTERNAL: ...".
+  std::string first_error;
+
+  bool Degraded() const {
+    return paths_degraded > 0 || paths_dropped > 0 || clamped_values > 0;
+  }
+  /// One-line summary, e.g. "paths: 98 ok, 1 retried, 1 degraded, 1 dropped
+  /// (2 exceptions, 0 non-finite, 1 deadline); 0 values clamped".
+  std::string ToString() const;
 };
 
 struct NetworkEstimate {
@@ -30,6 +76,13 @@ struct NetworkEstimate {
   std::array<double, kNumOutputBuckets> total_counts{};
   std::vector<double> combined_pct;  // network-wide mixture, 100 points
   double wall_seconds = 0.0;
+
+  // kOk: full-quality answer. kDegraded / kDeadlineExceeded: a populated
+  // partial answer; see `degradation` for what was lost. kInvalidArgument:
+  // inputs rejected, no compute ran. In strict mode, the first path fault's
+  // own code.
+  Status status;
+  DegradationReport degradation;
 
   double CombinedP99() const { return combined_pct.empty() ? 0.0 : combined_pct[98]; }
   std::array<double, kNumOutputBuckets> BucketP99() const;
@@ -51,5 +104,14 @@ NetworkEstimate RunFlowSimOnly(const Topology& topo, const std::vector<Flow>& fl
 /// Ground-truth network-wide distribution from full packet simulation
 /// results (for comparisons): bucket percentiles + combined percentiles.
 NetworkEstimate SummarizeGroundTruth(const std::vector<FlowResult>& results);
+
+/// Aggregation guard: clamps non-finite or non-positive slowdown values in
+/// the populated buckets of `paths` to the 1.0 floor so a stray NaN can
+/// never poison combined_pct. Finite values in (0, 1) pass through: flowSim
+/// emits slowdowns a few ulps below 1.0 (fct/ideal rounding), and clamping
+/// those would break bitwise reproducibility of fault-free runs. Returns
+/// the number of values clamped. Called by the pipeline before aggregation;
+/// exposed for tests.
+long long ClampPathEstimates(std::vector<PathEstimate>& paths);
 
 }  // namespace m3

@@ -110,13 +110,18 @@ ml::Tensor TargetMask(const TargetDist& t) {
 }
 
 std::array<std::array<double, kNumPercentiles>, kNumOutputBuckets> DecodeOutput(
-    const ml::Tensor& out) {
+    const ml::Tensor& out, int* num_nonfinite) {
   std::array<std::array<double, kNumPercentiles>, kNumOutputBuckets> dist{};
+  int bad = 0;
   int idx = 0;
   for (int b = 0; b < kNumOutputBuckets; ++b) {
     for (int p = 0; p < kNumPercentiles; ++p) {
+      const double raw = std::exp(static_cast<double>(out.at(0, idx++)));
+      // NaN would silently survive std::max (max(1.0, NaN) == 1.0); make the
+      // clamp explicit and count what it absorbed.
+      if (!std::isfinite(raw)) ++bad;
       dist[static_cast<std::size_t>(b)][static_cast<std::size_t>(p)] =
-          std::max(1.0, std::exp(static_cast<double>(out.at(0, idx++))));
+          std::isfinite(raw) ? std::max(1.0, raw) : 1.0;
     }
     // Percentile vectors are monotone by construction; enforce it on the
     // decoded prediction as well.
@@ -126,6 +131,7 @@ std::array<std::array<double, kNumPercentiles>, kNumOutputBuckets> DecodeOutput(
           std::max(row[static_cast<std::size_t>(p)], row[static_cast<std::size_t>(p - 1)]);
     }
   }
+  if (num_nonfinite != nullptr) *num_nonfinite = bad;
   return dist;
 }
 

@@ -55,8 +55,11 @@ ml::Tensor TargetToTensor(const TargetDist& t);
 ml::Tensor TargetMask(const TargetDist& t);
 
 /// Inverse of the model output encoding: [1,400] log-slowdowns -> bucketed
-/// slowdown percentiles (clamped to >= 1).
+/// slowdown percentiles (clamped to >= 1). When `num_nonfinite` is non-null
+/// it receives the number of raw values that were NaN/inf before clamping
+/// (the clamp would otherwise silently absorb them — callers use the count
+/// to detect a poisoned forward pass).
 std::array<std::array<double, kNumPercentiles>, kNumOutputBuckets> DecodeOutput(
-    const ml::Tensor& out);
+    const ml::Tensor& out, int* num_nonfinite = nullptr);
 
 }  // namespace m3

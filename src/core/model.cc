@@ -1,6 +1,9 @@
 #include "core/model.h"
 
+#include <limits>
+
 #include "ml/checkpoint.h"
+#include "util/fault.h"
 
 namespace m3 {
 namespace {
@@ -41,11 +44,17 @@ ml::Var M3Model::Forward(ml::Graph& g, const ml::Tensor& fg_feat, const ml::Tens
 
 std::array<std::array<double, kNumPercentiles>, kNumOutputBuckets> M3Model::Predict(
     const ml::Tensor& fg_feat, const ml::Tensor& bg_seq, const ml::Tensor& spec,
-    bool use_context, const ml::Tensor* baseline) {
+    bool use_context, const ml::Tensor* baseline, int* num_nonfinite) {
   ml::Graph g;
   ml::Var out = Forward(g, fg_feat, bg_seq, spec, use_context);
   if (baseline != nullptr) out = g.Add(out, g.Input(*baseline));
-  return DecodeOutput(g.value(out));
+  ml::Tensor raw = g.value(out);
+  if (M3_FAULT_POINT_NAN("model/forward")) {
+    // Fault injection: a poisoned forward pass, as a diverged or corrupted
+    // model would produce. Callers must detect it via num_nonfinite.
+    raw.Fill(std::numeric_limits<float>::quiet_NaN());
+  }
+  return DecodeOutput(raw, num_nonfinite);
 }
 
 std::vector<ml::Parameter*> M3Model::params() {
@@ -64,6 +73,16 @@ std::size_t M3Model::num_parameters() {
 void M3Model::Save(const std::string& path) { ml::SaveCheckpoint(path, params()); }
 ml::CheckpointInfo M3Model::Load(const std::string& path) {
   return ml::LoadCheckpoint(path, params());
+}
+
+StatusOr<ml::CheckpointInfo> M3Model::TryLoad(const std::string& path) {
+  try {
+    return ml::LoadCheckpoint(path, params());
+  } catch (const ml::CheckpointError& e) {
+    return Status(e.code(), e.what()).Annotate("loading " + path);
+  } catch (const std::exception& e) {
+    return Status::Internal(e.what()).Annotate("loading " + path);
+  }
 }
 
 }  // namespace m3

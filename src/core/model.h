@@ -15,6 +15,7 @@
 #include "ml/layers.h"
 #include "ml/optimizer.h"
 #include "ml/transformer.h"
+#include "util/status.h"
 
 namespace m3 {
 
@@ -45,10 +46,14 @@ class M3Model {
   /// Inference: decoded slowdown percentiles per output bucket. The model
   /// output is a log-space *correction* added to `baseline` (flowSim's own
   /// bucketed log-slowdown percentiles, [1, 400]); pass nullptr for a zero
-  /// baseline (absolute prediction).
+  /// baseline (absolute prediction). When `num_nonfinite` is non-null it
+  /// receives the number of raw output values that were NaN/inf before the
+  /// decode clamp — a non-zero count means the forward pass was poisoned
+  /// and the decoded floor values should not be trusted.
   std::array<std::array<double, kNumPercentiles>, kNumOutputBuckets> Predict(
       const ml::Tensor& fg_feat, const ml::Tensor& bg_seq, const ml::Tensor& spec,
-      bool use_context = true, const ml::Tensor* baseline = nullptr);
+      bool use_context = true, const ml::Tensor* baseline = nullptr,
+      int* num_nonfinite = nullptr);
 
   std::vector<ml::Parameter*> params();
   std::size_t num_parameters();
@@ -61,6 +66,12 @@ class M3Model {
   /// optimizer/trainer sections). Throws on corrupt or mismatched files
   /// without modifying the model.
   ml::CheckpointInfo Load(const std::string& path);
+
+  /// Status-returning Load for service boundaries: kNotFound for a missing
+  /// file, kDataLoss for corruption/truncation, kInvalidArgument when the
+  /// checkpoint's tensors do not match this model's compiled dimensions.
+  /// Never throws; on error the model is unchanged.
+  StatusOr<ml::CheckpointInfo> TryLoad(const std::string& path);
 
   const M3ModelConfig& config() const { return cfg_; }
 

@@ -1,0 +1,46 @@
+// Input validation for the estimation pipeline. Every validator returns a
+// precise kInvalidArgument Status — which field, which index, why — so a
+// malformed query is rejected before any compute runs instead of crashing
+// (or silently corrupting) a path worker deep inside the pipeline.
+#pragma once
+
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/estimator.h"
+#include "pathdecomp/path_topology.h"
+#include "pktsim/config.h"
+#include "topo/topology.h"
+#include "util/status.h"
+#include "workload/flow.h"
+
+namespace m3 {
+
+/// Structural soundness: at least one node, every link endpoint in range,
+/// no self-loop links, positive finite rates, non-negative delays.
+Status ValidateTopology(const Topology& topo);
+
+/// Per-flow soundness against `topo`: positive sizes, non-negative and
+/// monotonically non-decreasing arrivals, host endpoints, src != dst, a
+/// connected route from src to dst, and a priority class in range.
+Status ValidateFlows(const Topology& topo, const std::vector<Flow>& flows);
+
+/// Sanity bounds on the Table-4 knobs: positive window/buffer within sane
+/// magnitudes, mtu > hdr, consistent CC thresholds, finite parameters.
+Status ValidateNetConfig(const NetConfig& cfg);
+
+/// Estimator knobs: num_paths >= 1, finite non-negative deadline.
+Status ValidateM3Options(const M3Options& opts);
+
+/// Internal consistency of a materialized path scenario (parallel array
+/// sizes, hop spans within [0, num_links)).
+Status ValidatePathScenario(const PathScenario& scenario);
+
+/// Dataset generation knobs: num_scenarios >= 1, num_fg >= 1.
+Status ValidateDatasetOptions(const DatasetOptions& opts);
+
+/// Everything RunM3/RunNs3Path/RunFlowSimOnly need checked up front.
+Status ValidateEstimatorInputs(const Topology& topo, const std::vector<Flow>& flows,
+                               const NetConfig& cfg, const M3Options& opts);
+
+}  // namespace m3

@@ -7,7 +7,10 @@
 #include <fstream>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
+
+#include "util/fault.h"
 
 #ifdef __unix__
 #include <fcntl.h>
@@ -80,7 +83,7 @@ class PayloadReader {
   /// payload, then reads the tensor. The check precedes the allocation.
   Tensor TensorOf(std::int32_t rows, std::int32_t cols, const std::string& what) {
     if (rows <= 0 || cols <= 0 || rows > kMaxTensorDim || cols > kMaxTensorDim) {
-      throw std::runtime_error("checkpoint: invalid shape for " + what);
+      throw CheckpointError(StatusCode::kDataLoss, "checkpoint: invalid shape for " + what);
     }
     const std::uint64_t count =
         static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
@@ -96,8 +99,8 @@ class PayloadReader {
  private:
   void Require(std::uint64_t n, const char* what) const {
     if (size_ - off_ < n) {
-      throw std::runtime_error(std::string("checkpoint: truncated payload reading ") +
-                               what);
+      throw CheckpointError(StatusCode::kDataLoss,
+                            std::string("checkpoint: truncated payload reading ") + what);
     }
   }
 
@@ -120,7 +123,7 @@ std::vector<NamedTensor> ParseParamSection(PayloadReader& r) {
   for (std::uint32_t i = 0; i < count; ++i) {
     const auto name_len = r.Pod<std::uint32_t>();
     if (name_len == 0 || name_len > kMaxNameLen) {
-      throw std::runtime_error("checkpoint: invalid parameter name length");
+      throw CheckpointError(StatusCode::kDataLoss, "checkpoint: invalid parameter name length");
     }
     NamedTensor nt;
     nt.name = r.String(name_len);
@@ -173,13 +176,13 @@ std::string BuildPayload(const std::vector<Parameter*>& params,
 
 std::string ReadWholeFile(const std::string& path) {
   std::ifstream is(path, std::ios::binary | std::ios::ate);
-  if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
+  if (!is) throw CheckpointError(StatusCode::kNotFound, "checkpoint: cannot open " + path);
   const std::streamoff size = is.tellg();
-  if (size < 0) throw std::runtime_error("checkpoint: cannot stat " + path);
+  if (size < 0) throw CheckpointError(StatusCode::kUnavailable, "checkpoint: cannot stat " + path);
   std::string buf(static_cast<std::size_t>(size), '\0');
   is.seekg(0);
   is.read(buf.data(), size);
-  if (!is) throw std::runtime_error("checkpoint: short read on " + path);
+  if (!is) throw CheckpointError(StatusCode::kUnavailable, "checkpoint: short read on " + path);
   return buf;
 }
 
@@ -223,7 +226,7 @@ void SaveCheckpoint(const std::string& path, const std::vector<Parameter*>& para
     std::error_code ec;
     fs::create_directories(target.parent_path(), ec);
     if (ec) {
-      throw std::runtime_error("checkpoint: cannot create directory " +
+      throw CheckpointError(StatusCode::kUnavailable, "checkpoint: cannot create directory " +
                                target.parent_path().string() + ": " + ec.message());
     }
   }
@@ -235,7 +238,7 @@ void SaveCheckpoint(const std::string& path, const std::vector<Parameter*>& para
   const std::string tmp = path + ".tmp";
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os) throw std::runtime_error("checkpoint: cannot open " + tmp + " for writing");
+    if (!os) throw CheckpointError(StatusCode::kUnavailable, "checkpoint: cannot open " + tmp + " for writing");
     const std::uint32_t version = kCheckpointVersionLatest;
     const std::uint64_t payload_size = payload.size();
     os.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
@@ -247,7 +250,7 @@ void SaveCheckpoint(const std::string& path, const std::vector<Parameter*>& para
     if (!os) {
       std::error_code ec;
       fs::remove(tmp, ec);
-      throw std::runtime_error("checkpoint: write failed for " + tmp);
+      throw CheckpointError(StatusCode::kUnavailable, "checkpoint: write failed for " + tmp);
     }
   }
 #ifdef __unix__
@@ -257,7 +260,7 @@ void SaveCheckpoint(const std::string& path, const std::vector<Parameter*>& para
   fs::rename(tmp, path, ec);
   if (ec) {
     fs::remove(tmp, ec);
-    throw std::runtime_error("checkpoint: cannot rename " + tmp + " to " + path);
+    throw CheckpointError(StatusCode::kUnavailable, "checkpoint: cannot rename " + tmp + " to " + path);
   }
 #ifdef __unix__
   if (target.has_parent_path()) FsyncPath(target.parent_path().string(), true);
@@ -266,13 +269,14 @@ void SaveCheckpoint(const std::string& path, const std::vector<Parameter*>& para
 
 CheckpointInfo LoadCheckpoint(const std::string& path,
                               const std::vector<Parameter*>& params) {
+  M3_FAULT_POINT("checkpoint/load");
   const std::string file = ReadWholeFile(path);
   PayloadReader header(file.data(), std::min(file.size(), kHeaderSizeV2));
   if (file.size() < kHeaderSizeV1) {
-    throw std::runtime_error("checkpoint: file too short: " + path);
+    throw CheckpointError(StatusCode::kDataLoss, "checkpoint: file too short: " + path);
   }
   if (header.Pod<std::uint32_t>() != kMagic) {
-    throw std::runtime_error("checkpoint: bad magic in " + path);
+    throw CheckpointError(StatusCode::kDataLoss, "checkpoint: bad magic in " + path);
   }
   const auto version = header.Pod<std::uint32_t>();
 
@@ -286,15 +290,15 @@ CheckpointInfo LoadCheckpoint(const std::string& path,
     loaded = ParseParamSection(r);
   } else if (version == 2) {
     if (file.size() < kHeaderSizeV2) {
-      throw std::runtime_error("checkpoint: truncated header in " + path);
+      throw CheckpointError(StatusCode::kDataLoss, "checkpoint: truncated header in " + path);
     }
     const auto payload_size = header.Pod<std::uint64_t>();
     const auto crc = header.Pod<std::uint32_t>();
     if (payload_size != file.size() - kHeaderSizeV2) {
-      throw std::runtime_error("checkpoint: truncated file " + path);
+      throw CheckpointError(StatusCode::kDataLoss, "checkpoint: truncated file " + path);
     }
     if (Crc32(file.data() + kHeaderSizeV2, payload_size) != crc) {
-      throw std::runtime_error("checkpoint: CRC mismatch in " + path);
+      throw CheckpointError(StatusCode::kDataLoss, "checkpoint: CRC mismatch in " + path);
     }
     PayloadReader r(file.data() + kHeaderSizeV2, payload_size);
     const auto flags = r.Pod<std::uint32_t>();
@@ -322,7 +326,7 @@ CheckpointInfo LoadCheckpoint(const std::string& path,
       info.extra.shuffle_rng.has_cached_normal = r.Pod<std::uint8_t>() != 0;
     }
   } else {
-    throw std::runtime_error("checkpoint: unsupported version in " + path);
+    throw CheckpointError(StatusCode::kInvalidArgument, "checkpoint: unsupported version in " + path);
   }
 
   // Validate everything against the destination parameters before applying
@@ -333,12 +337,37 @@ CheckpointInfo LoadCheckpoint(const std::string& path,
   for (const Parameter* p : params) {
     auto it = by_name.find(p->name);
     if (it == by_name.end()) {
-      throw std::runtime_error("checkpoint: missing parameter " + p->name);
+      throw CheckpointError(StatusCode::kInvalidArgument, "checkpoint: missing parameter " + p->name);
     }
     const Tensor& v = it->second->value;
     if (v.rows() != p->value.rows() || v.cols() != p->value.cols()) {
-      throw std::runtime_error("checkpoint: shape mismatch for " + p->name);
+      throw CheckpointError(StatusCode::kInvalidArgument,
+                            "checkpoint: shape mismatch for " + p->name + " (file " +
+                                std::to_string(v.rows()) + "x" + std::to_string(v.cols()) +
+                                ", model " + std::to_string(p->value.rows()) + "x" +
+                                std::to_string(p->value.cols()) + ")");
     }
+  }
+  if (loaded.size() != params.size()) {
+    // The file parsed cleanly but does not describe this model: either it
+    // carries tensors no parameter claims (a different architecture) or
+    // duplicate names. Reject rather than silently ignore the extras.
+    std::unordered_set<std::string> want;
+    want.reserve(params.size());
+    for (const Parameter* p : params) want.insert(p->name);
+    for (const NamedTensor& nt : loaded) {
+      if (want.find(nt.name) == want.end()) {
+        throw CheckpointError(StatusCode::kInvalidArgument,
+                              "checkpoint: unknown parameter " + nt.name +
+                                  " (file has " + std::to_string(loaded.size()) +
+                                  " tensors, model has " + std::to_string(params.size()) +
+                                  ")");
+      }
+    }
+    throw CheckpointError(StatusCode::kInvalidArgument,
+                          "checkpoint: duplicate parameter entries (file has " +
+                              std::to_string(loaded.size()) + " tensors, model has " +
+                              std::to_string(params.size()) + ")");
   }
 
   for (Parameter* p : params) {
@@ -403,7 +432,8 @@ RecoveredCheckpoint LoadNewestValidCheckpoint(const std::string& path,
       errors += std::string("\n  ") + e.what();
     }
   }
-  throw std::runtime_error("checkpoint: no loadable checkpoint for " + path + ":" +
+  throw CheckpointError(StatusCode::kNotFound,
+                        "checkpoint: no loadable checkpoint for " + path + ":" +
                            errors);
 }
 

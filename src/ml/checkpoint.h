@@ -17,15 +17,33 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "ml/tensor.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace m3::ml {
 
 inline constexpr std::uint32_t kCheckpointVersionLatest = 2;
+
+/// Thrown by every checkpoint failure path. Derives from std::runtime_error
+/// (existing catch sites keep working) and carries a StatusCode so service
+/// boundaries can classify without parsing messages: kNotFound (missing
+/// file), kDataLoss (truncation / corruption / CRC), kInvalidArgument
+/// (tensor names/shapes do not match the destination model, unsupported
+/// version), kUnavailable (I/O failure while writing).
+class CheckpointError : public std::runtime_error {
+ public:
+  CheckpointError(StatusCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  StatusCode code() const { return code_; }
+
+ private:
+  StatusCode code_;
+};
 
 /// Optional training state carried by a v2 checkpoint alongside the
 /// parameter tensors. Each section is independently present.

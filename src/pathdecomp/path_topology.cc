@@ -1,5 +1,7 @@
 #include "pathdecomp/path_topology.h"
 
+#include "util/fault.h"
+
 namespace m3 {
 
 PathScenario BuildPathScenario(const Topology& topo, const std::vector<Flow>& flows,
@@ -73,6 +75,7 @@ PathScenario BuildPathScenario(const Topology& topo, const std::vector<Flow>& fl
 }
 
 std::vector<FlowResult> RunPathFlowSim(const PathScenario& scenario) {
+  M3_FAULT_POINT("estimator/path_flowsim");
   return RunFlowSim(scenario.lot->topo(), scenario.flows);
 }
 

@@ -1,0 +1,170 @@
+#include "util/fault.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace m3 {
+namespace {
+
+struct SiteState {
+  FaultSpec spec;
+  bool armed = false;
+  std::uint64_t hits = 0;  // hits recorded while armed (survives Disarm)
+};
+
+// Fast path: fault points skip the registry lock entirely when nothing is
+// armed, so instrumented hot paths cost one relaxed load in production.
+std::atomic<int> g_armed_count{0};
+
+}  // namespace
+
+struct FaultRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, SiteState> sites;
+};
+
+FaultInjected::FaultInjected(const std::string& site)
+    : std::runtime_error("fault injected at " + site), site_(site) {}
+
+FaultRegistry::FaultRegistry() : impl_(new Impl) {
+  if (const char* env = std::getenv("M3_FAULTS"); env != nullptr && *env != '\0') {
+    const Status st = ArmFromString(env);
+    if (!st.ok()) {
+      std::fprintf(stderr, "m3: ignoring malformed M3_FAULTS entry: %s\n",
+                   st.message().c_str());
+    }
+  }
+}
+
+FaultRegistry& FaultRegistry::Instance() {
+  static FaultRegistry* registry = new FaultRegistry();  // leaked: process-lifetime
+  return *registry;
+}
+
+void FaultRegistry::Arm(const std::string& site, const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  SiteState& s = impl_->sites[site];
+  if (!s.armed) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  s.spec = spec;
+  s.armed = true;
+  s.hits = 0;
+}
+
+void FaultRegistry::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->sites.find(site);
+  if (it != impl_->sites.end() && it->second.armed) {
+    it->second.armed = false;
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, s] : impl_->sites) {
+    if (s.armed) g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  impl_->sites.clear();
+}
+
+bool FaultRegistry::any_armed() const {
+  return g_armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+std::optional<FaultMode> FaultRegistry::Hit(const char* site) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->sites.find(site);
+  if (it == impl_->sites.end() || !it->second.armed) return std::nullopt;
+  SiteState& s = it->second;
+  const std::uint64_t h = ++s.hits;
+  if (h < s.spec.fire_from) return std::nullopt;
+  if (s.spec.fire_count >= 0 &&
+      h >= s.spec.fire_from + static_cast<std::uint64_t>(s.spec.fire_count)) {
+    return std::nullopt;  // window exhausted: the site has healed
+  }
+  return s.spec.mode;
+}
+
+std::uint64_t FaultRegistry::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->sites.find(site);
+  return it == impl_->sites.end() ? 0 : it->second.hits;
+}
+
+Status FaultRegistry::ArmFromString(const std::string& spec) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("'" + entry + "' (expected site=mode[@FROM][xCOUNT])");
+    }
+    const std::string site = entry.substr(0, eq);
+    std::string rest = entry.substr(eq + 1);
+
+    FaultSpec fs;
+    // Split off the optional xCOUNT and @FROM suffixes (in that order from
+    // the right, so "throw@2x3" parses as FROM=2, COUNT=3).
+    const std::size_t x = rest.find('x');
+    std::string count_str;
+    if (x != std::string::npos) {
+      count_str = rest.substr(x + 1);
+      rest = rest.substr(0, x);
+    }
+    const std::size_t at = rest.find('@');
+    std::string from_str;
+    if (at != std::string::npos) {
+      from_str = rest.substr(at + 1);
+      rest = rest.substr(0, at);
+    }
+
+    if (rest == "throw") fs.mode = FaultMode::kThrow;
+    else if (rest == "nan") fs.mode = FaultMode::kNan;
+    else return Status::InvalidArgument("'" + entry + "' (mode must be throw or nan)");
+
+    auto parse_u64 = [](const std::string& s, std::uint64_t* out) {
+      // strtoull accepts "-3" by wrapping it to a huge value; require a
+      // leading digit so signed or padded input is rejected.
+      if (s.empty() || s[0] < '0' || s[0] > '9') return false;
+      char* endp = nullptr;
+      const unsigned long long v = std::strtoull(s.c_str(), &endp, 10);
+      if (endp == s.c_str() || *endp != '\0' || v == 0) return false;
+      *out = v;
+      return true;
+    };
+    if (!from_str.empty() && !parse_u64(from_str, &fs.fire_from)) {
+      return Status::InvalidArgument("'" + entry + "' (bad @FROM)");
+    }
+    if (!count_str.empty() && count_str != "*") {
+      std::uint64_t c = 0;
+      if (!parse_u64(count_str, &c)) {
+        return Status::InvalidArgument("'" + entry + "' (bad xCOUNT)");
+      }
+      fs.fire_count = static_cast<std::int64_t>(c);
+    }
+    Arm(site, fs);
+  }
+  return Status::Ok();
+}
+
+void FaultPointThrow(const char* site) {
+  if (!FaultRegistry::Instance().any_armed()) return;
+  const auto mode = FaultRegistry::Instance().Hit(site);
+  if (mode.has_value() && *mode == FaultMode::kThrow) throw FaultInjected(site);
+}
+
+bool FaultPointNan(const char* site) {
+  if (!FaultRegistry::Instance().any_armed()) return false;
+  const auto mode = FaultRegistry::Instance().Hit(site);
+  return mode.has_value() && *mode == FaultMode::kNan;
+}
+
+}  // namespace m3

@@ -1,0 +1,93 @@
+// Deterministic fault injection for resilience testing.
+//
+// Production code marks fault boundaries with named fault points:
+//
+//   M3_FAULT_POINT("estimator/path_forward");          // throw-type site
+//   if (M3_FAULT_POINT_NAN("model/forward")) { ... }   // poison-type site
+//
+// When nothing is armed a fault point is a single relaxed atomic load.
+// Tests (or the M3_FAULTS environment variable) arm sites with a FaultSpec
+// that fires on an exact hit window — "fail the 3rd hit, twice, then heal" —
+// so every degradation path can be driven deterministically, independent of
+// thread scheduling, and the same binary re-runs identically.
+//
+// M3_FAULTS syntax (parsed on first registry use):
+//   site=mode[@FROM][xCOUNT][,site=...]
+// where mode is "throw" or "nan", FROM is the 1-based hit index of the
+// first firing (default 1), and COUNT is the number of firing hits
+// (default unlimited; "x*" is also unlimited). Example:
+//   M3_FAULTS="estimator/path_forward=throw@2x1,model/forward=nan"
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace m3 {
+
+enum class FaultMode { kThrow, kNan };
+
+struct FaultSpec {
+  FaultMode mode = FaultMode::kThrow;
+  std::uint64_t fire_from = 1;   // 1-based hit index of the first firing hit
+  std::int64_t fire_count = -1;  // firing hits before the site heals; -1 = unlimited
+};
+
+/// Thrown by throw-type fault points when an armed fault fires.
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(const std::string& site);
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+class FaultRegistry {
+ public:
+  /// Process-wide registry. The first call parses M3_FAULTS (if set).
+  static FaultRegistry& Instance();
+
+  FaultRegistry(const FaultRegistry&) = delete;
+  FaultRegistry& operator=(const FaultRegistry&) = delete;
+
+  void Arm(const std::string& site, const FaultSpec& spec = FaultSpec());
+  void Disarm(const std::string& site);
+  /// Disarms every site and zeroes all hit counters.
+  void Reset();
+
+  /// True if any site is armed (cheap; safe to call from hot paths).
+  bool any_armed() const;
+
+  /// Registers a hit at `site` and returns the armed mode if this hit
+  /// fires, nullopt otherwise. Hits are only counted for armed sites.
+  std::optional<FaultMode> Hit(const char* site);
+
+  /// Hits recorded at `site` since it was armed (0 if never armed).
+  std::uint64_t hits(const std::string& site) const;
+
+  /// Arms sites from an M3_FAULTS-syntax string. On a malformed entry
+  /// returns kInvalidArgument naming the entry; earlier entries stay armed.
+  Status ArmFromString(const std::string& spec);
+
+ private:
+  FaultRegistry();
+  ~FaultRegistry() = default;
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Throws FaultInjected if a throw-mode fault armed at `site` fires now.
+void FaultPointThrow(const char* site);
+/// True if a nan-mode fault armed at `site` fires now.
+bool FaultPointNan(const char* site);
+
+#define M3_FAULT_POINT(site) ::m3::FaultPointThrow(site)
+#define M3_FAULT_POINT_NAN(site) ::m3::FaultPointNan(site)
+
+}  // namespace m3

@@ -1,0 +1,32 @@
+#include "util/status.h"
+
+namespace m3 {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kDegraded: return "DEGRADED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+Status Status::Annotate(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(code_, context + ": " + message_);
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace m3

@@ -1,0 +1,98 @@
+// Lightweight Status / StatusOr<T> error layer: the cross-subsystem error
+// ABI for the estimation pipeline. Subsystem boundaries (estimator, dataset,
+// trace_io, checkpoint load, tools) report failures as typed Status values
+// with precise messages instead of letting exceptions unwind across layers;
+// exceptions remain an intra-subsystem implementation detail.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace m3 {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,  // caller-supplied input failed validation
+  kNotFound = 2,         // a named resource (file, path) does not exist
+  kDataLoss = 3,         // corrupt / truncated / non-finite data
+  kDeadlineExceeded = 4, // a wall-clock budget expired before completion
+  kInternal = 5,         // unexpected failure inside a subsystem
+  kDegraded = 6,         // an answer was produced, but at reduced quality
+  kUnavailable = 7,      // transient environment failure (I/O, resources)
+};
+
+constexpr int kNumStatusCodes = 8;
+
+/// Stable upper-case name, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  /// Default Status is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status DataLoss(std::string m) { return {StatusCode::kDataLoss, std::move(m)}; }
+  static Status DeadlineExceeded(std::string m) { return {StatusCode::kDeadlineExceeded, std::move(m)}; }
+  static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+  static Status Degraded(std::string m) { return {StatusCode::kDegraded, std::move(m)}; }
+  static Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Prepends context, preserving the code: st.Annotate("loading trace")
+  /// turns "bad header" into "loading trace: bad header". Chainable.
+  Status Annotate(const std::string& context) const;
+
+  /// "CODE_NAME: message" (or "OK").
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or a non-OK Status. T must be default-constructible and
+/// movable (true of every payload used at the repo's boundaries). Accessing
+/// value() on an error is undefined; check ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT: implicit
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT: implicit
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return value_; }
+  const T& value() const& { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  T& operator*() & { return value_; }
+  const T& operator*() const& { return value_; }
+  T* operator->() { return &value_; }
+  const T* operator->() const { return &value_; }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagates a non-OK Status to the caller.
+#define M3_RETURN_IF_ERROR(expr)              \
+  do {                                        \
+    ::m3::Status m3_status_ = (expr);         \
+    if (!m3_status_.ok()) return m3_status_;  \
+  } while (0)
+
+}  // namespace m3

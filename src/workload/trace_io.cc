@@ -4,37 +4,51 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/fault.h"
+
 namespace m3 {
 namespace {
 
 constexpr const char* kHeader = "m3-trace v1";
 
+std::string At(const std::string& path, int lineno) {
+  return path + ":" + std::to_string(lineno);
+}
+
 }  // namespace
 
-void SaveTrace(const std::string& path, const FatTree& ft, const std::vector<Flow>& flows) {
+Status SaveTraceOr(const std::string& path, const FatTree& ft,
+                   const std::vector<Flow>& flows) {
   std::ofstream os(path, std::ios::trunc);
-  if (!os) throw std::runtime_error("SaveTrace: cannot open " + path);
+  if (!os) return Status::Unavailable("SaveTrace: cannot open " + path);
   os << kHeader << "\n";
   os << "# id src_host dst_host size_bytes arrival_ns priority\n";
   for (const Flow& f : flows) {
     const int src = ft.HostIndexOf(f.src);
     const int dst = ft.HostIndexOf(f.dst);
     if (src < 0 || dst < 0) {
-      throw std::runtime_error("SaveTrace: flow " + std::to_string(f.id) +
-                               " does not terminate at hosts of this topology");
+      return Status::InvalidArgument("SaveTrace: flow " + std::to_string(f.id) +
+                                     " does not terminate at hosts of this topology");
     }
     os << f.id << ' ' << src << ' ' << dst << ' ' << f.size << ' ' << f.arrival << ' '
        << static_cast<int>(f.priority) << "\n";
   }
-  if (!os) throw std::runtime_error("SaveTrace: write failed for " + path);
+  if (!os) return Status::Unavailable("SaveTrace: write failed for " + path);
+  return Status::Ok();
 }
 
-std::vector<Flow> LoadTrace(const std::string& path, const FatTree& ft) {
+StatusOr<std::vector<Flow>> LoadTraceOr(const std::string& path, const FatTree& ft) {
+  try {
+    M3_FAULT_POINT("trace/parse");
+  } catch (const FaultInjected& e) {
+    return Status::Unavailable(e.what());
+  }
   std::ifstream is(path);
-  if (!is) throw std::runtime_error("LoadTrace: cannot open " + path);
+  if (!is) return Status::NotFound("LoadTrace: cannot open " + path);
   std::string line;
   if (!std::getline(is, line) || line != kHeader) {
-    throw std::runtime_error("LoadTrace: bad header in " + path);
+    return Status::InvalidArgument("LoadTrace: bad header in " + path +
+                                   " (expected '" + kHeader + "')");
   }
   std::vector<Flow> flows;
   int lineno = 1;
@@ -49,18 +63,39 @@ std::vector<Flow> LoadTrace(const std::string& path, const FatTree& ft) {
       bool only_space = true;
       for (char c : line) only_space &= (c == ' ' || c == '\t' || c == '\r');
       if (only_space) continue;
-      throw std::runtime_error("LoadTrace: parse error at " + path + ":" +
-                               std::to_string(lineno));
+      // A partial record on the final line with no trailing newline is the
+      // signature of a truncated file (e.g. an interrupted copy) rather
+      // than a malformed one; report it as data loss.
+      if (is.eof()) {
+        return Status::DataLoss("LoadTrace: truncated record at " + At(path, lineno));
+      }
+      return Status::InvalidArgument(
+          "LoadTrace: parse error at " + At(path, lineno) +
+          " (expected: id src_host dst_host size_bytes arrival_ns [priority])");
     }
     int priority = 0;
     ls >> priority;  // optional
-    if (src < 0 || src >= ft.num_hosts() || dst < 0 || dst >= ft.num_hosts() || src == dst) {
-      throw std::runtime_error("LoadTrace: bad hosts at " + path + ":" +
-                               std::to_string(lineno));
+    if (src < 0 || src >= ft.num_hosts() || dst < 0 || dst >= ft.num_hosts()) {
+      return Status::InvalidArgument(
+          "LoadTrace: host out of range at " + At(path, lineno) + " (src=" +
+          std::to_string(src) + " dst=" + std::to_string(dst) + ", topology has " +
+          std::to_string(ft.num_hosts()) + " hosts)");
     }
-    if (size <= 0 || arrival < 0) {
-      throw std::runtime_error("LoadTrace: bad size/arrival at " + path + ":" +
-                               std::to_string(lineno));
+    if (src == dst) {
+      return Status::InvalidArgument("LoadTrace: src == dst at " + At(path, lineno));
+    }
+    if (size <= 0) {
+      return Status::InvalidArgument("LoadTrace: size " + std::to_string(size) + " at " +
+                                     At(path, lineno) + " (must be > 0)");
+    }
+    if (arrival < 0) {
+      return Status::InvalidArgument("LoadTrace: arrival " + std::to_string(arrival) +
+                                     " at " + At(path, lineno) + " (must be >= 0)");
+    }
+    if (priority < 0 || priority >= kNumPriorities) {
+      return Status::InvalidArgument("LoadTrace: priority " + std::to_string(priority) +
+                                     " at " + At(path, lineno) + " (must be in [0, " +
+                                     std::to_string(kNumPriorities) + "))");
     }
     Flow f;
     f.id = static_cast<FlowId>(id);
@@ -74,6 +109,17 @@ std::vector<Flow> LoadTrace(const std::string& path, const FatTree& ft) {
     flows.push_back(std::move(f));
   }
   return flows;
+}
+
+void SaveTrace(const std::string& path, const FatTree& ft, const std::vector<Flow>& flows) {
+  const Status st = SaveTraceOr(path, ft, flows);
+  if (!st.ok()) throw std::runtime_error(st.ToString());
+}
+
+std::vector<Flow> LoadTrace(const std::string& path, const FatTree& ft) {
+  StatusOr<std::vector<Flow>> flows = LoadTraceOr(path, ft);
+  if (!flows.ok()) throw std::runtime_error(flows.status().ToString());
+  return std::move(flows).value();
 }
 
 }  // namespace m3

@@ -15,16 +15,25 @@
 #include <vector>
 
 #include "topo/fat_tree.h"
+#include "util/status.h"
 #include "workload/flow.h"
 
 namespace m3 {
 
 /// Writes `flows` (which must reference hosts of `ft`) to `path`.
-/// Throws std::runtime_error on I/O failure or foreign endpoints.
-void SaveTrace(const std::string& path, const FatTree& ft, const std::vector<Flow>& flows);
+/// kInvalidArgument for foreign endpoints, kUnavailable on I/O failure.
+Status SaveTraceOr(const std::string& path, const FatTree& ft,
+                   const std::vector<Flow>& flows);
 
 /// Reads a trace and materializes flows on `ft` (routes re-derived).
-/// Throws std::runtime_error on parse errors or out-of-range hosts.
+/// kNotFound for a missing file, kInvalidArgument for malformed records
+/// (with the offending path:line), kDataLoss for a record truncated at
+/// end-of-file.
+StatusOr<std::vector<Flow>> LoadTraceOr(const std::string& path, const FatTree& ft);
+
+/// Throwing wrappers (std::runtime_error carrying Status::ToString()) for
+/// callers without Status plumbing.
+void SaveTrace(const std::string& path, const FatTree& ft, const std::vector<Flow>& flows);
 std::vector<Flow> LoadTrace(const std::string& path, const FatTree& ft);
 
 }  // namespace m3

@@ -70,6 +70,72 @@ TEST(TraceIo, CommentsAndBlankLinesIgnored) {
   std::remove(path.c_str());
 }
 
+TEST(TraceIo, StatusCodesClassifyFailures) {
+  const FatTree ft(FatTreeConfig::Small(1.0));
+  const std::string path = testing::TempDir() + "/m3_trace_status.txt";
+  auto write = [&](const char* body) {
+    FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs(body, f);
+    std::fclose(f);
+  };
+
+  EXPECT_EQ(LoadTraceOr("/nonexistent/trace.txt", ft).status().code(),
+            StatusCode::kNotFound);
+
+  write("not a trace\n");
+  EXPECT_EQ(LoadTraceOr(path, ft).status().code(), StatusCode::kInvalidArgument);
+
+  write("m3-trace v1\n1 0 1 100 0\ngarbage\nmore garbage\n");
+  {
+    const auto r = LoadTraceOr(path, ft);
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    // Diagnostics must name the file and line of the offending record.
+    EXPECT_NE(r.status().message().find(path + ":3"), std::string::npos)
+        << r.status().ToString();
+  }
+
+  write("m3-trace v1\n1 0 1 100 0 9\n");  // priority out of range
+  EXPECT_EQ(LoadTraceOr(path, ft).status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, TruncatedFinalRecordIsDataLoss) {
+  const FatTree ft(FatTreeConfig::Small(1.0));
+  const std::string path = testing::TempDir() + "/m3_trace_trunc.txt";
+  FILE* f = std::fopen(path.c_str(), "w");
+  // A valid record followed by a record cut mid-field with no trailing
+  // newline: the signature of an interrupted copy.
+  std::fputs("m3-trace v1\n1 0 9 1234 5000 1\n2 0 8 77", f);
+  std::fclose(f);
+  const auto r = LoadTraceOr(path, ft);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss) << r.status().ToString();
+  // The throwing wrapper preserves the classification in its message.
+  EXPECT_THROW(
+      {
+        try {
+          LoadTrace(path, ft);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("DATA_LOSS"), std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, SaveTraceOrRejectsForeignEndpoints) {
+  const FatTree ft(FatTreeConfig::Small(1.0));
+  Flow f;
+  f.id = 0;
+  f.src = ft.tor(0);  // a switch, not a host: no host index
+  f.dst = ft.host(1);
+  f.size = 100;
+  const std::string path = testing::TempDir() + "/m3_trace_foreign.txt";
+  EXPECT_EQ(SaveTraceOr(path, ft, {f}).code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
 TEST(TraceIo, HostIndexOfInverseOfHost) {
   const FatTree ft(FatTreeConfig::Small(4.0));
   for (int i = 0; i < ft.num_hosts(); i += 17) {

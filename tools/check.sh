@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # PR gate: tier-1 build + full test suite, then an AddressSanitizer build of
 # the checkpoint/trainer suites so the corruption-handling paths (truncated
-# files, bit flips, hostile length fields) are exercised under ASan.
+# files, bit flips, hostile length fields) are exercised under ASan, then a
+# UBSan build of the resilience suites so the fault-injection and validation
+# paths (injected throws, NaN forwards, malformed traces) are checked for
+# undefined behaviour under fault.
 #
 # Usage: tools/check.sh [extra cmake args...]
 set -euo pipefail
@@ -19,5 +22,11 @@ cmake -B build-asan -S . -DM3_SANITIZE=address "$@"
 cmake --build build-asan -j"$JOBS" --target m3_tests
 ctest --test-dir build-asan --output-on-failure -j"$JOBS" \
   -R 'CheckpointV2|Checkpoint\.|Resume|Trainer|ThreadPool'
+
+echo "== UBSan: resilience / fault-injection suites =="
+cmake -B build-ubsan -S . -DM3_SANITIZE=undefined "$@"
+cmake --build build-ubsan -j"$JOBS" --target m3_tests
+ctest --test-dir build-ubsan --output-on-failure -j"$JOBS" \
+  -R 'Status|FaultRegistry|Validate|EstimatorResilience|AggregationGuard|CheckpointResilience|TraceIo'
 
 echo "== all checks passed =="
