@@ -143,9 +143,29 @@ NetworkEstimate RunPathPipeline(const Topology& topo, const std::vector<Flow>& f
           return false;
         };
 
-        bool ok = false;
+        // Per-path reuse: a cache hit bypasses the whole ladder. Hook
+        // failures are swallowed — the cache accelerates, it never fails a
+        // path (see PathCacheHooks).
+        bool cached = false;
+        if (opts.path_cache != nullptr && opts.path_cache->lookup) {
+          try {
+            if (std::optional<PathEstimate> hit = opts.path_cache->lookup(ensure_scenario())) {
+              result = *hit;
+              cached = true;
+            }
+          } catch (...) {
+          }
+        }
+
+        bool ok = cached;
         int attempts = 0;
         for (; attempts < opts.max_attempts && !ok; ++attempts) ok = attempt(estimate_path);
+        if (ok && !cached && opts.path_cache != nullptr && opts.path_cache->insert) {
+          try {
+            opts.path_cache->insert(*scenario, result);
+          } catch (...) {
+          }
+        }
         bool degraded = false, dropped = false;
         if (!ok) {
           if (opts.strict) {
@@ -162,6 +182,7 @@ NetworkEstimate RunPathPipeline(const Topology& topo, const std::vector<Flow>& f
 
         std::lock_guard<std::mutex> lock(mu);
         rep.paths_ok += ok ? 1 : 0;
+        rep.paths_cached += cached ? 1 : 0;
         rep.paths_retried += attempts > 1 ? 1 : 0;
         rep.paths_degraded += degraded ? 1 : 0;
         rep.paths_dropped += dropped ? 1 : 0;
@@ -207,7 +228,10 @@ NetworkEstimate RunPathPipeline(const Topology& topo, const std::vector<Flow>& f
 }  // namespace
 
 std::string DegradationReport::ToString() const {
-  std::string s = "paths: " + std::to_string(paths_ok) + " ok, " +
+  std::string s = "paths: " + std::to_string(paths_ok) + " ok" +
+                  (paths_cached > 0 ? " (" + std::to_string(paths_cached) + " cached)"
+                                    : std::string()) +
+                  ", " +
                   std::to_string(paths_retried) + " retried, " +
                   std::to_string(paths_degraded) + " degraded, " +
                   std::to_string(paths_dropped) + " dropped (" +

@@ -7,6 +7,8 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,20 @@
 #include "util/status.h"
 
 namespace m3 {
+
+/// Cross-query reuse hooks for per-path estimates (the serving layer's
+/// content-addressed path cache plugs in here; see src/serve/service.h).
+/// `lookup` runs before the primary estimator — returning a value skips all
+/// compute for that path and counts it as ok. `insert` runs after a
+/// successful *primary* estimate only, never after a fallback, so degraded
+/// answers are never cached. Both are called concurrently from path workers
+/// and must be thread-safe. The cache is an accelerator, never a
+/// correctness dependency: a hook that throws is treated as a miss (lookup)
+/// or a no-op (insert) and the path proceeds normally.
+struct PathCacheHooks {
+  std::function<std::optional<PathEstimate>(const PathScenario&)> lookup;
+  std::function<void(const PathScenario&, const PathEstimate&)> insert;
+};
 
 struct M3Options {
   int num_paths = 100;       // paper: 500 bounds p99 error to ~10% (Fig. 5)
@@ -36,6 +52,11 @@ struct M3Options {
   // Attempts of the primary estimator per path before degrading (2 = one
   // retry, the default degradation ladder).
   int max_attempts = 2;
+
+  // Optional per-path result reuse (not owned; must outlive the call).
+  // nullptr disables reuse. Hit paths are reported in
+  // DegradationReport::paths_cached.
+  const PathCacheHooks* path_cache = nullptr;
 };
 
 /// Answer-quality accounting for one estimation run. Every sampled path
@@ -43,6 +64,7 @@ struct M3Options {
 /// paths that needed more than one primary attempt (whatever the outcome).
 struct DegradationReport {
   int paths_ok = 0;        // primary estimator produced the estimate
+  int paths_cached = 0;    // served from M3Options::path_cache (subset of ok)
   int paths_retried = 0;   // needed >= 1 retry (may still be ok)
   int paths_degraded = 0;  // fell back to the flowSim-only estimate
   int paths_dropped = 0;   // no estimate; aggregation reweights around them

@@ -1,0 +1,11 @@
+#include "serve/cache.h"
+
+namespace m3::serve {
+
+std::string CacheStats::ToString() const {
+  return std::to_string(hits) + " hits, " + std::to_string(misses) + " misses, " +
+         std::to_string(inserts) + " inserts, " + std::to_string(evictions) +
+         " evictions, " + std::to_string(entries) + " entries";
+}
+
+}  // namespace m3::serve

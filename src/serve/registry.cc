@@ -1,0 +1,61 @@
+#include "serve/registry.h"
+
+#include "ml/checkpoint.h"
+#include "util/fault.h"
+
+namespace m3::serve {
+namespace {
+
+void ComputeIdentity(M3Model& model, std::uint32_t* crc, Hash128* digest) {
+  Hasher h;
+  std::uint32_t running_crc = 0;
+  // Parameter order is fixed by the model's layer structure, so iterating
+  // params() is a canonical traversal.
+  for (const ml::Parameter* p : model.params()) {
+    h.Str(p->name);
+    h.I32(p->value.rows());
+    h.I32(p->value.cols());
+    h.Bytes(p->value.data(), p->value.size() * sizeof(float));
+    running_crc ^= ml::Crc32(p->value.data(), p->value.size() * sizeof(float));
+  }
+  *crc = running_crc;
+  *digest = h.Finish();
+}
+
+}  // namespace
+
+Status ModelRegistry::Reload(const std::string& path) {
+  try {
+    M3_FAULT_POINT("serve/registry_reload");
+  } catch (const std::exception& e) {
+    reloads_failed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable(e.what()).Annotate("reloading " + path);
+  }
+
+  // Load off to the side: in-flight queries keep their snapshot, and a
+  // failure here publishes nothing.
+  auto snap = std::make_shared<ModelSnapshot>(cfg_);
+  StatusOr<ml::CheckpointInfo> info = snap->model.TryLoad(path);
+  if (!info.ok()) {
+    reloads_failed_.fetch_add(1, std::memory_order_relaxed);
+    return info.status();
+  }
+  snap->info = *info;
+  snap->checkpoint_path = path;
+  ComputeIdentity(snap->model, &snap->param_crc, &snap->digest);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap->version = next_version_++;
+    current_ = std::move(snap);
+  }
+  reloads_ok_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+std::shared_ptr<const ModelSnapshot> ModelRegistry::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+}  // namespace m3::serve

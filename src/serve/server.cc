@@ -1,0 +1,124 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+namespace m3::serve {
+
+SocketServer::~SocketServer() { Stop(); }
+
+Status SocketServer::Start(const std::string& socket_path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) return Status::InvalidArgument("server already started");
+  }
+  StatusOr<UnixFd> listener = ListenUnix(socket_path);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  path_ = socket_path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+    stopping_ = false;
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void SocketServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stopping_ = true;
+    // Unblock every parked read: the acceptor's accept() and each
+    // connection thread's recv().
+    if (listener_.valid()) ::shutdown(listener_.get(), SHUT_RDWR);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  // After the acceptor exits no new connection threads appear; join the
+  // existing ones (their recv() has been shut down).
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns.swap(conns_);
+  }
+  for (std::thread& t : conns) t.join();
+  listener_.Close();
+  if (!path_.empty()) ::unlink(path_.c_str());
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+  stopping_ = false;
+  conn_fds_.clear();
+}
+
+void SocketServer::AcceptLoop() {
+  for (;;) {
+    StatusOr<UnixFd> conn = AcceptUnix(listener_);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;  // shutdown() woke us; drop any race-winner conn
+    if (!conn.ok()) return;  // listener broken: no way to serve further
+    conn_fds_.push_back(conn->get());
+    conns_.emplace_back(
+        [this, fd = std::move(*conn)]() mutable { ServeConnection(std::move(fd)); });
+  }
+}
+
+void SocketServer::ServeConnection(UnixFd fd) {
+  const int raw_fd = fd.get();
+  for (;;) {
+    StatusOr<Frame> frame = RecvFrame(fd);
+    if (!frame.ok()) break;  // clean close, peer error, or shutdown
+    Status send;
+    switch (static_cast<MsgType>(frame->type)) {
+      case MsgType::kQueryRequest: {
+        StatusOr<QueryRequest> req = DecodeQueryRequest(frame->payload);
+        QueryResponse resp;
+        if (!req.ok()) {
+          resp.status = req.status().Annotate("decoding query request");
+          resp.stats = service_.Stats();
+        } else {
+          resp = service_.Query(*req);
+        }
+        send = SendFrame(fd, static_cast<std::uint32_t>(MsgType::kQueryResponse),
+                         EncodeQueryResponse(resp));
+        break;
+      }
+      case MsgType::kStatsRequest: {
+        send = SendFrame(fd, static_cast<std::uint32_t>(MsgType::kStatsResponse),
+                         EncodeStats(service_.Stats()));
+        break;
+      }
+      case MsgType::kReloadRequest: {
+        StatusOr<ReloadRequest> req = DecodeReloadRequest(frame->payload);
+        ReloadResponse resp;
+        if (!req.ok()) {
+          resp.status = req.status().Annotate("decoding reload request");
+        } else {
+          resp.status = service_.ReloadModel(req->checkpoint_path);
+        }
+        const ServerStatsWire stats = service_.Stats();
+        resp.model_version = stats.model_version;
+        resp.model_crc = stats.model_crc;
+        send = SendFrame(fd, static_cast<std::uint32_t>(MsgType::kReloadResponse),
+                         EncodeReloadResponse(resp));
+        break;
+      }
+      default:
+        // Unknown type: the peer's expected response shape is unknowable,
+        // so the only safe protocol action is to hang up.
+        send = Status::InvalidArgument("unknown frame type");
+        break;
+    }
+    if (!send.ok()) break;
+  }
+  // Deregister so Stop() does not shutdown() a recycled fd number.
+  std::lock_guard<std::mutex> lock(mu_);
+  conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), raw_fd),
+                  conn_fds_.end());
+}
+
+}  // namespace m3::serve

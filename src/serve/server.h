@@ -1,0 +1,57 @@
+// SocketServer: the m3d daemon's transport loop.
+//
+// Accepts connections on a Unix-domain socket and speaks the serve/wire.h
+// protocol: each connection is handled by its own I/O thread that decodes
+// frames, hands queries to the EstimationService scheduler (blocking until
+// the answer is computed — so admission control naturally bounds the number
+// of in-flight queries per daemon), and writes the response frame back.
+// Compute never happens on I/O threads; they only park in Query().
+//
+// A malformed frame gets an error response where the expected response type
+// is known (bad query payload -> kQueryResponse carrying the decode error);
+// an unknown frame type or transport-level garbage closes the connection.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+#include "util/socket.h"
+
+namespace m3::serve {
+
+class SocketServer {
+ public:
+  explicit SocketServer(EstimationService& service) : service_(service) {}
+  ~SocketServer();  // Stop()s
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds `socket_path` and spawns the acceptor thread.
+  Status Start(const std::string& socket_path);
+
+  /// Shuts down the listener and every open connection, joins all threads,
+  /// and unlinks the socket file. Idempotent.
+  void Stop();
+
+  const std::string& socket_path() const { return path_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(UnixFd fd);
+
+  EstimationService& service_;
+  UnixFd listener_;
+  std::string path_;
+  std::thread acceptor_;
+  std::mutex mu_;  // guards conns_, conn_fds_, stopping_
+  std::vector<std::thread> conns_;
+  std::vector<int> conn_fds_;  // raw fds of live connections, for shutdown()
+  bool stopping_ = false;
+  bool started_ = false;
+};
+
+}  // namespace m3::serve

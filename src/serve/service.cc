@@ -1,0 +1,287 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <utility>
+
+namespace m3::serve {
+namespace {
+
+// Both caches share one injection site: an armed "serve/cache_lookup"
+// fault makes every lookup fail, and the service must degrade to plain
+// recompute (same answer, no reuse) rather than failing queries.
+constexpr const char* kCacheFaultSite = "serve/cache_lookup";
+
+void CopyCacheStats(const CacheStats& in, std::uint64_t out[5]) {
+  out[0] = in.hits;
+  out[1] = in.misses;
+  out[2] = in.inserts;
+  out[3] = in.evictions;
+  out[4] = in.entries;
+}
+
+}  // namespace
+
+EstimationService::EstimationService(const ServiceOptions& opts)
+    : opts_(opts),
+      registry_(opts.model_config),
+      query_cache_(opts.query_cache_entries, kCacheFaultSite),
+      path_cache_(opts.path_cache_entries, kCacheFaultSite) {}
+
+EstimationService::~EstimationService() { Stop(); }
+
+Status EstimationService::ReloadModel(const std::string& checkpoint_path) {
+  return registry_.Reload(checkpoint_path);
+}
+
+Status EstimationService::Start() {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  if (running_) return Status::InvalidArgument("service already running");
+  running_ = true;
+  stopping_ = false;
+  const int n = std::max(1, opts_.num_workers);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::Ok();
+}
+
+void EstimationService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  running_ = false;
+  stopping_ = false;
+}
+
+void EstimationService::WorkerLoop() {
+  for (;;) {
+    Pending p;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained
+      p = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    QueryResponse resp = Execute(p.req);
+    if (p.done) p.done(std::move(resp));
+  }
+}
+
+Status EstimationService::Submit(QueryRequest req, DoneFn done) {
+  queries_received_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!running_ || stopping_) {
+      return Status::Unavailable("estimation service is not running");
+    }
+    if (queue_.size() >= opts_.queue_capacity) {
+      queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "admission control: request queue full (" +
+          std::to_string(opts_.queue_capacity) + " pending)");
+    }
+    queue_.push_back(Pending{std::move(req), std::move(done)});
+  }
+  queue_cv_.notify_one();
+  return Status::Ok();
+}
+
+QueryResponse EstimationService::Query(const QueryRequest& req) {
+  bool scheduled;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    scheduled = running_ && !stopping_;
+  }
+  if (!scheduled) return ExecuteInline(req);
+
+  std::promise<QueryResponse> promise;
+  std::future<QueryResponse> result = promise.get_future();
+  const Status st =
+      Submit(req, [&promise](QueryResponse r) { promise.set_value(std::move(r)); });
+  if (!st.ok()) {
+    QueryResponse resp;
+    resp.status = st;
+    resp.stats = Stats();
+    return resp;
+  }
+  return result.get();
+}
+
+QueryResponse EstimationService::ExecuteInline(const QueryRequest& req) {
+  queries_received_.fetch_add(1, std::memory_order_relaxed);
+  return Execute(req);
+}
+
+std::shared_ptr<const FatTree> EstimationService::TopologyFor(double oversub) {
+  std::lock_guard<std::mutex> lock(topo_mu_);
+  for (const auto& [key, ft] : topos_) {
+    if (key == oversub) return ft;  // bit-exact match, same wire double
+  }
+  auto ft = std::make_shared<const FatTree>(FatTreeConfig::Small(oversub));
+  topos_.emplace_back(oversub, ft);
+  return ft;
+}
+
+QueryResponse EstimationService::Execute(const QueryRequest& req) {
+  QueryResponse resp;
+  const std::shared_ptr<const ModelSnapshot> snap = registry_.Current();
+  if (snap == nullptr) {
+    resp.status = Status::Unavailable(
+        "no model loaded (start m3d with --model, or send a reload request)");
+    queries_failed_.fetch_add(1, std::memory_order_relaxed);
+    resp.stats = Stats();
+    return resp;
+  }
+  resp.model_version = snap->version;
+  resp.model_crc = snap->param_crc;
+
+  const Hash128 query_key = QueryCacheKey(req, snap->digest);
+  if (!req.no_cache) {
+    try {
+      if (std::optional<QueryResponse> hit = query_cache_.Lookup(query_key)) {
+        resp = std::move(*hit);
+        resp.model_version = snap->version;
+        resp.model_crc = snap->param_crc;
+        resp.query_cache_hit = true;
+        queries_ok_.fetch_add(1, std::memory_order_relaxed);
+        resp.stats = Stats();
+        return resp;
+      }
+    } catch (...) {
+      // Cache outage (injected or real): recompute. Never fail the query.
+    }
+  }
+
+  if (!(req.oversub >= 0.0625 && req.oversub <= 64.0)) {
+    resp.status = Status::InvalidArgument(
+        "oversub: " + std::to_string(req.oversub) + " (must be in [0.0625, 64])");
+    queries_failed_.fetch_add(1, std::memory_order_relaxed);
+    resp.stats = Stats();
+    return resp;
+  }
+  const std::shared_ptr<const FatTree> ft = TopologyFor(req.oversub);
+
+  std::vector<Flow> flows;
+  flows.reserve(req.flows.size());
+  const int num_hosts = ft->num_hosts();
+  for (std::size_t i = 0; i < req.flows.size(); ++i) {
+    const WireFlow& wf = req.flows[i];
+    const auto bad = [&](const std::string& field, long long v, const std::string& want) {
+      return Status::InvalidArgument("flows[" + std::to_string(i) + "]." + field + ": " +
+                                     std::to_string(v) + " (" + want + ")");
+    };
+    Status st;
+    if (wf.src_host < 0 || wf.src_host >= num_hosts) {
+      st = bad("src", wf.src_host, "host index in [0, " + std::to_string(num_hosts) + ")");
+    } else if (wf.dst_host < 0 || wf.dst_host >= num_hosts) {
+      st = bad("dst", wf.dst_host, "host index in [0, " + std::to_string(num_hosts) + ")");
+    } else if (wf.src_host == wf.dst_host) {
+      st = bad("dst", wf.dst_host, "must differ from src");
+    } else if (wf.priority >= kNumPriorities) {
+      st = bad("priority", wf.priority, "class in [0, " + std::to_string(kNumPriorities) + ")");
+    }
+    if (!st.ok()) {
+      resp.status = st;
+      resp.degradation.errors_validation = 1;
+      queries_failed_.fetch_add(1, std::memory_order_relaxed);
+      resp.stats = Stats();
+      return resp;
+    }
+    Flow f;
+    f.id = wf.id;
+    f.src = ft->host(wf.src_host);
+    f.dst = ft->host(wf.dst_host);
+    f.size = wf.size;
+    f.arrival = wf.arrival;
+    f.priority = wf.priority;
+    // Route re-derivation, same ECMP-on-id convention as trace_io.
+    f.path = ft->RouteBetween(wf.src_host, wf.dst_host, static_cast<std::uint64_t>(wf.id));
+    flows.push_back(std::move(f));
+  }
+
+  M3Options mopts;
+  mopts.num_paths = req.num_paths;
+  mopts.seed = req.seed;
+  mopts.use_context = req.use_context;
+  mopts.strict = req.strict;
+  mopts.deadline_seconds = req.deadline_seconds;
+  mopts.max_attempts = req.max_attempts;
+  mopts.num_threads = opts_.threads_per_query;
+
+  PathCacheHooks hooks;
+  if (!req.no_cache && opts_.path_cache_entries > 0) {
+    hooks.lookup = [this, &req, &snap](const PathScenario& sc) {
+      return path_cache_.Lookup(PathCacheKey(sc, req.cfg, req.use_context, snap->digest));
+    };
+    hooks.insert = [this, &req, &snap](const PathScenario& sc, const PathEstimate& pe) {
+      path_cache_.Insert(PathCacheKey(sc, req.cfg, req.use_context, snap->digest), pe);
+    };
+    mopts.path_cache = &hooks;
+  }
+
+  NetworkEstimate est = RunM3(ft->topo(), flows, req.cfg, snap->model, mopts);
+
+  resp.status = est.status;
+  resp.bucket_pct = std::move(est.bucket_pct);
+  resp.total_counts = est.total_counts;
+  resp.combined_pct = std::move(est.combined_pct);
+  resp.wall_seconds = est.wall_seconds;
+  resp.degradation = est.degradation;
+
+  const StatusCode code = est.status.code();
+  const bool answered = est.status.ok() || code == StatusCode::kDegraded ||
+                        code == StatusCode::kDeadlineExceeded;
+  (answered ? queries_ok_ : queries_failed_).fetch_add(1, std::memory_order_relaxed);
+
+  // Only full-quality answers are content-addressable: a degraded or
+  // partial answer depends on fault timing, not just on the inputs.
+  if (est.status.ok() && !req.no_cache) {
+    QueryResponse cached = resp;  // stats/hit-flag fields stay default
+    query_cache_.Insert(query_key, std::move(cached));
+  }
+  resp.stats = Stats();
+  return resp;
+}
+
+ServerStatsWire EstimationService::Stats() const {
+  ServerStatsWire s;
+  s.queries_received = queries_received_.load(std::memory_order_relaxed);
+  s.queries_ok = queries_ok_.load(std::memory_order_relaxed);
+  s.queries_rejected = queries_rejected_.load(std::memory_order_relaxed);
+  s.queries_failed = queries_failed_.load(std::memory_order_relaxed);
+  CopyCacheStats(query_cache_.stats(), s.query_cache);
+  CopyCacheStats(path_cache_.stats(), s.path_cache);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    s.queue_depth = static_cast<std::uint32_t>(queue_.size());
+  }
+  s.queue_capacity = static_cast<std::uint32_t>(opts_.queue_capacity);
+  s.workers = static_cast<std::uint32_t>(std::max(1, opts_.num_workers));
+  if (const auto snap = registry_.Current()) {
+    s.model_version = snap->version;
+    s.model_crc = snap->param_crc;
+    s.model_path = snap->checkpoint_path;
+  }
+  s.reloads_ok = registry_.reloads_ok();
+  s.reloads_failed = registry_.reloads_failed();
+  return s;
+}
+
+void EstimationService::ClearCaches() {
+  query_cache_.Clear();
+  path_cache_.Clear();
+}
+
+void EstimationService::ClearQueryCache() { query_cache_.Clear(); }
+
+}  // namespace m3::serve

@@ -1,0 +1,136 @@
+// EstimationService: the m3d daemon's core, usable in-process.
+//
+// One service owns the three serving-side resources and wires them to the
+// estimation pipeline:
+//
+//   ModelRegistry     — shared immutable model snapshots, atomic hot-reload
+//   request scheduler — a bounded MPMC queue + worker threads; Submit()
+//                       rejects with kResourceExhausted when the queue is
+//                       full (admission control), per-request deadlines map
+//                       onto M3Options::deadline_seconds
+//   result caches     — whole-query and per-path content-addressed LRUs
+//                       (serve/cache.h); only full-quality kOk answers are
+//                       cached, so a hit is always bitwise identical to a
+//                       fault-free recompute
+//
+// Cross-query batching happens at two levels: concurrent queries share the
+// process-wide ThreadPool for their path work, and the per-path cache lets
+// overlapping queries reuse each other's path estimates (the paper's §3.1
+// decomposition makes paths the natural unit of reuse).
+//
+// Threading: Submit/Query/Stats/ReloadModel are all thread-safe. Workers
+// execute queries with `threads_per_query` pool threads each (default 1:
+// with several workers, query-level parallelism beats intra-query
+// parallelism for throughput; a single-worker service should use 0 = full
+// pool width for latency).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.h"
+#include "serve/registry.h"
+#include "serve/wire.h"
+#include "topo/fat_tree.h"
+
+namespace m3::serve {
+
+struct ServiceOptions {
+  int num_workers = 2;
+  std::size_t queue_capacity = 64;
+  std::size_t query_cache_entries = 256;
+  std::size_t path_cache_entries = 4096;
+  // ThreadPool width per query (M3Options::num_threads); 0 = full pool.
+  unsigned threads_per_query = 1;
+  // Compiled model dimensions; checkpoints must match (tests use small ones).
+  M3ModelConfig model_config;
+};
+
+class EstimationService {
+ public:
+  explicit EstimationService(const ServiceOptions& opts = ServiceOptions());
+  ~EstimationService();  // Stop()s if running
+
+  EstimationService(const EstimationService&) = delete;
+  EstimationService& operator=(const EstimationService&) = delete;
+
+  /// Loads (or hot-reloads) the serving checkpoint. Safe under load: on
+  /// failure the current snapshot keeps serving and the error is returned.
+  Status ReloadModel(const std::string& checkpoint_path);
+
+  /// Spawns the worker threads. kInvalidArgument if already running.
+  Status Start();
+
+  /// Drains the queue (every accepted query is answered), then joins the
+  /// workers. Idempotent.
+  void Stop();
+
+  using DoneFn = std::function<void(QueryResponse)>;
+
+  /// Admission-controlled enqueue. `done` is invoked exactly once on a
+  /// worker thread. Returns kResourceExhausted (and does not invoke `done`)
+  /// when the queue is full, kUnavailable when the service is not running.
+  Status Submit(QueryRequest req, DoneFn done);
+
+  /// Synchronous query: through the scheduler when running (admission
+  /// rejections surface in the response status), directly on the calling
+  /// thread otherwise.
+  QueryResponse Query(const QueryRequest& req);
+
+  /// Executes a query on the calling thread, bypassing the scheduler (no
+  /// admission control). The cache/registry path is identical to scheduled
+  /// execution; used by tests and benchmarks.
+  QueryResponse ExecuteInline(const QueryRequest& req);
+
+  ServerStatsWire Stats() const;
+
+  /// Drops every cached result (test/ops hook; counters are kept).
+  void ClearCaches();
+  /// Drops only the whole-query cache (lets tests drive path-cache hits).
+  void ClearQueryCache();
+
+  ModelRegistry& registry() { return registry_; }
+  const ServiceOptions& options() const { return opts_; }
+
+ private:
+  struct Pending {
+    QueryRequest req;
+    DoneFn done;
+  };
+
+  void WorkerLoop();
+  /// The full query path: registry snapshot, validation, cache probes, RunM3.
+  QueryResponse Execute(const QueryRequest& req);
+  /// Fat trees are immutable post-build; memoize by oversubscription so
+  /// repeated queries skip topology construction.
+  std::shared_ptr<const FatTree> TopologyFor(double oversub);
+
+  const ServiceOptions opts_;
+  ModelRegistry registry_;
+  LruCache<QueryResponse> query_cache_;
+  LruCache<PathEstimate> path_cache_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex topo_mu_;
+  std::vector<std::pair<double, std::shared_ptr<const FatTree>>> topos_;
+
+  std::atomic<std::uint64_t> queries_received_{0};
+  std::atomic<std::uint64_t> queries_ok_{0};
+  std::atomic<std::uint64_t> queries_rejected_{0};
+  std::atomic<std::uint64_t> queries_failed_{0};
+};
+
+}  // namespace m3::serve

@@ -1,0 +1,470 @@
+#include "serve/wire.h"
+
+#include <cstring>
+
+#include "pathdecomp/path_topology.h"
+
+namespace m3::serve {
+namespace {
+
+// Cache-key schema tags: bump when the hashed field set changes so old and
+// new processes can never alias keys.
+constexpr const char* kQueryKeySchema = "m3d/query-key/v1";
+constexpr const char* kPathKeySchema = "m3d/path-key/v1";
+
+// Upper bound on decoded vector lengths (percentile vectors are 100 wide;
+// this is pure overread/OOM protection).
+constexpr std::uint64_t kMaxVecLen = 1u << 20;
+constexpr std::uint64_t kMaxStrLen = 1u << 20;
+// Bytes per wire flow record (id, src, dst: i32; size, arrival: i64; prio: u8).
+constexpr std::uint64_t kWireFlowBytes = 3 * 4 + 2 * 8 + 1;
+
+class Writer {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(std::uint32_t v) { Raw(&v, 4); }
+  void U64(std::uint64_t v) { Raw(&v, 8); }
+  void I32(std::int32_t v) { U32(static_cast<std::uint32_t>(v)); }
+  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void F64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    U64(bits);
+  }
+  void Str(const std::string& s) {
+    U64(s.size());
+    out_.append(s);
+  }
+  void VecF64(const std::vector<double>& v) {
+    U64(v.size());
+    for (double d : v) F64(d);
+  }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Raw(const void* p, std::size_t n) {
+    out_.append(static_cast<const char*>(p), n);  // little-endian hosts
+  }
+  std::string out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& s) : s_(s) {}
+
+  Status U8(std::uint8_t* v) {
+    M3_RETURN_IF_ERROR(Need(1));
+    *v = static_cast<std::uint8_t>(s_[pos_++]);
+    return Status::Ok();
+  }
+  Status U32(std::uint32_t* v) { return Raw(v, 4); }
+  Status U64(std::uint64_t* v) { return Raw(v, 8); }
+  Status I32(std::int32_t* v) { return Raw(v, 4); }
+  Status I64(std::int64_t* v) { return Raw(v, 8); }
+  Status Bool(bool* v) {
+    std::uint8_t b;
+    M3_RETURN_IF_ERROR(U8(&b));
+    if (b > 1) return Status::InvalidArgument("wire: bool byte " + std::to_string(b));
+    *v = b != 0;
+    return Status::Ok();
+  }
+  Status F64(double* v) {
+    std::uint64_t bits;
+    M3_RETURN_IF_ERROR(U64(&bits));
+    std::memcpy(v, &bits, 8);
+    return Status::Ok();
+  }
+  Status Str(std::string* v) {
+    std::uint64_t len;
+    M3_RETURN_IF_ERROR(U64(&len));
+    if (len > kMaxStrLen) {
+      return Status::InvalidArgument("wire: string length " + std::to_string(len));
+    }
+    M3_RETURN_IF_ERROR(Need(len));
+    v->assign(s_, pos_, static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return Status::Ok();
+  }
+  Status VecF64(std::vector<double>* v) {
+    std::uint64_t len;
+    M3_RETURN_IF_ERROR(U64(&len));
+    if (len > kMaxVecLen) {
+      return Status::InvalidArgument("wire: vector length " + std::to_string(len));
+    }
+    M3_RETURN_IF_ERROR(Need(len * 8));
+    v->resize(static_cast<std::size_t>(len));
+    for (double& d : *v) M3_RETURN_IF_ERROR(F64(&d));
+    return Status::Ok();
+  }
+
+  std::size_t remaining() const { return s_.size() - pos_; }
+
+  Status ExpectEnd() const {
+    if (pos_ != s_.size()) {
+      return Status::InvalidArgument("wire: " + std::to_string(remaining()) +
+                                     " trailing bytes after message");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status Need(std::uint64_t n) const {
+    if (n > remaining()) {
+      return Status::DataLoss("wire: truncated message (need " + std::to_string(n) +
+                              " bytes at offset " + std::to_string(pos_) + ", have " +
+                              std::to_string(remaining()) + ")");
+    }
+    return Status::Ok();
+  }
+  Status Raw(void* p, std::size_t n) {
+    M3_RETURN_IF_ERROR(Need(n));
+    std::memcpy(p, s_.data() + pos_, n);
+    pos_ += n;
+    return Status::Ok();
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+Status CheckVersion(Reader& r) {
+  std::uint32_t v;
+  M3_RETURN_IF_ERROR(r.U32(&v));
+  if (v != kWireVersion) {
+    return Status::InvalidArgument("wire: protocol version " + std::to_string(v) +
+                                   " (this build speaks " + std::to_string(kWireVersion) +
+                                   ")");
+  }
+  return Status::Ok();
+}
+
+void EncodeNetConfig(Writer& w, const NetConfig& cfg) {
+  w.U8(static_cast<std::uint8_t>(cfg.cc));
+  w.I64(cfg.init_window);
+  w.I64(cfg.buffer);
+  w.Bool(cfg.pfc);
+  w.I64(cfg.dctcp_k);
+  w.I64(cfg.dcqcn_kmin);
+  w.I64(cfg.dcqcn_kmax);
+  w.F64(cfg.hpcc_eta);
+  w.F64(cfg.hpcc_rate_ai_gbps);
+  w.I64(cfg.timely_tlow);
+  w.I64(cfg.timely_thigh);
+  w.I64(cfg.mtu);
+  w.I64(cfg.hdr);
+  w.U64(cfg.seed);
+}
+
+Status DecodeNetConfig(Reader& r, NetConfig* cfg) {
+  std::uint8_t cc;
+  M3_RETURN_IF_ERROR(r.U8(&cc));
+  if (cc >= kNumCcTypes) {
+    return Status::InvalidArgument("wire: cc protocol " + std::to_string(cc));
+  }
+  cfg->cc = static_cast<CcType>(cc);
+  M3_RETURN_IF_ERROR(r.I64(&cfg->init_window));
+  M3_RETURN_IF_ERROR(r.I64(&cfg->buffer));
+  M3_RETURN_IF_ERROR(r.Bool(&cfg->pfc));
+  M3_RETURN_IF_ERROR(r.I64(&cfg->dctcp_k));
+  M3_RETURN_IF_ERROR(r.I64(&cfg->dcqcn_kmin));
+  M3_RETURN_IF_ERROR(r.I64(&cfg->dcqcn_kmax));
+  M3_RETURN_IF_ERROR(r.F64(&cfg->hpcc_eta));
+  M3_RETURN_IF_ERROR(r.F64(&cfg->hpcc_rate_ai_gbps));
+  M3_RETURN_IF_ERROR(r.I64(&cfg->timely_tlow));
+  M3_RETURN_IF_ERROR(r.I64(&cfg->timely_thigh));
+  M3_RETURN_IF_ERROR(r.I64(&cfg->mtu));
+  M3_RETURN_IF_ERROR(r.I64(&cfg->hdr));
+  M3_RETURN_IF_ERROR(r.U64(&cfg->seed));
+  return Status::Ok();
+}
+
+void HashNetConfig(Hasher& h, const NetConfig& cfg) {
+  h.U8(static_cast<std::uint8_t>(cfg.cc));
+  h.I64(cfg.init_window);
+  h.I64(cfg.buffer);
+  h.Bool(cfg.pfc);
+  h.I64(cfg.dctcp_k);
+  h.I64(cfg.dcqcn_kmin);
+  h.I64(cfg.dcqcn_kmax);
+  h.F64(cfg.hpcc_eta);
+  h.F64(cfg.hpcc_rate_ai_gbps);
+  h.I64(cfg.timely_tlow);
+  h.I64(cfg.timely_thigh);
+  h.I64(cfg.mtu);
+  h.I64(cfg.hdr);
+  h.U64(cfg.seed);
+}
+
+void EncodeStatus(Writer& w, const Status& st) {
+  w.I32(static_cast<std::int32_t>(st.code()));
+  w.Str(st.message());
+}
+
+Status DecodeStatus(Reader& r, Status* st) {
+  std::int32_t code;
+  std::string msg;
+  M3_RETURN_IF_ERROR(r.I32(&code));
+  M3_RETURN_IF_ERROR(r.Str(&msg));
+  if (code < 0 || code >= kNumStatusCodes) {
+    return Status::InvalidArgument("wire: status code " + std::to_string(code));
+  }
+  *st = Status(static_cast<StatusCode>(code), std::move(msg));
+  return Status::Ok();
+}
+
+void EncodeDegradation(Writer& w, const DegradationReport& d) {
+  w.I32(d.paths_ok);
+  w.I32(d.paths_cached);
+  w.I32(d.paths_retried);
+  w.I32(d.paths_degraded);
+  w.I32(d.paths_dropped);
+  w.I32(d.errors_exception);
+  w.I32(d.errors_nonfinite);
+  w.I32(d.errors_deadline);
+  w.I32(d.errors_validation);
+  w.I64(d.clamped_values);
+  w.Str(d.first_error);
+}
+
+Status DecodeDegradation(Reader& r, DegradationReport* d) {
+  M3_RETURN_IF_ERROR(r.I32(&d->paths_ok));
+  M3_RETURN_IF_ERROR(r.I32(&d->paths_cached));
+  M3_RETURN_IF_ERROR(r.I32(&d->paths_retried));
+  M3_RETURN_IF_ERROR(r.I32(&d->paths_degraded));
+  M3_RETURN_IF_ERROR(r.I32(&d->paths_dropped));
+  M3_RETURN_IF_ERROR(r.I32(&d->errors_exception));
+  M3_RETURN_IF_ERROR(r.I32(&d->errors_nonfinite));
+  M3_RETURN_IF_ERROR(r.I32(&d->errors_deadline));
+  M3_RETURN_IF_ERROR(r.I32(&d->errors_validation));
+  std::int64_t clamped = 0;  // DegradationReport uses `long long`
+  M3_RETURN_IF_ERROR(r.I64(&clamped));
+  d->clamped_values = clamped;
+  M3_RETURN_IF_ERROR(r.Str(&d->first_error));
+  return Status::Ok();
+}
+
+void EncodeStatsBody(Writer& w, const ServerStatsWire& s) {
+  w.U64(s.queries_received);
+  w.U64(s.queries_ok);
+  w.U64(s.queries_rejected);
+  w.U64(s.queries_failed);
+  for (std::uint64_t v : s.query_cache) w.U64(v);
+  for (std::uint64_t v : s.path_cache) w.U64(v);
+  w.U32(s.queue_depth);
+  w.U32(s.queue_capacity);
+  w.U32(s.workers);
+  w.U64(s.model_version);
+  w.U32(s.model_crc);
+  w.U64(s.reloads_ok);
+  w.U64(s.reloads_failed);
+  w.Str(s.model_path);
+}
+
+Status DecodeStatsBody(Reader& r, ServerStatsWire* s) {
+  M3_RETURN_IF_ERROR(r.U64(&s->queries_received));
+  M3_RETURN_IF_ERROR(r.U64(&s->queries_ok));
+  M3_RETURN_IF_ERROR(r.U64(&s->queries_rejected));
+  M3_RETURN_IF_ERROR(r.U64(&s->queries_failed));
+  for (std::uint64_t& v : s->query_cache) M3_RETURN_IF_ERROR(r.U64(&v));
+  for (std::uint64_t& v : s->path_cache) M3_RETURN_IF_ERROR(r.U64(&v));
+  M3_RETURN_IF_ERROR(r.U32(&s->queue_depth));
+  M3_RETURN_IF_ERROR(r.U32(&s->queue_capacity));
+  M3_RETURN_IF_ERROR(r.U32(&s->workers));
+  M3_RETURN_IF_ERROR(r.U64(&s->model_version));
+  M3_RETURN_IF_ERROR(r.U32(&s->model_crc));
+  M3_RETURN_IF_ERROR(r.U64(&s->reloads_ok));
+  M3_RETURN_IF_ERROR(r.U64(&s->reloads_failed));
+  M3_RETURN_IF_ERROR(r.Str(&s->model_path));
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string EncodeQueryRequest(const QueryRequest& req) {
+  Writer w;
+  w.U32(kWireVersion);
+  w.F64(req.oversub);
+  EncodeNetConfig(w, req.cfg);
+  w.I32(req.num_paths);
+  w.U64(req.seed);
+  w.Bool(req.use_context);
+  w.Bool(req.strict);
+  w.F64(req.deadline_seconds);
+  w.I32(req.max_attempts);
+  w.Bool(req.no_cache);
+  w.U64(req.flows.size());
+  for (const WireFlow& f : req.flows) {
+    w.I32(f.id);
+    w.I32(f.src_host);
+    w.I32(f.dst_host);
+    w.I64(f.size);
+    w.I64(f.arrival);
+    w.U8(f.priority);
+  }
+  return w.Take();
+}
+
+StatusOr<QueryRequest> DecodeQueryRequest(const std::string& payload) {
+  Reader r(payload);
+  QueryRequest req;
+  M3_RETURN_IF_ERROR(CheckVersion(r));
+  M3_RETURN_IF_ERROR(r.F64(&req.oversub));
+  M3_RETURN_IF_ERROR(DecodeNetConfig(r, &req.cfg));
+  M3_RETURN_IF_ERROR(r.I32(&req.num_paths));
+  M3_RETURN_IF_ERROR(r.U64(&req.seed));
+  M3_RETURN_IF_ERROR(r.Bool(&req.use_context));
+  M3_RETURN_IF_ERROR(r.Bool(&req.strict));
+  M3_RETURN_IF_ERROR(r.F64(&req.deadline_seconds));
+  M3_RETURN_IF_ERROR(r.I32(&req.max_attempts));
+  M3_RETURN_IF_ERROR(r.Bool(&req.no_cache));
+  std::uint64_t n;
+  M3_RETURN_IF_ERROR(r.U64(&n));
+  if (n * kWireFlowBytes > r.remaining()) {
+    return Status::DataLoss("wire: flow count " + std::to_string(n) +
+                            " exceeds the remaining payload");
+  }
+  req.flows.resize(static_cast<std::size_t>(n));
+  for (WireFlow& f : req.flows) {
+    M3_RETURN_IF_ERROR(r.I32(&f.id));
+    M3_RETURN_IF_ERROR(r.I32(&f.src_host));
+    M3_RETURN_IF_ERROR(r.I32(&f.dst_host));
+    M3_RETURN_IF_ERROR(r.I64(&f.size));
+    M3_RETURN_IF_ERROR(r.I64(&f.arrival));
+    M3_RETURN_IF_ERROR(r.U8(&f.priority));
+  }
+  M3_RETURN_IF_ERROR(r.ExpectEnd());
+  return req;
+}
+
+std::string EncodeQueryResponse(const QueryResponse& resp) {
+  Writer w;
+  w.U32(kWireVersion);
+  EncodeStatus(w, resp.status);
+  for (const auto& pct : resp.bucket_pct) w.VecF64(pct);
+  for (double c : resp.total_counts) w.F64(c);
+  w.VecF64(resp.combined_pct);
+  w.F64(resp.wall_seconds);
+  EncodeDegradation(w, resp.degradation);
+  w.U64(resp.model_version);
+  w.U32(resp.model_crc);
+  w.Bool(resp.query_cache_hit);
+  EncodeStatsBody(w, resp.stats);
+  return w.Take();
+}
+
+StatusOr<QueryResponse> DecodeQueryResponse(const std::string& payload) {
+  Reader r(payload);
+  QueryResponse resp;
+  M3_RETURN_IF_ERROR(CheckVersion(r));
+  M3_RETURN_IF_ERROR(DecodeStatus(r, &resp.status));
+  for (auto& pct : resp.bucket_pct) M3_RETURN_IF_ERROR(r.VecF64(&pct));
+  for (double& c : resp.total_counts) M3_RETURN_IF_ERROR(r.F64(&c));
+  M3_RETURN_IF_ERROR(r.VecF64(&resp.combined_pct));
+  M3_RETURN_IF_ERROR(r.F64(&resp.wall_seconds));
+  M3_RETURN_IF_ERROR(DecodeDegradation(r, &resp.degradation));
+  M3_RETURN_IF_ERROR(r.U64(&resp.model_version));
+  M3_RETURN_IF_ERROR(r.U32(&resp.model_crc));
+  M3_RETURN_IF_ERROR(r.Bool(&resp.query_cache_hit));
+  M3_RETURN_IF_ERROR(DecodeStatsBody(r, &resp.stats));
+  M3_RETURN_IF_ERROR(r.ExpectEnd());
+  return resp;
+}
+
+std::string EncodeStats(const ServerStatsWire& stats) {
+  Writer w;
+  w.U32(kWireVersion);
+  EncodeStatsBody(w, stats);
+  return w.Take();
+}
+
+StatusOr<ServerStatsWire> DecodeStats(const std::string& payload) {
+  Reader r(payload);
+  ServerStatsWire s;
+  M3_RETURN_IF_ERROR(CheckVersion(r));
+  M3_RETURN_IF_ERROR(DecodeStatsBody(r, &s));
+  M3_RETURN_IF_ERROR(r.ExpectEnd());
+  return s;
+}
+
+std::string EncodeReloadRequest(const ReloadRequest& req) {
+  Writer w;
+  w.U32(kWireVersion);
+  w.Str(req.checkpoint_path);
+  return w.Take();
+}
+
+StatusOr<ReloadRequest> DecodeReloadRequest(const std::string& payload) {
+  Reader r(payload);
+  ReloadRequest req;
+  M3_RETURN_IF_ERROR(CheckVersion(r));
+  M3_RETURN_IF_ERROR(r.Str(&req.checkpoint_path));
+  M3_RETURN_IF_ERROR(r.ExpectEnd());
+  return req;
+}
+
+std::string EncodeReloadResponse(const ReloadResponse& resp) {
+  Writer w;
+  w.U32(kWireVersion);
+  EncodeStatus(w, resp.status);
+  w.U64(resp.model_version);
+  w.U32(resp.model_crc);
+  return w.Take();
+}
+
+StatusOr<ReloadResponse> DecodeReloadResponse(const std::string& payload) {
+  Reader r(payload);
+  ReloadResponse resp;
+  M3_RETURN_IF_ERROR(CheckVersion(r));
+  M3_RETURN_IF_ERROR(DecodeStatus(r, &resp.status));
+  M3_RETURN_IF_ERROR(r.U64(&resp.model_version));
+  M3_RETURN_IF_ERROR(r.U32(&resp.model_crc));
+  M3_RETURN_IF_ERROR(r.ExpectEnd());
+  return resp;
+}
+
+Hash128 QueryCacheKey(const QueryRequest& req, const Hash128& model_digest) {
+  Hasher h;
+  h.Str(kQueryKeySchema);
+  h.U64(model_digest.hi).U64(model_digest.lo);
+  h.Bool(req.use_context);
+  h.F64(req.oversub);
+  HashNetConfig(h, req.cfg);
+  h.I32(req.num_paths);
+  h.U64(req.seed);
+  h.U64(req.flows.size());
+  for (const WireFlow& f : req.flows) {
+    h.I32(f.id).I32(f.src_host).I32(f.dst_host).I64(f.size).I64(f.arrival).U8(f.priority);
+  }
+  return h.Finish();
+}
+
+Hash128 PathCacheKey(const PathScenario& scenario, const NetConfig& cfg,
+                     bool use_context, const Hash128& model_digest) {
+  Hasher h;
+  h.Str(kPathKeySchema);
+  h.U64(model_digest.hi).U64(model_digest.lo);
+  h.Bool(use_context);
+  HashNetConfig(h, cfg);
+  h.I32(scenario.num_links);
+  // Lot geometry: node/link numbering is deterministic in construction
+  // order, so hashing every link pins rates, delays, and wiring.
+  const Topology& topo = scenario.lot->topo();
+  h.U64(topo.num_links());
+  for (std::size_t l = 0; l < topo.num_links(); ++l) {
+    const Link& link = topo.link(static_cast<LinkId>(l));
+    h.I32(link.src).I32(link.dst).F64(link.rate).I64(link.delay);
+  }
+  h.U64(scenario.flows.size());
+  for (std::size_t i = 0; i < scenario.flows.size(); ++i) {
+    const Flow& f = scenario.flows[i];
+    h.I32(f.src).I32(f.dst).I64(f.size).I64(f.arrival).U8(f.priority);
+    h.Bool(scenario.is_fg[i] != 0);
+    h.I32(scenario.entry_hop[i]).I32(scenario.exit_hop[i]);
+    h.U64(f.path.size());
+    for (LinkId l : f.path) h.I32(l);
+  }
+  return h.Finish();
+}
+
+}  // namespace m3::serve

@@ -1,0 +1,153 @@
+// m3d wire protocol: message payloads + the cache-key definitions.
+//
+// Transport framing (magic/type/length) lives in util/socket.h; this layer
+// defines what goes inside a frame. Everything is little-endian; integers
+// are fixed-width; doubles travel by bit pattern; strings and vectors are
+// u64-length-prefixed. Payloads start with a u32 wire version so an old
+// client talking to a new daemon gets a clean INVALID_ARGUMENT instead of a
+// garbage parse. Decoding is fully bounds-checked: a truncated or hostile
+// payload yields kDataLoss / kInvalidArgument, never an overread.
+//
+// Cache keys (the "content address" of a result) are also defined here so
+// the definition lives next to the serialized fields it must cover:
+//
+//   query key = H(schema tag, model digest, use_context, oversub,
+//                 NetConfig (every field), num_paths, sampling seed,
+//                 flows (id, src, dst, size, arrival, priority))
+//   path key  = H(schema tag, model digest, use_context,
+//                 NetConfig (every field), path scenario content: chain
+//                 length, every lot link (src, dst, rate, delay), every
+//                 flow (endpoints, route, size, arrival, priority, fg/bg,
+//                 entry/exit hop))
+//
+// Deliberately *excluded* from both keys: strict, deadline_seconds,
+// max_attempts (they shape fault handling, not the fault-free answer — and
+// only full-quality kOk answers are ever cached), and the no_cache flag.
+// The model digest term means a hot-reload implicitly invalidates every
+// cached result; stale entries age out via LRU.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "pktsim/config.h"
+#include "util/hash.h"
+#include "util/status.h"
+
+namespace m3::serve {
+
+constexpr std::uint32_t kWireVersion = 1;
+
+/// Frame types (util/socket.h `type` field).
+enum class MsgType : std::uint32_t {
+  kQueryRequest = 1,
+  kQueryResponse = 2,
+  kStatsRequest = 3,
+  kStatsResponse = 4,
+  kReloadRequest = 5,
+  kReloadResponse = 6,
+};
+
+/// One flow as it travels on the wire: fat-tree host indices, route
+/// re-derived daemon-side by ECMP on the flow id (the trace_io convention).
+struct WireFlow {
+  std::int32_t id = 0;
+  std::int32_t src_host = 0;
+  std::int32_t dst_host = 0;
+  std::int64_t size = 0;
+  std::int64_t arrival = 0;
+  std::uint8_t priority = 0;
+};
+
+struct QueryRequest {
+  double oversub = 2.0;  // daemon builds FatTreeConfig::Small(oversub)
+  std::vector<WireFlow> flows;
+  NetConfig cfg;
+  // M3Options subset (num_threads stays a server-side policy knob).
+  std::int32_t num_paths = 100;
+  std::uint64_t seed = 1;
+  bool use_context = true;
+  bool strict = false;
+  double deadline_seconds = 0.0;
+  std::int32_t max_attempts = 2;
+  // Bypass both result caches for this query (still computes + reports).
+  bool no_cache = false;
+};
+
+/// Serving-side counters returned with every response and by kStatsRequest.
+struct ServerStatsWire {
+  std::uint64_t queries_received = 0;
+  std::uint64_t queries_ok = 0;        // includes degraded/deadline answers
+  std::uint64_t queries_rejected = 0;  // admission control (queue full)
+  std::uint64_t queries_failed = 0;    // validation / no-model / internal
+  // cache counters: {hits, misses, inserts, evictions, entries}
+  std::uint64_t query_cache[5] = {0, 0, 0, 0, 0};
+  std::uint64_t path_cache[5] = {0, 0, 0, 0, 0};
+  std::uint32_t queue_depth = 0;
+  std::uint32_t queue_capacity = 0;
+  std::uint32_t workers = 0;
+  std::uint64_t model_version = 0;
+  std::uint32_t model_crc = 0;
+  std::uint64_t reloads_ok = 0;
+  std::uint64_t reloads_failed = 0;
+  std::string model_path;
+};
+
+struct QueryResponse {
+  Status status;  // estimator status, or the service's rejection status
+  // NetworkEstimate payload (per-path estimates are not shipped; the
+  // aggregate is the product).
+  std::array<std::vector<double>, kNumOutputBuckets> bucket_pct;
+  std::array<double, kNumOutputBuckets> total_counts{};
+  std::vector<double> combined_pct;
+  double wall_seconds = 0.0;  // compute time (original compute on a hit)
+  DegradationReport degradation;
+  // Serving metadata.
+  std::uint64_t model_version = 0;
+  std::uint32_t model_crc = 0;
+  bool query_cache_hit = false;
+  ServerStatsWire stats;
+};
+
+struct ReloadRequest {
+  std::string checkpoint_path;
+};
+
+struct ReloadResponse {
+  Status status;
+  std::uint64_t model_version = 0;  // serving version after the attempt
+  std::uint32_t model_crc = 0;
+};
+
+// ----- serialization (payload <-> struct) -----
+
+std::string EncodeQueryRequest(const QueryRequest& req);
+StatusOr<QueryRequest> DecodeQueryRequest(const std::string& payload);
+
+std::string EncodeQueryResponse(const QueryResponse& resp);
+StatusOr<QueryResponse> DecodeQueryResponse(const std::string& payload);
+
+std::string EncodeStats(const ServerStatsWire& stats);
+StatusOr<ServerStatsWire> DecodeStats(const std::string& payload);
+
+std::string EncodeReloadRequest(const ReloadRequest& req);
+StatusOr<ReloadRequest> DecodeReloadRequest(const std::string& payload);
+
+std::string EncodeReloadResponse(const ReloadResponse& resp);
+StatusOr<ReloadResponse> DecodeReloadResponse(const std::string& payload);
+
+// ----- cache keys -----
+
+/// Whole-query content address (definition at the top of this header).
+Hash128 QueryCacheKey(const QueryRequest& req, const Hash128& model_digest);
+
+/// Per-path content address over the materialized scenario. Shared across
+/// queries that sample the same path with the same flows — e.g. the same
+/// workload queried with a different `num_paths` or sampling seed still
+/// reuses every overlapping path.
+Hash128 PathCacheKey(const PathScenario& scenario, const NetConfig& cfg,
+                     bool use_context, const Hash128& model_digest);
+
+}  // namespace m3::serve

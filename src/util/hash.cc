@@ -1,0 +1,152 @@
+#include "util/hash.h"
+
+#include <algorithm>
+
+namespace m3 {
+namespace {
+
+inline std::uint64_t Rotl64(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline std::uint64_t FMix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+constexpr std::uint64_t kC1 = 0x87c37b91114253d5ULL;
+constexpr std::uint64_t kC2 = 0x4cf5ad432745937fULL;
+
+inline std::uint64_t LoadLE64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);  // little-endian hosts only (matches the repo's
+                          // checkpoint format assumption)
+  return v;
+}
+
+}  // namespace
+
+std::string Hash128::ToHex() const {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t word = i < 8 ? hi : lo;
+    const int shift = 56 - 8 * (i % 8);
+    const unsigned byte = static_cast<unsigned>((word >> shift) & 0xff);
+    out[static_cast<std::size_t>(2 * i)] = kHex[byte >> 4];
+    out[static_cast<std::size_t>(2 * i + 1)] = kHex[byte & 0xf];
+  }
+  return out;
+}
+
+void Hasher::Absorb(std::uint64_t k1, std::uint64_t k2) {
+  k1 *= kC1;
+  k1 = Rotl64(k1, 31);
+  k1 *= kC2;
+  h1_ ^= k1;
+  h1_ = Rotl64(h1_, 27);
+  h1_ += h2_;
+  h1_ = h1_ * 5 + 0x52dce729;
+
+  k2 *= kC2;
+  k2 = Rotl64(k2, 33);
+  k2 *= kC1;
+  h2_ ^= k2;
+  h2_ = Rotl64(h2_, 31);
+  h2_ += h1_;
+  h2_ = h2_ * 5 + 0x38495ab5;
+}
+
+Hasher& Hasher::Bytes(const void* data, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  total_len_ += n;
+  // Top up a partial block first.
+  if (buf_len_ > 0) {
+    const std::size_t take = std::min(n, 16 - buf_len_);
+    std::memcpy(buf_ + buf_len_, p, take);
+    buf_len_ += take;
+    p += take;
+    n -= take;
+    if (buf_len_ == 16) {
+      Absorb(LoadLE64(buf_), LoadLE64(buf_ + 8));
+      buf_len_ = 0;
+    }
+  }
+  while (n >= 16) {
+    Absorb(LoadLE64(p), LoadLE64(p + 8));
+    p += 16;
+    n -= 16;
+  }
+  if (n > 0) {
+    std::memcpy(buf_, p, n);
+    buf_len_ = n;
+  }
+  return *this;
+}
+
+Hasher& Hasher::U32(std::uint32_t v) { return Bytes(&v, 4); }
+Hasher& Hasher::U64(std::uint64_t v) { return Bytes(&v, 8); }
+
+Hasher& Hasher::F64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  return U64(bits);
+}
+
+Hasher& Hasher::F32(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  return U32(bits);
+}
+
+Hasher& Hasher::Str(const std::string& s) {
+  U64(s.size());
+  return Bytes(s.data(), s.size());
+}
+
+Hash128 Hasher::Finish() const {
+  std::uint64_t h1 = h1_, h2 = h2_;
+
+  // Tail (the MurmurHash3 x64/128 tail schedule over the buffered bytes).
+  std::uint64_t k1 = 0, k2 = 0;
+  for (std::size_t i = buf_len_; i > 8; --i) {
+    k2 = (k2 << 8) | buf_[i - 1];
+  }
+  for (std::size_t i = std::min<std::size_t>(buf_len_, 8); i > 0; --i) {
+    k1 = (k1 << 8) | buf_[i - 1];
+  }
+  if (buf_len_ > 8) {
+    k2 *= kC2;
+    k2 = Rotl64(k2, 33);
+    k2 *= kC1;
+    h2 ^= k2;
+  }
+  if (buf_len_ > 0) {
+    k1 *= kC1;
+    k1 = Rotl64(k1, 31);
+    k1 *= kC2;
+    h1 ^= k1;
+  }
+
+  h1 ^= total_len_;
+  h2 ^= total_len_;
+  h1 += h2;
+  h2 += h1;
+  h1 = FMix64(h1);
+  h2 = FMix64(h2);
+  h1 += h2;
+  h2 += h1;
+  return Hash128{h1, h2};
+}
+
+Hash128 HashBytes(const void* data, std::size_t n) {
+  Hasher h;
+  h.Bytes(data, n);
+  return h.Finish();
+}
+
+}  // namespace m3

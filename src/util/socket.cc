@@ -1,0 +1,177 @@
+#include "util/socket.h"
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+namespace m3 {
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+// EPIPE on a closed peer must surface as a Status, not kill the process;
+// writes use MSG_NOSIGNAL so no global SIGPIPE handler is required.
+ssize_t SendSome(int fd, const void* buf, std::size_t n) {
+  return ::send(fd, buf, n, MSG_NOSIGNAL);
+}
+
+Status WriteFull(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = SendSome(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(Errno("socket write"));
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return Status::Ok();
+}
+
+// Returns bytes read (0 only at clean end-of-stream on the first byte).
+StatusOr<std::size_t> ReadFull(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(Errno("socket read"));
+    }
+    if (r == 0) break;  // peer closed
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+StatusOr<sockaddr_un> MakeAddr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path '" + path + "': length must be in [1, " +
+                                   std::to_string(sizeof(addr.sun_path) - 1) + "]");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+UnixFd& UnixFd::operator=(UnixFd&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void UnixFd::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<UnixFd> ListenUnix(const std::string& path, int backlog) {
+  StatusOr<sockaddr_un> addr = MakeAddr(path);
+  if (!addr.ok()) return addr.status();
+
+  // Unlink only a stale *socket* file; refuse to clobber a regular file the
+  // user pointed us at by mistake.
+  struct stat st{};
+  if (::lstat(path.c_str(), &st) == 0 && S_ISSOCK(st.st_mode)) {
+    ::unlink(path.c_str());
+  }
+
+  UnixFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::Unavailable(Errno("socket"));
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&*addr), sizeof(*addr)) != 0) {
+    return Status::Unavailable(Errno("bind " + path));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return Status::Unavailable(Errno("listen " + path));
+  }
+  return fd;
+}
+
+StatusOr<UnixFd> AcceptUnix(const UnixFd& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.get(), nullptr, nullptr);
+    if (fd >= 0) return UnixFd(fd);
+    if (errno == EINTR) continue;
+    return Status::Unavailable(Errno("accept"));
+  }
+}
+
+StatusOr<UnixFd> ConnectUnix(const std::string& path) {
+  StatusOr<sockaddr_un> addr = MakeAddr(path);
+  if (!addr.ok()) return addr.status();
+  UnixFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::Unavailable(Errno("socket"));
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&*addr), sizeof(*addr)) != 0) {
+    if (errno == ENOENT || errno == ECONNREFUSED) {
+      return Status::NotFound("no m3d daemon listening at " + path + " (" +
+                              std::strerror(errno) + ")");
+    }
+    return Status::Unavailable(Errno("connect " + path));
+  }
+  return fd;
+}
+
+Status SendFrame(const UnixFd& fd, std::uint32_t type, const std::string& payload) {
+  char header[16];
+  const std::uint32_t magic = kM3dFrameMagic;
+  const std::uint64_t len = payload.size();
+  std::memcpy(header, &magic, 4);
+  std::memcpy(header + 4, &type, 4);
+  std::memcpy(header + 8, &len, 8);
+  M3_RETURN_IF_ERROR(WriteFull(fd.get(), header, sizeof(header)));
+  return WriteFull(fd.get(), payload.data(), payload.size());
+}
+
+StatusOr<Frame> RecvFrame(const UnixFd& fd) {
+  char header[16];
+  StatusOr<std::size_t> got = ReadFull(fd.get(), header, sizeof(header));
+  if (!got.ok()) return got.status();
+  if (*got == 0) return Status::NotFound("end of stream");
+  if (*got < sizeof(header)) {
+    return Status::DataLoss("peer closed mid-frame (got " + std::to_string(*got) +
+                            " of 16 header bytes)");
+  }
+  std::uint32_t magic, type;
+  std::uint64_t len;
+  std::memcpy(&magic, header, 4);
+  std::memcpy(&type, header + 4, 4);
+  std::memcpy(&len, header + 8, 8);
+  if (magic != kM3dFrameMagic) {
+    return Status::InvalidArgument("bad frame magic (not an m3d peer?)");
+  }
+  if (len > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload of " + std::to_string(len) +
+                                   " bytes exceeds the " +
+                                   std::to_string(kMaxFramePayload) + "-byte cap");
+  }
+  Frame f;
+  f.type = type;
+  f.payload.resize(static_cast<std::size_t>(len));
+  if (len > 0) {
+    got = ReadFull(fd.get(), f.payload.data(), f.payload.size());
+    if (!got.ok()) return got.status();
+    if (*got < f.payload.size()) {
+      return Status::DataLoss("peer closed mid-frame (got " + std::to_string(*got) +
+                              " of " + std::to_string(len) + " payload bytes)");
+    }
+  }
+  return f;
+}
+
+}  // namespace m3

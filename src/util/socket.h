@@ -1,0 +1,73 @@
+// Unix-domain stream sockets + length-prefixed frame transport: the wire
+// substrate of the m3d estimation service.
+//
+// Frame layout (all little-endian):
+//   magic u32 ("m3d\1") | type u32 | payload_len u64 | payload bytes
+//
+// The framing layer is payload-agnostic; message payloads are defined in
+// serve/wire.h. Reads and writes retry on EINTR and handle short transfers;
+// a peer that closes mid-frame yields kDataLoss, a clean close before the
+// magic yields kNotFound (end of stream), and oversized or bad-magic frames
+// yield kInvalidArgument without reading the payload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace m3 {
+
+/// Bytes on the wire: 'm' '3' 'd' 0x01, read as a little-endian u32.
+constexpr std::uint32_t kM3dFrameMagic = 0x0164336d;
+
+/// Hard cap on a single frame payload; protects the daemon from a hostile
+/// or corrupt length field. 64 MB fits ~2M wire flows.
+constexpr std::uint64_t kMaxFramePayload = 64ull * 1024 * 1024;
+
+struct Frame {
+  std::uint32_t type = 0;
+  std::string payload;
+};
+
+/// An owned file descriptor (closes on destruction; movable, not copyable).
+class UnixFd {
+ public:
+  UnixFd() = default;
+  explicit UnixFd(int fd) : fd_(fd) {}
+  ~UnixFd() { Close(); }
+  UnixFd(UnixFd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  UnixFd& operator=(UnixFd&& o) noexcept;
+  UnixFd(const UnixFd&) = delete;
+  UnixFd& operator=(const UnixFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates, binds, and listens on a Unix-domain socket at `path`. An
+/// existing socket file at `path` is unlinked first (stale socket from a
+/// crashed daemon); a non-socket file at `path` is left alone and the bind
+/// fails. kInvalidArgument for over-long paths, kUnavailable for OS errors.
+StatusOr<UnixFd> ListenUnix(const std::string& path, int backlog = 64);
+
+/// Accepts one connection; blocks. kUnavailable on error (EINTR retried).
+StatusOr<UnixFd> AcceptUnix(const UnixFd& listener);
+
+/// Connects to the daemon socket at `path`. kNotFound when nothing is bound
+/// there, kUnavailable for other OS errors.
+StatusOr<UnixFd> ConnectUnix(const std::string& path);
+
+/// Writes the whole frame. kUnavailable on any I/O failure (incl. EPIPE).
+Status SendFrame(const UnixFd& fd, std::uint32_t type, const std::string& payload);
+
+/// Reads one frame. kNotFound on clean end-of-stream (peer closed between
+/// frames), kDataLoss on mid-frame close, kInvalidArgument on bad magic or
+/// an oversized declared payload.
+StatusOr<Frame> RecvFrame(const UnixFd& fd);
+
+}  // namespace m3

@@ -12,6 +12,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kDegraded: return "DEGRADED";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

@@ -19,9 +19,10 @@ enum class StatusCode : int {
   kInternal = 5,         // unexpected failure inside a subsystem
   kDegraded = 6,         // an answer was produced, but at reduced quality
   kUnavailable = 7,      // transient environment failure (I/O, resources)
+  kResourceExhausted = 8,  // a bounded resource (queue, cache, budget) is full
 };
 
-constexpr int kNumStatusCodes = 8;
+constexpr int kNumStatusCodes = 9;
 
 /// Stable upper-case name, e.g. "INVALID_ARGUMENT".
 const char* StatusCodeName(StatusCode code);
@@ -41,6 +42,7 @@ class Status {
   static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
   static Status Degraded(std::string m) { return {StatusCode::kDegraded, std::move(m)}; }
   static Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status ResourceExhausted(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

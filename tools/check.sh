@@ -4,7 +4,9 @@
 # files, bit flips, hostile length fields) are exercised under ASan, then a
 # UBSan build of the resilience suites so the fault-injection and validation
 # paths (injected throws, NaN forwards, malformed traces) are checked for
-# undefined behaviour under fault.
+# undefined behaviour under fault, then a ThreadSanitizer build of the
+# serving suites so hot-reload-under-load, the shared result caches, and the
+# scheduler/socket shutdown paths are checked for data races.
 #
 # Usage: tools/check.sh [extra cmake args...]
 set -euo pipefail
@@ -28,5 +30,11 @@ cmake -B build-ubsan -S . -DM3_SANITIZE=undefined "$@"
 cmake --build build-ubsan -j"$JOBS" --target m3_tests
 ctest --test-dir build-ubsan --output-on-failure -j"$JOBS" \
   -R 'Status|FaultRegistry|Validate|EstimatorResilience|AggregationGuard|CheckpointResilience|TraceIo'
+
+echo "== TSan: serving / hot-reload / scheduler suites =="
+cmake -B build-tsan -S . -DM3_SANITIZE=thread "$@"
+cmake --build build-tsan -j"$JOBS" --target m3_tests
+ctest --test-dir build-tsan --output-on-failure -j"$JOBS" \
+  -R 'Service|SocketServer|ModelRegistry|LruCache|ThreadPool'
 
 echo "== all checks passed =="

@@ -1,0 +1,465 @@
+// m3_client: query the m3d daemon over its Unix-domain socket.
+//
+// Three modes:
+//   query (default)  — build a scenario (same flags as m3_query), send it,
+//                      print the slowdown table plus serving metadata
+//                      (model version, cache hit, daemon-side wall time)
+//   --stats          — print the daemon's counters and cache statistics
+//   --reload PATH    — hot-swap the serving checkpoint; on failure the old
+//                      model keeps serving and the error is printed
+//
+// Load generation: --concurrency N --repeat M sends the query N*M times
+// over N parallel connections and reports throughput, p50/p99 latency, and
+// the failed-query count (non-zero failures -> non-zero exit).
+//
+// Exit codes extend m3_query's mapping with 10 = RESOURCE_EXHAUSTED (the
+// daemon's admission control rejected the query; back off and retry):
+//   0 OK   2 usage   3 INVALID_ARGUMENT   4 NOT_FOUND   5 DATA_LOSS
+//   6 DEADLINE_EXCEEDED   7 INTERNAL   8 DEGRADED   9 UNAVAILABLE
+//   10 RESOURCE_EXHAUSTED
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/wire.h"
+#include "topo/fat_tree.h"
+#include "util/socket.h"
+#include "workload/generator.h"
+#include "workload/size_dist.h"
+#include "workload/trace_io.h"
+
+using namespace m3;
+using namespace m3::serve;
+
+namespace {
+
+constexpr const char* kUsage =
+    "Usage: m3_client [options]\n"
+    "\n"
+    "Connection:\n"
+    "  --socket PATH            m3d socket                  (/tmp/m3d.sock)\n"
+    "\n"
+    "Admin:\n"
+    "  --stats                  print daemon counters and exit\n"
+    "  --reload PATH            hot-swap the serving checkpoint and exit\n"
+    "\n"
+    "Scenario (generated client-side, same semantics as m3_query):\n"
+    "  --tm A|B|C               traffic matrix                     (B)\n"
+    "  --workload NAME          WebServer|CacheFollower|Hadoop     (WebServer)\n"
+    "  --oversub F              fat-tree oversubscription, > 0     (2)\n"
+    "  --load F                 target max link load, (0, 1]      (0.5)\n"
+    "  --sigma F                burstiness sigma, >= 0             (1.5)\n"
+    "  --flows N                foreground flows, >= 1             (20000)\n"
+    "  --trace FILE             load flows from an m3-trace file\n"
+    "  --cc NAME                DCTCP|TIMELY|DCQCN|HPCC            (DCTCP)\n"
+    "  --window BYTES           initial window, > 0                (15000)\n"
+    "  --buffer BYTES           per-port buffer, > 0               (300000)\n"
+    "  --pfc 0|1                enable PFC                         (0)\n"
+    "\n"
+    "Estimation:\n"
+    "  --paths N                sampled paths, >= 1                (100)\n"
+    "  --seed N                 path sampling seed                 (1)\n"
+    "  --percentile P           reported percentile, [1, 100]      (99)\n"
+    "  --strict                 fail on the first path fault\n"
+    "  --deadline SECONDS       daemon-side wall-clock budget\n"
+    "  --no-cache               bypass the daemon's result caches\n"
+    "\n"
+    "Load generation:\n"
+    "  --concurrency N          parallel connections, >= 1         (1)\n"
+    "  --repeat N               queries per connection, >= 1       (1)\n"
+    "  --help                   show this message\n";
+
+[[noreturn]] void UsageError(const std::string& msg) {
+  std::fprintf(stderr, "m3_client: %s\n\n%s", msg.c_str(), kUsage);
+  std::exit(2);
+}
+
+long ParseInt(const std::string& key, const char* arg, long min, long max) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(arg, &end, 10);
+  if (end == arg || *end != '\0' || errno == ERANGE || v < min || v > max) {
+    UsageError("invalid " + key + " '" + arg + "' (expected integer in [" +
+               std::to_string(min) + ", " + std::to_string(max) + "])");
+  }
+  return v;
+}
+
+double ParseDouble(const std::string& key, const char* arg, double min, double max) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(arg, &end);
+  if (end == arg || *end != '\0' || errno == ERANGE || !(v >= min) || !(v <= max)) {
+    UsageError("invalid " + key + " '" + arg + "' (expected number in [" +
+               std::to_string(min) + ", " + std::to_string(max) + "])");
+  }
+  return v;
+}
+
+struct Args {
+  std::string socket_path = "/tmp/m3d.sock";
+  bool stats = false;
+  std::string reload;
+  std::string tm = "B";
+  std::string workload = "WebServer";
+  double oversub = 2.0;
+  double load = 0.5;
+  double sigma = 1.5;
+  int flows = 20000;
+  std::string trace;
+  std::string cc = "DCTCP";
+  Bytes window = 15 * kKB;
+  Bytes buffer = 300 * kKB;
+  bool pfc = false;
+  int paths = 100;
+  long seed = 1;
+  double percentile = 99.0;
+  bool strict = false;
+  double deadline = 0.0;
+  bool no_cache = false;
+  int concurrency = 1;
+  int repeat = 1;
+};
+
+Args Parse(int argc, char** argv) {
+  Args a;
+  int i = 1;
+  while (i < argc) {
+    const std::string key = argv[i];
+    if (key == "--help" || key == "-h") {
+      std::printf("%s", kUsage);
+      std::exit(0);
+    }
+    if (key == "--strict") { a.strict = true; ++i; continue; }
+    if (key == "--no-cache") { a.no_cache = true; ++i; continue; }
+    if (key == "--stats") { a.stats = true; ++i; continue; }
+    if (key.rfind("--", 0) != 0) UsageError("unexpected argument '" + key + "'");
+    if (i + 1 >= argc) UsageError("missing value for " + key);
+    const char* v = argv[i + 1];
+    if (key == "--socket") a.socket_path = v;
+    else if (key == "--reload") a.reload = v;
+    else if (key == "--tm") a.tm = v;
+    else if (key == "--workload") a.workload = v;
+    else if (key == "--oversub") a.oversub = ParseDouble(key, v, 0.0625, 64.0);
+    else if (key == "--load") a.load = ParseDouble(key, v, 1e-6, 1.0);
+    else if (key == "--sigma") a.sigma = ParseDouble(key, v, 0.0, 100.0);
+    else if (key == "--flows") a.flows = static_cast<int>(ParseInt(key, v, 1, 100'000'000));
+    else if (key == "--trace") a.trace = v;
+    else if (key == "--cc") a.cc = v;
+    else if (key == "--window") a.window = ParseInt(key, v, 1, 1'000'000'000);
+    else if (key == "--buffer") a.buffer = ParseInt(key, v, 1, 1'000'000'000);
+    else if (key == "--pfc") a.pfc = ParseInt(key, v, 0, 1) != 0;
+    else if (key == "--paths") a.paths = static_cast<int>(ParseInt(key, v, 1, 10'000'000));
+    else if (key == "--seed") a.seed = ParseInt(key, v, 0, 1'000'000'000);
+    else if (key == "--percentile") a.percentile = ParseDouble(key, v, 1.0, 100.0);
+    else if (key == "--deadline") a.deadline = ParseDouble(key, v, 0.0, 1e9);
+    else if (key == "--concurrency") a.concurrency = static_cast<int>(ParseInt(key, v, 1, 4096));
+    else if (key == "--repeat") a.repeat = static_cast<int>(ParseInt(key, v, 1, 1'000'000));
+    else UsageError("unknown flag '" + key + "'");
+    i += 2;
+  }
+  return a;
+}
+
+int ExitCodeFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 3;
+    case StatusCode::kNotFound: return 4;
+    case StatusCode::kDataLoss: return 5;
+    case StatusCode::kDeadlineExceeded: return 6;
+    case StatusCode::kInternal: return 7;
+    case StatusCode::kDegraded: return 8;
+    case StatusCode::kUnavailable: return 9;
+    case StatusCode::kResourceExhausted: return 10;
+  }
+  return 7;
+}
+
+StatusOr<UnixFd> Connect(const std::string& socket_path) {
+  StatusOr<UnixFd> fd = ConnectUnix(socket_path);
+  if (!fd.ok() && fd.status().code() == StatusCode::kNotFound) {
+    return fd.status().Annotate("is m3d running? start it with: m3d --socket " +
+                                socket_path);
+  }
+  return fd;
+}
+
+/// One request/response exchange of the given frame types.
+StatusOr<std::string> RoundTrip(UnixFd& fd, MsgType req_type,
+                                const std::string& payload, MsgType resp_type) {
+  if (Status st = SendFrame(fd, static_cast<std::uint32_t>(req_type), payload); !st.ok()) {
+    return st;
+  }
+  StatusOr<Frame> frame = RecvFrame(fd);
+  if (!frame.ok()) {
+    if (frame.status().code() == StatusCode::kNotFound) {
+      return Status::Unavailable("daemon closed the connection");
+    }
+    return frame.status();
+  }
+  if (frame->type != static_cast<std::uint32_t>(resp_type)) {
+    return Status::InvalidArgument("unexpected frame type " +
+                                   std::to_string(frame->type) + " from daemon");
+  }
+  return std::move(frame->payload);
+}
+
+StatusOr<QueryResponse> DoQuery(UnixFd& fd, const std::string& payload) {
+  StatusOr<std::string> resp =
+      RoundTrip(fd, MsgType::kQueryRequest, payload, MsgType::kQueryResponse);
+  if (!resp.ok()) return resp.status();
+  return DecodeQueryResponse(*resp);
+}
+
+void PrintStats(const ServerStatsWire& s) {
+  std::printf("model: %s (v%llu crc %08x), reloads %llu ok / %llu failed\n",
+              s.model_path.empty() ? "<none>" : s.model_path.c_str(),
+              static_cast<unsigned long long>(s.model_version), s.model_crc,
+              static_cast<unsigned long long>(s.reloads_ok),
+              static_cast<unsigned long long>(s.reloads_failed));
+  std::printf("queries: %llu received, %llu ok, %llu rejected, %llu failed; "
+              "queue %u/%u, %u workers\n",
+              static_cast<unsigned long long>(s.queries_received),
+              static_cast<unsigned long long>(s.queries_ok),
+              static_cast<unsigned long long>(s.queries_rejected),
+              static_cast<unsigned long long>(s.queries_failed),
+              s.queue_depth, s.queue_capacity, s.workers);
+  const auto line = [](const char* name, const std::uint64_t c[5]) {
+    std::printf("%s cache: %llu hits / %llu misses, %llu inserts, %llu evictions, "
+                "%llu entries\n",
+                name, static_cast<unsigned long long>(c[0]),
+                static_cast<unsigned long long>(c[1]),
+                static_cast<unsigned long long>(c[2]),
+                static_cast<unsigned long long>(c[3]),
+                static_cast<unsigned long long>(c[4]));
+  };
+  line("query", s.query_cache);
+  line(" path", s.path_cache);
+}
+
+struct WorkerResult {
+  std::vector<double> latencies_ms;
+  int failed = 0;
+  Status first_failure;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = Parse(argc, argv);
+
+  if (a.stats) {
+    StatusOr<UnixFd> fd = Connect(a.socket_path);
+    if (!fd.ok()) {
+      std::fprintf(stderr, "m3_client: %s\n", fd.status().ToString().c_str());
+      return ExitCodeFor(fd.status().code());
+    }
+    StatusOr<std::string> payload =
+        RoundTrip(*fd, MsgType::kStatsRequest, std::string(), MsgType::kStatsResponse);
+    StatusOr<ServerStatsWire> stats =
+        payload.ok() ? DecodeStats(*payload) : payload.status();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "m3_client: %s\n", stats.status().ToString().c_str());
+      return ExitCodeFor(stats.status().code());
+    }
+    PrintStats(*stats);
+    return 0;
+  }
+
+  if (!a.reload.empty()) {
+    StatusOr<UnixFd> fd = Connect(a.socket_path);
+    if (!fd.ok()) {
+      std::fprintf(stderr, "m3_client: %s\n", fd.status().ToString().c_str());
+      return ExitCodeFor(fd.status().code());
+    }
+    ReloadRequest req;
+    req.checkpoint_path = a.reload;
+    StatusOr<std::string> payload = RoundTrip(*fd, MsgType::kReloadRequest,
+                                              EncodeReloadRequest(req),
+                                              MsgType::kReloadResponse);
+    StatusOr<ReloadResponse> resp =
+        payload.ok() ? DecodeReloadResponse(*payload) : payload.status();
+    if (!resp.ok()) {
+      std::fprintf(stderr, "m3_client: %s\n", resp.status().ToString().c_str());
+      return ExitCodeFor(resp.status().code());
+    }
+    if (!resp->status.ok()) {
+      std::fprintf(stderr, "m3_client: reload failed: %s\n",
+                   resp->status.ToString().c_str());
+      std::fprintf(stderr, "m3_client: daemon keeps serving v%llu (crc %08x)\n",
+                   static_cast<unsigned long long>(resp->model_version),
+                   resp->model_crc);
+      return ExitCodeFor(resp->status.code());
+    }
+    std::printf("reloaded: now serving v%llu (crc %08x)\n",
+                static_cast<unsigned long long>(resp->model_version), resp->model_crc);
+    return 0;
+  }
+
+  // Build the scenario client-side; the wire carries host indices.
+  const FatTree ft(FatTreeConfig::Small(a.oversub));
+  std::vector<Flow> flows;
+  if (!a.trace.empty()) {
+    StatusOr<std::vector<Flow>> loaded = LoadTraceOr(a.trace, ft);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "m3_client: %s\n", loaded.status().ToString().c_str());
+      return ExitCodeFor(loaded.status().code());
+    }
+    flows = std::move(loaded).value();
+  } else {
+    const auto tm = TrafficMatrix::ByName(a.tm, ft.num_racks(), ft.config().racks_per_pod);
+    const auto sizes = MakeProductionDist(a.workload);
+    WorkloadSpec wspec;
+    wspec.num_flows = a.flows;
+    wspec.max_load = a.load;
+    wspec.burstiness_sigma = a.sigma;
+    flows = GenerateWorkload(ft, tm, *sizes, wspec).flows;
+  }
+
+  QueryRequest req;
+  req.oversub = a.oversub;
+  req.flows.reserve(flows.size());
+  for (const Flow& f : flows) {
+    WireFlow wf;
+    wf.id = f.id;
+    wf.src_host = ft.HostIndexOf(f.src);
+    wf.dst_host = ft.HostIndexOf(f.dst);
+    wf.size = f.size;
+    wf.arrival = f.arrival;
+    wf.priority = f.priority;
+    req.flows.push_back(wf);
+  }
+  req.cfg.cc = CcFromName(a.cc);
+  req.cfg.init_window = a.window;
+  req.cfg.buffer = a.buffer;
+  req.cfg.pfc = a.pfc;
+  req.num_paths = a.paths;
+  req.seed = static_cast<std::uint64_t>(a.seed);
+  req.strict = a.strict;
+  req.deadline_seconds = a.deadline;
+  req.no_cache = a.no_cache;
+  const std::string payload = EncodeQueryRequest(req);
+
+  if (a.concurrency > 1 || a.repeat > 1) {
+    // Load-generator mode: N connections x M sequential queries each.
+    std::vector<WorkerResult> results(static_cast<std::size_t>(a.concurrency));
+    std::vector<std::thread> threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int t = 0; t < a.concurrency; ++t) {
+      threads.emplace_back([&, t] {
+        WorkerResult& r = results[static_cast<std::size_t>(t)];
+        StatusOr<UnixFd> fd = Connect(a.socket_path);
+        if (!fd.ok()) {
+          r.failed = a.repeat;
+          r.first_failure = fd.status();
+          return;
+        }
+        for (int q = 0; q < a.repeat; ++q) {
+          const auto q0 = std::chrono::steady_clock::now();
+          StatusOr<QueryResponse> resp = DoQuery(*fd, payload);
+          const auto q1 = std::chrono::steady_clock::now();
+          const Status st = resp.ok() ? resp->status : resp.status();
+          const StatusCode code = st.code();
+          const bool answered = code == StatusCode::kOk ||
+                                code == StatusCode::kDegraded ||
+                                code == StatusCode::kDeadlineExceeded;
+          if (!answered) {
+            ++r.failed;
+            if (r.first_failure.ok()) r.first_failure = st;
+            continue;
+          }
+          r.latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(q1 - q0).count());
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+    std::vector<double> lat;
+    int failed = 0;
+    Status first_failure;
+    for (const WorkerResult& r : results) {
+      lat.insert(lat.end(), r.latencies_ms.begin(), r.latencies_ms.end());
+      failed += r.failed;
+      if (first_failure.ok() && !r.first_failure.ok()) first_failure = r.first_failure;
+    }
+    std::sort(lat.begin(), lat.end());
+    const auto pct = [&lat](double p) {
+      if (lat.empty()) return 0.0;
+      const std::size_t idx = static_cast<std::size_t>(
+          std::min<double>(static_cast<double>(lat.size()) - 1,
+                           p / 100.0 * static_cast<double>(lat.size())));
+      return lat[idx];
+    };
+    const long total = static_cast<long>(a.concurrency) * a.repeat;
+    std::printf("load: %d conns x %d queries = %ld total, %zu ok, %d failed\n",
+                a.concurrency, a.repeat, total, lat.size(), failed);
+    std::printf("wall: %.2fs  throughput: %.1f q/s\n", wall,
+                lat.empty() ? 0.0 : static_cast<double>(lat.size()) / wall);
+    std::printf("latency: p50 %.2fms  p99 %.2fms  max %.2fms\n", pct(50), pct(99),
+                lat.empty() ? 0.0 : lat.back());
+    if (failed > 0) {
+      std::fprintf(stderr, "m3_client: %d queries failed; first: %s\n", failed,
+                   first_failure.ToString().c_str());
+      return ExitCodeFor(first_failure.code());
+    }
+    return 0;
+  }
+
+  StatusOr<UnixFd> fd = Connect(a.socket_path);
+  if (!fd.ok()) {
+    std::fprintf(stderr, "m3_client: %s\n", fd.status().ToString().c_str());
+    return ExitCodeFor(fd.status().code());
+  }
+  StatusOr<QueryResponse> got = DoQuery(*fd, payload);
+  if (!got.ok()) {
+    std::fprintf(stderr, "m3_client: %s\n", got.status().ToString().c_str());
+    return ExitCodeFor(got.status().code());
+  }
+  const QueryResponse& est = *got;
+  if (!est.status.ok() && est.status.code() != StatusCode::kDegraded &&
+      est.status.code() != StatusCode::kDeadlineExceeded) {
+    std::fprintf(stderr, "m3_client: %s\n", est.status.ToString().c_str());
+    return ExitCodeFor(est.status.code());
+  }
+
+  std::printf("scenario: tm=%s workload=%s oversub=%.0f:1 load=%.0f%% sigma=%.1f "
+              "flows=%zu cc=%s\n",
+              a.tm.c_str(), a.workload.c_str(), a.oversub, 100 * a.load, a.sigma,
+              flows.size(), a.cc.c_str());
+  std::printf("served by model v%llu (crc %08x)%s, computed in %.1fs over %d paths\n\n",
+              static_cast<unsigned long long>(est.model_version), est.model_crc,
+              est.query_cache_hit ? " [cache hit]" : "", est.wall_seconds, a.paths);
+
+  const int pidx = std::min(99, std::max(0, static_cast<int>(a.percentile) - 1));
+  const char* labels[4] = {"(0,1KB]", "(1KB,10KB]", "(10KB,50KB]", "(50KB,inf)"};
+  std::printf("%-14s %10s %12s\n", "flow class", "#flows", "slowdown");
+  for (int b = 0; b < kNumOutputBuckets; ++b) {
+    const auto& pct = est.bucket_pct[static_cast<std::size_t>(b)];
+    if (pct.empty()) continue;
+    std::printf("%-14s %10.0f %12.2f\n", labels[b],
+                est.total_counts[static_cast<std::size_t>(b)],
+                pct[static_cast<std::size_t>(pidx)]);
+  }
+  if (!est.combined_pct.empty()) {
+    std::printf("%-14s %10s %12.2f   (p%.0f)\n", "network-wide", "-",
+                est.combined_pct[static_cast<std::size_t>(pidx)], a.percentile);
+  }
+  if (!est.status.ok()) {
+    std::printf("\nstatus: %s\n", est.status.ToString().c_str());
+  }
+  if (est.degradation.Degraded() || est.degradation.paths_retried > 0) {
+    std::printf("degradation: %s\n", est.degradation.ToString().c_str());
+  }
+  return ExitCodeFor(est.status.code());
+}

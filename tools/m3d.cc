@@ -1,0 +1,159 @@
+// m3d: the long-running m3 estimation daemon.
+//
+// Loads a model checkpoint into the ModelRegistry, starts the scheduler
+// workers and result caches, and serves the serve/wire.h protocol on a
+// Unix-domain socket until SIGINT/SIGTERM. Clients (tools/m3_client, or
+// anything speaking the framed protocol) submit query / stats / hot-reload
+// requests; see DESIGN.md §9.
+//
+// Exit codes: 0 clean shutdown, 2 usage, 4 model not found, 5 model
+// corrupt, 9 cannot bind/serve.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "serve/server.h"
+#include "serve/service.h"
+
+using namespace m3;
+using namespace m3::serve;
+
+namespace {
+
+constexpr const char* kUsage =
+    "Usage: m3d [options]\n"
+    "\n"
+    "  --socket PATH       Unix-domain socket to serve on   (/tmp/m3d.sock)\n"
+    "  --model PATH        checkpoint to serve              (models/m3_default.ckpt)\n"
+    "  --workers N         scheduler worker threads, >= 1   (2)\n"
+    "  --queue N           request queue capacity, >= 1     (64)\n"
+    "  --query-cache N     whole-query cache entries, >= 0  (256)\n"
+    "  --path-cache N      per-path cache entries, >= 0     (4096)\n"
+    "  --threads-per-query N   pool threads per query, >= 0 (1; 0 = full pool)\n"
+    "  --help              show this message\n"
+    "\n"
+    "Hot reload: m3_client --reload <checkpoint> swaps the model without\n"
+    "dropping in-flight queries; a corrupt checkpoint keeps the old model.\n";
+
+[[noreturn]] void UsageError(const std::string& msg) {
+  std::fprintf(stderr, "m3d: %s\n\n%s", msg.c_str(), kUsage);
+  std::exit(2);
+}
+
+long ParseInt(const std::string& key, const char* arg, long min, long max) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(arg, &end, 10);
+  if (end == arg || *end != '\0' || errno == ERANGE || v < min || v > max) {
+    UsageError("invalid " + key + " '" + arg + "' (expected integer in [" +
+               std::to_string(min) + ", " + std::to_string(max) + "])");
+  }
+  return v;
+}
+
+std::atomic<int> g_signal{0};
+void OnSignal(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
+
+int ExitCodeFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 3;
+    case StatusCode::kNotFound: return 4;
+    case StatusCode::kDataLoss: return 5;
+    case StatusCode::kDeadlineExceeded: return 6;
+    case StatusCode::kInternal: return 7;
+    case StatusCode::kDegraded: return 8;
+    case StatusCode::kUnavailable: return 9;
+    case StatusCode::kResourceExhausted: return 10;
+  }
+  return 7;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/m3d.sock";
+  std::string model_path = "models/m3_default.ckpt";
+  ServiceOptions opts;
+
+  for (int i = 1; i < argc;) {
+    const std::string key = argv[i];
+    if (key == "--help" || key == "-h") {
+      std::printf("%s", kUsage);
+      return 0;
+    }
+    if (key.rfind("--", 0) != 0) UsageError("unexpected argument '" + key + "'");
+    if (i + 1 >= argc) UsageError("missing value for " + key);
+    const char* v = argv[i + 1];
+    if (key == "--socket") socket_path = v;
+    else if (key == "--model") model_path = v;
+    else if (key == "--workers") opts.num_workers = static_cast<int>(ParseInt(key, v, 1, 1024));
+    else if (key == "--queue") opts.queue_capacity = static_cast<std::size_t>(ParseInt(key, v, 1, 1 << 20));
+    else if (key == "--query-cache") opts.query_cache_entries = static_cast<std::size_t>(ParseInt(key, v, 0, 1 << 24));
+    else if (key == "--path-cache") opts.path_cache_entries = static_cast<std::size_t>(ParseInt(key, v, 0, 1 << 24));
+    else if (key == "--threads-per-query") opts.threads_per_query = static_cast<unsigned>(ParseInt(key, v, 0, 1024));
+    else UsageError("unknown flag '" + key + "'");
+    i += 2;
+  }
+
+  EstimationService service(opts);
+  if (Status st = service.ReloadModel(model_path); !st.ok()) {
+    std::fprintf(stderr, "m3d: %s\n", st.ToString().c_str());
+    if (st.code() == StatusCode::kNotFound) {
+      std::fprintf(stderr, "m3d: run tools/train_m3 first to produce %s\n",
+                   model_path.c_str());
+    }
+    return ExitCodeFor(st.code());
+  }
+  const ServerStatsWire boot = service.Stats();
+  if (Status st = service.Start(); !st.ok()) {
+    std::fprintf(stderr, "m3d: %s\n", st.ToString().c_str());
+    return ExitCodeFor(st.code());
+  }
+
+  SocketServer server(service);
+  if (Status st = server.Start(socket_path); !st.ok()) {
+    std::fprintf(stderr, "m3d: %s\n", st.ToString().c_str());
+    service.Stop();
+    return ExitCodeFor(st.code());
+  }
+
+  struct sigaction sa{};
+  sa.sa_handler = OnSignal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  std::printf("m3d: serving %s (model v%llu crc %08x) on %s — %d workers, queue %zu, "
+              "caches %zu query / %zu path\n",
+              model_path.c_str(), static_cast<unsigned long long>(boot.model_version),
+              boot.model_crc, socket_path.c_str(), opts.num_workers, opts.queue_capacity,
+              opts.query_cache_entries, opts.path_cache_entries);
+  std::fflush(stdout);
+
+  while (g_signal.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("m3d: received %s, draining and shutting down...\n",
+              g_signal.load(std::memory_order_relaxed) == SIGINT ? "SIGINT" : "SIGTERM");
+  server.Stop();
+  service.Stop();
+  const ServerStatsWire s = service.Stats();
+  std::printf("m3d: served %llu queries (%llu ok, %llu rejected, %llu failed); "
+              "query cache %llu/%llu hit, path cache %llu/%llu hit\n",
+              static_cast<unsigned long long>(s.queries_received),
+              static_cast<unsigned long long>(s.queries_ok),
+              static_cast<unsigned long long>(s.queries_rejected),
+              static_cast<unsigned long long>(s.queries_failed),
+              static_cast<unsigned long long>(s.query_cache[0]),
+              static_cast<unsigned long long>(s.query_cache[0] + s.query_cache[1]),
+              static_cast<unsigned long long>(s.path_cache[0]),
+              static_cast<unsigned long long>(s.path_cache[0] + s.path_cache[1]));
+  return 0;
+}
