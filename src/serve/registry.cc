@@ -25,6 +25,9 @@ void ComputeIdentity(M3Model& model, std::uint32_t* crc, Hash128* digest) {
 }  // namespace
 
 Status ModelRegistry::Reload(const std::string& path) {
+  // One reload at a time (see reload_mu_ in the header). Current() only
+  // takes mu_, so queries never wait on a checkpoint load.
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
   try {
     M3_FAULT_POINT("serve/registry_reload");
   } catch (const std::exception& e) {

@@ -68,6 +68,10 @@ class ModelRegistry {
 
  private:
   const M3ModelConfig cfg_;
+  // Held for the whole of Reload (loads are rare, seconds-scale is fine):
+  // serializing load+publish makes publication order equal call order, so a
+  // slow reload of an older checkpoint can never overwrite a newer one.
+  std::mutex reload_mu_;
   mutable std::mutex mu_;  // guards current_ swap and version assignment
   std::shared_ptr<const ModelSnapshot> current_;
   std::uint64_t next_version_ = 1;

@@ -33,92 +33,127 @@ void SocketServer::Stop() {
     std::lock_guard<std::mutex> lock(mu_);
     if (!started_) return;
     stopping_ = true;
-    // Unblock every parked read: the acceptor's accept() and each
-    // connection thread's recv().
+    // Unblock every parked read: the acceptor's accept() and each live
+    // connection thread's recv(). Exited handlers (done) already closed
+    // their fd, which may have been recycled — never shutdown() those.
     if (listener_.valid()) ::shutdown(listener_.get(), SHUT_RDWR);
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (const Conn& c : conns_) {
+      if (!c.done) ::shutdown(c.fd, SHUT_RDWR);
+    }
   }
   if (acceptor_.joinable()) acceptor_.join();
   // After the acceptor exits no new connection threads appear; join the
   // existing ones (their recv() has been shut down).
-  std::vector<std::thread> conns;
+  std::list<Conn> conns;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    conns.swap(conns_);
+    conns.splice(conns.end(), conns_);
   }
-  for (std::thread& t : conns) t.join();
+  for (Conn& c : conns) c.t.join();
   listener_.Close();
   if (!path_.empty()) ::unlink(path_.c_str());
   std::lock_guard<std::mutex> lock(mu_);
   started_ = false;
   stopping_ = false;
-  conn_fds_.clear();
+}
+
+std::size_t SocketServer::connection_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return conns_.size();
 }
 
 void SocketServer::AcceptLoop() {
   for (;;) {
     StatusOr<UnixFd> conn = AcceptUnix(listener_);
+    ReapFinished();
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return;  // shutdown() woke us; drop any race-winner conn
     if (!conn.ok()) return;  // listener broken: no way to serve further
-    conn_fds_.push_back(conn->get());
-    conns_.emplace_back(
-        [this, fd = std::move(*conn)]() mutable { ServeConnection(std::move(fd)); });
+    conns_.emplace_back();
+    const auto it = std::prev(conns_.end());
+    it->fd = conn->get();
+    // mu_ is held until the thread handle lands in the Conn, and the
+    // handler's first touch of `it` (the done flag) also takes mu_ — so
+    // the publication of `it->t` always happens-before its reap.
+    it->t = std::thread([this, it, fd = std::move(*conn)]() mutable {
+      ServeConnection(std::move(fd), it);
+    });
   }
 }
 
-void SocketServer::ServeConnection(UnixFd fd) {
-  const int raw_fd = fd.get();
+void SocketServer::ReapFinished() {
+  std::list<Conn> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      const auto next = std::next(it);
+      if (it->done) finished.splice(finished.end(), conns_, it);
+      it = next;
+    }
+  }
+  for (Conn& c : finished) c.t.join();  // near-instant: done is their last act
+}
+
+void SocketServer::ServeConnection(UnixFd fd, std::list<Conn>::iterator self) {
   for (;;) {
     StatusOr<Frame> frame = RecvFrame(fd);
     if (!frame.ok()) break;  // clean close, peer error, or shutdown
     Status send;
-    switch (static_cast<MsgType>(frame->type)) {
-      case MsgType::kQueryRequest: {
-        StatusOr<QueryRequest> req = DecodeQueryRequest(frame->payload);
-        QueryResponse resp;
-        if (!req.ok()) {
-          resp.status = req.status().Annotate("decoding query request");
-          resp.stats = service_.Stats();
-        } else {
-          resp = service_.Query(*req);
+    try {
+      switch (static_cast<MsgType>(frame->type)) {
+        case MsgType::kQueryRequest: {
+          StatusOr<QueryRequest> req = DecodeQueryRequest(frame->payload);
+          QueryResponse resp;
+          if (!req.ok()) {
+            resp.status = req.status().Annotate("decoding query request");
+            resp.stats = service_.Stats();
+          } else {
+            resp = service_.Query(*req);
+          }
+          send = SendFrame(fd, static_cast<std::uint32_t>(MsgType::kQueryResponse),
+                           EncodeQueryResponse(resp));
+          break;
         }
-        send = SendFrame(fd, static_cast<std::uint32_t>(MsgType::kQueryResponse),
-                         EncodeQueryResponse(resp));
-        break;
-      }
-      case MsgType::kStatsRequest: {
-        send = SendFrame(fd, static_cast<std::uint32_t>(MsgType::kStatsResponse),
-                         EncodeStats(service_.Stats()));
-        break;
-      }
-      case MsgType::kReloadRequest: {
-        StatusOr<ReloadRequest> req = DecodeReloadRequest(frame->payload);
-        ReloadResponse resp;
-        if (!req.ok()) {
-          resp.status = req.status().Annotate("decoding reload request");
-        } else {
-          resp.status = service_.ReloadModel(req->checkpoint_path);
+        case MsgType::kStatsRequest: {
+          send = SendFrame(fd, static_cast<std::uint32_t>(MsgType::kStatsResponse),
+                           EncodeStats(service_.Stats()));
+          break;
         }
-        const ServerStatsWire stats = service_.Stats();
-        resp.model_version = stats.model_version;
-        resp.model_crc = stats.model_crc;
-        send = SendFrame(fd, static_cast<std::uint32_t>(MsgType::kReloadResponse),
-                         EncodeReloadResponse(resp));
-        break;
+        case MsgType::kReloadRequest: {
+          StatusOr<ReloadRequest> req = DecodeReloadRequest(frame->payload);
+          ReloadResponse resp;
+          if (!req.ok()) {
+            resp.status = req.status().Annotate("decoding reload request");
+          } else {
+            resp.status = service_.ReloadModel(req->checkpoint_path);
+          }
+          const ServerStatsWire stats = service_.Stats();
+          resp.model_version = stats.model_version;
+          resp.model_crc = stats.model_crc;
+          send = SendFrame(fd, static_cast<std::uint32_t>(MsgType::kReloadResponse),
+                           EncodeReloadResponse(resp));
+          break;
+        }
+        default:
+          // Unknown type: the peer's expected response shape is unknowable,
+          // so the only safe protocol action is to hang up.
+          send = Status::InvalidArgument("unknown frame type");
+          break;
       }
-      default:
-        // Unknown type: the peer's expected response shape is unknowable,
-        // so the only safe protocol action is to hang up.
-        send = Status::InvalidArgument("unknown frame type");
-        break;
+    } catch (...) {
+      // Belt-and-braces: decoding is Status-based and should never throw,
+      // but an escaped exception here would std::terminate the daemon. One
+      // hostile frame may cost its own connection, never the process.
+      send = Status::Internal("exception while handling frame");
     }
     if (!send.ok()) break;
   }
-  // Deregister so Stop() does not shutdown() a recycled fd number.
+  // Publish completion *before* the fd closes (it is destroyed after this
+  // scope): once done is visible, Stop() skips the shutdown() and the
+  // acceptor may join this thread; the fd number cannot have been recycled
+  // while done was still false.
   std::lock_guard<std::mutex> lock(mu_);
-  conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), raw_fd),
-                  conn_fds_.end());
+  self->done = true;
 }
 
 }  // namespace m3::serve

@@ -12,10 +12,10 @@
 // an unknown frame type or transport-level garbage closes the connection.
 #pragma once
 
+#include <list>
 #include <mutex>
 #include <string>
 #include <thread>
-#include <vector>
 
 #include "serve/service.h"
 #include "util/socket.h"
@@ -39,17 +39,34 @@ class SocketServer {
 
   const std::string& socket_path() const { return path_; }
 
+  /// Connection threads not yet reaped (test/ops visibility; exited handlers
+  /// are joined on the next accept, so this tracks live connections ±1).
+  std::size_t connection_threads() const;
+
  private:
+  // One accepted connection: its handler thread, the raw fd (so Stop can
+  // shutdown() a parked recv), and a completion flag the handler sets —
+  // under mu_, before closing the fd — so the acceptor can join exited
+  // threads and Stop never shutdown()s a recycled fd number.
+  struct Conn {
+    std::thread t;
+    int fd = -1;
+    bool done = false;
+  };
+
   void AcceptLoop();
-  void ServeConnection(UnixFd fd);
+  void ServeConnection(UnixFd fd, std::list<Conn>::iterator self);
+  /// Joins handler threads that have finished. Called by the acceptor after
+  /// every accept so a long-running daemon serving short-lived connections
+  /// does not accrete joinable-thread stacks until shutdown.
+  void ReapFinished();
 
   EstimationService& service_;
   UnixFd listener_;
   std::string path_;
   std::thread acceptor_;
-  std::mutex mu_;  // guards conns_, conn_fds_, stopping_
-  std::vector<std::thread> conns_;
-  std::vector<int> conn_fds_;  // raw fds of live connections, for shutdown()
+  mutable std::mutex mu_;  // guards conns_ (list + done flags), stopping_
+  std::list<Conn> conns_;  // std::list: handlers hold stable iterators
   bool stopping_ = false;
   bool started_ = false;
 };

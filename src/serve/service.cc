@@ -1,7 +1,9 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstring>
 #include <future>
 #include <utility>
 
@@ -12,6 +14,11 @@ namespace {
 // fault makes every lookup fail, and the service must degrade to plain
 // recompute (same answer, no reuse) rather than failing queries.
 constexpr const char* kCacheFaultSite = "serve/cache_lookup";
+
+// Distinct fat trees a daemon keeps alive at once. Real deployments use a
+// handful of oversubscription ratios; the bound exists because the ratio is
+// a client-supplied double (any bit pattern in range is admissible).
+constexpr std::size_t kTopoCacheEntries = 8;
 
 void CopyCacheStats(const CacheStats& in, std::uint64_t out[5]) {
   out[0] = in.hits;
@@ -72,6 +79,17 @@ void EstimationService::WorkerLoop() {
       p = std::move(queue_.front());
       queue_.pop_front();
     }
+    if (p.req.deadline_seconds > 0) {
+      // The client's deadline covers time spent queued behind other work,
+      // not just compute; shrink the budget Execute may spend by the
+      // observed wait. A fully blown deadline keeps a nominal budget so
+      // the estimator's own deadline machinery reports it uniformly
+      // (kDeadlineExceeded with a partial estimate).
+      const double waited =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - p.enqueued)
+              .count();
+      p.req.deadline_seconds = std::max(p.req.deadline_seconds - waited, 1e-9);
+    }
     QueryResponse resp = Execute(p.req);
     if (p.done) p.done(std::move(resp));
   }
@@ -90,7 +108,8 @@ Status EstimationService::Submit(QueryRequest req, DoneFn done) {
           "admission control: request queue full (" +
           std::to_string(opts_.queue_capacity) + " pending)");
     }
-    queue_.push_back(Pending{std::move(req), std::move(done)});
+    queue_.push_back(
+        Pending{std::move(req), std::move(done), std::chrono::steady_clock::now()});
   }
   queue_cv_.notify_one();
   return Status::Ok();
@@ -123,13 +142,26 @@ QueryResponse EstimationService::ExecuteInline(const QueryRequest& req) {
 }
 
 std::shared_ptr<const FatTree> EstimationService::TopologyFor(double oversub) {
+  std::uint64_t bits;  // bit-pattern key: exactly the double off the wire
+  std::memcpy(&bits, &oversub, sizeof bits);
   std::lock_guard<std::mutex> lock(topo_mu_);
-  for (const auto& [key, ft] : topos_) {
-    if (key == oversub) return ft;  // bit-exact match, same wire double
+  for (auto it = topos_.begin(); it != topos_.end(); ++it) {
+    if (it->first == bits) {
+      auto ft = it->second;
+      topos_.erase(it);
+      topos_.emplace_back(bits, ft);  // refresh recency
+      return ft;
+    }
   }
   auto ft = std::make_shared<const FatTree>(FatTreeConfig::Small(oversub));
-  topos_.emplace_back(oversub, ft);
+  if (topos_.size() >= kTopoCacheEntries) topos_.erase(topos_.begin());
+  topos_.emplace_back(bits, ft);
   return ft;
+}
+
+std::size_t EstimationService::TopologyCacheSize() const {
+  std::lock_guard<std::mutex> lock(topo_mu_);
+  return topos_.size();
 }
 
 QueryResponse EstimationService::Execute(const QueryRequest& req) {

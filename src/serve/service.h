@@ -26,6 +26,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -99,17 +100,25 @@ class EstimationService {
   ModelRegistry& registry() { return registry_; }
   const ServiceOptions& options() const { return opts_; }
 
+  /// Topology memo entries (see TopologyFor). Test/ops visibility.
+  std::size_t TopologyCacheSize() const;
+
  private:
   struct Pending {
     QueryRequest req;
     DoneFn done;
+    // When the request was admitted; queue wait counts against the
+    // client's deadline (WorkerLoop shrinks deadline_seconds by it).
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   void WorkerLoop();
   /// The full query path: registry snapshot, validation, cache probes, RunM3.
   QueryResponse Execute(const QueryRequest& req);
   /// Fat trees are immutable post-build; memoize by oversubscription so
-  /// repeated queries skip topology construction.
+  /// repeated queries skip topology construction. Bounded: any double in
+  /// the valid range is accepted on the wire, so an unbounded memo would
+  /// let a client iterating bit patterns grow the daemon without limit.
   std::shared_ptr<const FatTree> TopologyFor(double oversub);
 
   const ServiceOptions opts_;
@@ -125,7 +134,8 @@ class EstimationService {
   std::vector<std::thread> workers_;
 
   mutable std::mutex topo_mu_;
-  std::vector<std::pair<double, std::shared_ptr<const FatTree>>> topos_;
+  // Small LRU keyed by the oversub double's bit pattern; back = most recent.
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<const FatTree>>> topos_;
 
   std::atomic<std::uint64_t> queries_received_{0};
   std::atomic<std::uint64_t> queries_ok_{0};

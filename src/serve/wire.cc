@@ -320,7 +320,10 @@ StatusOr<QueryRequest> DecodeQueryRequest(const std::string& payload) {
   M3_RETURN_IF_ERROR(r.Bool(&req.no_cache));
   std::uint64_t n;
   M3_RETURN_IF_ERROR(r.U64(&n));
-  if (n * kWireFlowBytes > r.remaining()) {
+  // Division form: `n * kWireFlowBytes` can wrap for a hostile 64-bit count
+  // (the record size is odd, so every product value is reachable mod 2^64),
+  // which would let the resize below throw past the bounds check.
+  if (n > r.remaining() / kWireFlowBytes) {
     return Status::DataLoss("wire: flow count " + std::to_string(n) +
                             " exceeds the remaining payload");
   }

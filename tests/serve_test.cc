@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -241,6 +242,24 @@ TEST(Wire, TrailingBytesAndBadVersionAreRejected) {
   std::string wrong = payload;
   wrong[0] = static_cast<char>(kWireVersion + 1);  // little-endian u32 version
   EXPECT_EQ(DecodeQueryRequest(wrong).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Wire, WrappingFlowCountIsRejected) {
+  // A hostile 64-bit flow count chosen so count * record-size wraps to a
+  // tiny value must fail the bounds check; a multiplying check would pass
+  // it and the subsequent resize would throw std::length_error through the
+  // daemon's connection thread (std::terminate = one frame kills m3d).
+  std::string payload = EncodeQueryRequest(SampleRequest());
+  constexpr std::uint64_t kFlowBytes = 3 * 4 + 2 * 8 + 1;  // wire record size
+  // Multiplicative inverse of the (odd) record size mod 2^64 via Newton
+  // iteration: inv * kFlowBytes == 1, the smallest nonzero wrapped product.
+  std::uint64_t inv = 1;
+  for (int i = 0; i < 6; ++i) inv *= 2 - kFlowBytes * inv;
+  ASSERT_EQ(inv * kFlowBytes, 1u);
+  const std::size_t count_off = payload.size() - 3 * kFlowBytes - 8;
+  std::memcpy(&payload[count_off], &inv, 8);
+  const StatusOr<QueryRequest> got = DecodeQueryRequest(payload);
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss) << got.status().ToString();
 }
 
 // -------------------------------------------------------------- cache keys --
@@ -529,6 +548,37 @@ TEST(ModelRegistry, InjectedReloadFaultKeepsOldSnapshot) {
   EXPECT_EQ(reg.Current()->version, 2u);
 }
 
+TEST(ModelRegistry, ConcurrentReloadsPublishConsistently) {
+  // Reloads are serialized: publication order equals call order, so racing
+  // reloads can never leave older weights serving under a newer version.
+  // Externally observable invariant: every load gets a unique version and
+  // the final snapshot's (path, digest) pair is mutually consistent.
+  ModelRegistry reg(SmallModel());
+  ASSERT_TRUE(reg.Reload(SmallCheckpoint()).ok());
+  const Hash128 digest_a = reg.Current()->digest;
+  ASSERT_TRUE(reg.Reload(SmallCheckpointB()).ok());
+  const Hash128 digest_b = reg.Current()->digest;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 5; ++i) {
+        const Status st =
+            reg.Reload((t + i) % 2 == 0 ? SmallCheckpoint() : SmallCheckpointB());
+        EXPECT_TRUE(st.ok()) << st.ToString();
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  const auto snap = reg.Current();
+  EXPECT_EQ(snap->version, 22u);  // 2 setup + 20 concurrent, none lost
+  EXPECT_EQ(reg.reloads_ok(), 22u);
+  const bool is_a = snap->digest == digest_a;
+  EXPECT_TRUE(is_a || snap->digest == digest_b);
+  EXPECT_EQ(snap->checkpoint_path, is_a ? SmallCheckpoint() : SmallCheckpointB());
+}
+
 // ----------------------------------------------------------------- service --
 
 TEST(Service, NoModelLoadedIsUnavailable) {
@@ -643,6 +693,62 @@ TEST(Service, CacheOutageDegradesToRecomputeNotFailure) {
   EXPECT_EQ(resp.degradation.paths_cached, 0);
   EXPECT_EQ(resp.degradation.paths_degraded, 0);  // full quality, no reuse
   ExpectBitwiseEqual(resp, warm);
+}
+
+TEST(Service, TopologyMemoIsBounded) {
+  // Oversub arrives as a client-supplied double: every in-range bit
+  // pattern is admissible, so the topology memo must be a bounded LRU,
+  // not grow-forever. A flow with src == dst fails validation *after* the
+  // topology is materialized, which makes each probe cheap.
+  EstimationService service(SmallServiceOptions());
+  ASSERT_TRUE(service.ReloadModel(SmallCheckpoint()).ok());
+  QueryRequest req;
+  req.flows.push_back(WireFlow{});  // src_host == dst_host == 0
+  for (int i = 0; i < 20; ++i) {
+    req.oversub = 1.0 + 0.125 * i;
+    const QueryResponse resp = service.ExecuteInline(req);
+    EXPECT_EQ(resp.status.code(), StatusCode::kInvalidArgument) << resp.status.ToString();
+  }
+  const std::size_t bound = service.TopologyCacheSize();
+  EXPECT_LE(bound, 8u);
+  // A repeated ratio refreshes recency instead of inserting a duplicate.
+  service.ExecuteInline(req);
+  EXPECT_EQ(service.TopologyCacheSize(), bound);
+}
+
+TEST(Service, DeadlineIncludesQueueWait) {
+  // A request's deadline starts at admission, not at worker pickup: time
+  // spent queued behind other work must count against it, so a request
+  // whose deadline expires in the queue answers kDeadlineExceeded instead
+  // of computing long past the client's intent.
+  ServiceOptions so = SmallServiceOptions();
+  so.num_workers = 1;
+  EstimationService service(so);
+  ASSERT_TRUE(service.ReloadModel(SmallCheckpoint()).ok());
+  ASSERT_TRUE(service.Start().ok());
+
+  // Park the only worker inside its done-callback.
+  std::promise<void> entered, release;
+  ASSERT_TRUE(service
+                  .Submit(SmallQuery(),
+                          [&](QueryResponse) {
+                            entered.set_value();
+                            release.get_future().wait();
+                          })
+                  .ok());
+  entered.get_future().wait();
+
+  QueryRequest late = SmallQuery();
+  late.no_cache = true;  // the deadline is excluded from the cache key
+  late.deadline_seconds = 0.02;
+  std::promise<QueryResponse> done;
+  ASSERT_TRUE(
+      service.Submit(late, [&](QueryResponse r) { done.set_value(std::move(r)); }).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // > deadline
+  release.set_value();
+  const QueryResponse resp = done.get_future().get();
+  EXPECT_EQ(resp.status.code(), StatusCode::kDeadlineExceeded) << resp.status.ToString();
+  service.Stop();
 }
 
 TEST(Service, AdmissionControlRejectsWhenQueueFull) {
@@ -860,6 +966,37 @@ TEST(SocketServer, MalformedQueryGetsErrorResponseUnknownTypeHangsUp) {
 
   // The socket file is unlinked on Stop.
   EXPECT_EQ(ConnectUnix(sock).status().code(), StatusCode::kNotFound);
+}
+
+TEST(SocketServer, FinishedConnectionThreadsAreReaped) {
+  // A long-running daemon serving short-lived connections must join exited
+  // handler threads as it goes (a joinable thread keeps its stack until
+  // join); without reaping this test would end with 16 threads accrued.
+  EstimationService service(SmallServiceOptions());
+  ASSERT_TRUE(service.ReloadModel(SmallCheckpoint()).ok());
+  SocketServer server(service);
+  const std::string sock = ::testing::TempDir() + "/serve_test3.sock";
+  ASSERT_TRUE(server.Start(sock).ok());
+
+  for (int i = 0; i < 16; ++i) {
+    StatusOr<UnixFd> fd = ConnectUnix(sock);
+    ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+    ASSERT_TRUE(
+        SendFrame(*fd, static_cast<std::uint32_t>(MsgType::kStatsRequest), "").ok());
+    ASSERT_TRUE(RecvFrame(*fd).ok());
+  }  // each fd closes here; its handler exits on EOF
+
+  // Reaping happens on the acceptor thread after each accept; the last
+  // handlers' exits race this check, so poke-and-poll briefly.
+  std::size_t live = server.connection_threads();
+  for (int spin = 0; spin < 200 && live > 2; ++spin) {
+    StatusOr<UnixFd> fd = ConnectUnix(sock);  // wakes the acceptor -> reap
+    ASSERT_TRUE(fd.ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    live = server.connection_threads();
+  }
+  EXPECT_LE(live, 2u) << "exited connection threads were not reaped";
+  server.Stop();
 }
 
 }  // namespace
