@@ -1,0 +1,119 @@
+#include "serve/exec.h"
+
+#include <cstring>
+#include <string>
+
+namespace m3::serve {
+
+TopoMemo::TopoMemo(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<const FatTree> TopoMemo::For(double oversub) {
+  std::uint64_t bits;  // bit-pattern key: exactly the double off the wire
+  std::memcpy(&bits, &oversub, sizeof bits);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = topos_.begin(); it != topos_.end(); ++it) {
+    if (it->first == bits) {
+      auto ft = it->second;
+      topos_.erase(it);
+      topos_.emplace_back(bits, ft);  // refresh recency
+      return ft;
+    }
+  }
+  auto ft = std::make_shared<const FatTree>(FatTreeConfig::Small(oversub));
+  if (topos_.size() >= capacity_) topos_.erase(topos_.begin());
+  topos_.emplace_back(bits, ft);
+  return ft;
+}
+
+std::size_t TopoMemo::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return topos_.size();
+}
+
+bool IsAnsweredCode(StatusCode code) {
+  return code == StatusCode::kOk || code == StatusCode::kDegraded ||
+         code == StatusCode::kDeadlineExceeded;
+}
+
+QueryResponse ExecuteQueryOnSnapshot(const QueryRequest& req, const ModelSnapshot& snap,
+                                     const ExecContext& ctx) {
+  QueryResponse resp;
+  resp.model_version = snap.version;
+  resp.model_crc = snap.param_crc;
+
+  if (!(req.oversub >= 0.0625 && req.oversub <= 64.0)) {
+    resp.status = Status::InvalidArgument(
+        "oversub: " + std::to_string(req.oversub) + " (must be in [0.0625, 64])");
+    return resp;
+  }
+  const std::shared_ptr<const FatTree> ft = ctx.topos->For(req.oversub);
+
+  std::vector<Flow> flows;
+  flows.reserve(req.flows.size());
+  const int num_hosts = ft->num_hosts();
+  for (std::size_t i = 0; i < req.flows.size(); ++i) {
+    const WireFlow& wf = req.flows[i];
+    const auto bad = [&](const std::string& field, long long v, const std::string& want) {
+      return Status::InvalidArgument("flows[" + std::to_string(i) + "]." + field + ": " +
+                                     std::to_string(v) + " (" + want + ")");
+    };
+    Status st;
+    if (wf.src_host < 0 || wf.src_host >= num_hosts) {
+      st = bad("src", wf.src_host, "host index in [0, " + std::to_string(num_hosts) + ")");
+    } else if (wf.dst_host < 0 || wf.dst_host >= num_hosts) {
+      st = bad("dst", wf.dst_host, "host index in [0, " + std::to_string(num_hosts) + ")");
+    } else if (wf.src_host == wf.dst_host) {
+      st = bad("dst", wf.dst_host, "must differ from src");
+    } else if (wf.priority >= kNumPriorities) {
+      st = bad("priority", wf.priority, "class in [0, " + std::to_string(kNumPriorities) + ")");
+    }
+    if (!st.ok()) {
+      resp.status = st;
+      resp.degradation.errors_validation = 1;
+      return resp;
+    }
+    Flow f;
+    f.id = wf.id;
+    f.src = ft->host(wf.src_host);
+    f.dst = ft->host(wf.dst_host);
+    f.size = wf.size;
+    f.arrival = wf.arrival;
+    f.priority = wf.priority;
+    // Route re-derivation, same ECMP-on-id convention as trace_io.
+    f.path = ft->RouteBetween(wf.src_host, wf.dst_host, static_cast<std::uint64_t>(wf.id));
+    flows.push_back(std::move(f));
+  }
+
+  M3Options mopts;
+  mopts.num_paths = req.num_paths;
+  mopts.seed = req.seed;
+  mopts.use_context = req.use_context;
+  mopts.strict = req.strict;
+  mopts.deadline_seconds = req.deadline_seconds;
+  mopts.max_attempts = req.max_attempts;
+  mopts.num_threads = ctx.threads_per_query;
+
+  PathCacheHooks hooks;
+  if (!req.no_cache && ctx.path_cache != nullptr) {
+    hooks.lookup = [&ctx, &req, &snap](const PathScenario& sc) {
+      return ctx.path_cache->Lookup(
+          PathCacheKey(sc, req.cfg, req.use_context, snap.digest));
+    };
+    hooks.insert = [&ctx, &req, &snap](const PathScenario& sc, const PathEstimate& pe) {
+      ctx.path_cache->Insert(PathCacheKey(sc, req.cfg, req.use_context, snap.digest), pe);
+    };
+    mopts.path_cache = &hooks;
+  }
+
+  NetworkEstimate est = RunM3(ft->topo(), flows, req.cfg, snap.model, mopts);
+
+  resp.status = est.status;
+  resp.bucket_pct = std::move(est.bucket_pct);
+  resp.total_counts = est.total_counts;
+  resp.combined_pct = std::move(est.combined_pct);
+  resp.wall_seconds = est.wall_seconds;
+  resp.degradation = est.degradation;
+  return resp;
+}
+
+}  // namespace m3::serve

@@ -1,0 +1,67 @@
+// Snapshot-level query execution: the part of the serving pipeline that is
+// identical whether a query runs inside the daemon process (PR-4 style) or
+// inside a supervised worker subprocess (serve/worker.h).
+//
+// ExecuteQueryOnSnapshot owns validation, topology memoization, flow/route
+// building, and RunM3 against one pinned model snapshot. It deliberately
+// excludes everything process-topology-specific: the whole-query result
+// cache, service counters, and admission control stay with the caller
+// (EstimationService in-process; WorkerSupervisor/worker split them across
+// the socketpair). Keeping this core shared is what makes the acceptance
+// bar "worker-mode answers are bitwise identical to in-process answers"
+// checkable instead of aspirational.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "serve/cache.h"
+#include "serve/registry.h"
+#include "serve/wire.h"
+#include "topo/fat_tree.h"
+
+namespace m3::serve {
+
+/// Small LRU of immutable fat trees keyed by the oversubscription double's
+/// bit pattern — exactly the value off the wire. Bounded because the ratio
+/// is client-supplied (any admissible bit pattern would otherwise grow the
+/// process without limit). Thread-safe.
+class TopoMemo {
+ public:
+  explicit TopoMemo(std::size_t capacity = 8);
+
+  /// The fat tree for `oversub`, built on first use.
+  std::shared_ptr<const FatTree> For(double oversub);
+
+  std::size_t size() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  // back = most recently used.
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<const FatTree>>> topos_;
+};
+
+/// Caller-owned resources ExecuteQueryOnSnapshot draws on.
+struct ExecContext {
+  TopoMemo* topos = nullptr;                     // required
+  LruCache<PathEstimate>* path_cache = nullptr;  // nullptr = no path reuse
+  unsigned threads_per_query = 1;                // M3Options::num_threads
+};
+
+/// Runs one query against one model snapshot on the calling thread:
+/// oversub/flow validation, ECMP route re-derivation, RunM3 with the
+/// request's options and (unless no_cache) the shared per-path cache.
+/// Fills every QueryResponse field except `stats` and `query_cache_hit`
+/// (model_version/model_crc come from `snap`). Never throws.
+QueryResponse ExecuteQueryOnSnapshot(const QueryRequest& req, const ModelSnapshot& snap,
+                                     const ExecContext& ctx);
+
+/// True when `code` counts as an answer the client can use: full-quality,
+/// degraded, or a partial deadline answer (the service's queries_ok bucket).
+bool IsAnsweredCode(StatusCode code);
+
+}  // namespace m3::serve

@@ -25,9 +25,27 @@ void ComputeIdentity(M3Model& model, std::uint32_t* crc, Hash128* digest) {
 }  // namespace
 
 Status ModelRegistry::Reload(const std::string& path) {
-  // One reload at a time (see reload_mu_ in the header). Current() only
-  // takes mu_, so queries never wait on a checkpoint load.
+  // Hold reload_mu_ across load *and* publish so publication order equals
+  // call order: a slow reload of an older checkpoint can never overwrite a
+  // newer one.
   std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  StatusOr<std::shared_ptr<ModelSnapshot>> snap = LoadLocked(path);
+  if (!snap.ok()) return snap.status();
+  Publish(std::move(*snap));
+  return Status::Ok();
+}
+
+StatusOr<std::shared_ptr<ModelSnapshot>> ModelRegistry::Load(const std::string& path) {
+  // One load at a time (see reload_mu_ in the header). Current() only
+  // takes mu_, so queries never wait on a checkpoint load. Callers that
+  // need load->publish atomicity serialize their own reload path (the
+  // service's reload handler does).
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  return LoadLocked(path);
+}
+
+StatusOr<std::shared_ptr<ModelSnapshot>> ModelRegistry::LoadLocked(
+    const std::string& path) {
   try {
     M3_FAULT_POINT("serve/registry_reload");
   } catch (const std::exception& e) {
@@ -46,14 +64,25 @@ Status ModelRegistry::Reload(const std::string& path) {
   snap->info = *info;
   snap->checkpoint_path = path;
   ComputeIdentity(snap->model, &snap->param_crc, &snap->digest);
+  return snap;
+}
 
+void ModelRegistry::Publish(std::shared_ptr<ModelSnapshot> snap) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     snap->version = next_version_++;
     current_ = std::move(snap);
   }
   reloads_ok_.fetch_add(1, std::memory_order_relaxed);
-  return Status::Ok();
+}
+
+void ModelRegistry::Republish(std::shared_ptr<const ModelSnapshot> snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_ = std::move(snap);
+}
+
+void ModelRegistry::NoteReloadRefused() {
+  reloads_failed_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::shared_ptr<const ModelSnapshot> ModelRegistry::Current() const {

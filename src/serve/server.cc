@@ -114,6 +114,13 @@ void SocketServer::ServeConnection(UnixFd fd, std::list<Conn>::iterator self) {
                            EncodeQueryResponse(resp));
           break;
         }
+        case MsgType::kPingRequest: {
+          // Liveness probes must answer even for a malformed body version
+          // — the prober wants "is anyone home", not a parse verdict.
+          send = SendFrame(fd, static_cast<std::uint32_t>(MsgType::kPingResponse),
+                           EncodePingResponse(service_.Ping()));
+          break;
+        }
         case MsgType::kStatsRequest: {
           send = SendFrame(fd, static_cast<std::uint32_t>(MsgType::kStatsResponse),
                            EncodeStats(service_.Stats()));

@@ -34,15 +34,65 @@ EstimationService::EstimationService(const ServiceOptions& opts)
     : opts_(opts),
       registry_(opts.model_config),
       query_cache_(opts.query_cache_entries, kCacheFaultSite),
-      path_cache_(opts.path_cache_entries, kCacheFaultSite) {}
+      path_cache_(opts.path_cache_entries, kCacheFaultSite),
+      topos_(kTopoCacheEntries) {
+  if (opts_.worker_processes > 0) {
+    SupervisorOptions sopts = opts_.supervisor;
+    sopts.num_workers = opts_.worker_processes;
+    sopts.threads_per_query = opts_.threads_per_query;
+    sopts.path_cache_entries = opts_.path_cache_entries;
+    supervisor_ = std::make_unique<WorkerSupervisor>(
+        sopts, [this] { return registry_.Current(); });
+    supervisor_->set_trip_callback([this](const Hash128& d) { OnBreakerTrip(d); });
+  }
+}
 
 EstimationService::~EstimationService() { Stop(); }
 
 Status EstimationService::ReloadModel(const std::string& checkpoint_path) {
-  return registry_.Reload(checkpoint_path);
+  if (supervisor_ == nullptr) return registry_.Reload(checkpoint_path);
+
+  // Worker mode splits load from publish so the quarantine check can sit
+  // between them; reload_mu_ restores load->publish atomicity.
+  std::lock_guard<std::mutex> lock(reload_mu_);
+  StatusOr<std::shared_ptr<ModelSnapshot>> snap = registry_.Load(checkpoint_path);
+  if (!snap.ok()) return snap.status();
+  if (supervisor_->IsQuarantined((*snap)->digest)) {
+    registry_.NoteReloadRefused();
+    return Status::Unavailable(
+        "reload refused: this checkpoint's model version is quarantined by the "
+        "worker circuit breaker (it kept crashing workers)");
+  }
+  const std::shared_ptr<const ModelSnapshot> prev = registry_.Current();
+  registry_.Publish(std::move(*snap));
+  if (prev != nullptr && !supervisor_->IsQuarantined(prev->digest)) {
+    last_good_ = prev;  // the rollback target if the new model misbehaves
+  }
+  supervisor_->RestartWorkers();  // roll the pool onto the new snapshot
+  return Status::Ok();
+}
+
+void EstimationService::OnBreakerTrip(const Hash128& digest) {
+  std::lock_guard<std::mutex> lock(reload_mu_);
+  const std::shared_ptr<const ModelSnapshot> cur = registry_.Current();
+  if (cur == nullptr || !(cur->digest == digest)) return;  // already replaced
+  if (last_good_ == nullptr || last_good_->digest == digest ||
+      supervisor_->IsQuarantined(last_good_->digest)) {
+    // Nothing safe to roll back to: the trip stays advisory (breaker_open
+    // in --stats) and respawn backoff caps the churn — a crashing model
+    // still beats no model.
+    return;
+  }
+  registry_.Republish(last_good_);
+  supervisor_->RestartWorkers();
 }
 
 Status EstimationService::Start() {
+  if (supervisor_ != nullptr) {
+    // If the service is already running, so is the supervisor, and this
+    // returns the same kInvalidArgument the scheduler check would.
+    M3_RETURN_IF_ERROR(supervisor_->Start());
+  }
   std::lock_guard<std::mutex> lock(queue_mu_);
   if (running_) return Status::InvalidArgument("service already running");
   running_ = true;
@@ -58,15 +108,23 @@ Status EstimationService::Start() {
 void EstimationService::Stop() {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    if (!running_) return;
+    if (!running_) {
+      if (supervisor_ != nullptr) supervisor_->Stop();  // Start() may have half-run
+      return;
+    }
     stopping_ = true;
   }
   queue_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
   workers_.clear();
-  std::lock_guard<std::mutex> lock(queue_mu_);
-  running_ = false;
-  stopping_ = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    running_ = false;
+    stopping_ = false;
+  }
+  // The scheduler is drained (every accepted query answered), so no
+  // Execute() is in flight on the pool.
+  if (supervisor_ != nullptr) supervisor_->Stop();
 }
 
 void EstimationService::WorkerLoop() {
@@ -141,28 +199,7 @@ QueryResponse EstimationService::ExecuteInline(const QueryRequest& req) {
   return Execute(req);
 }
 
-std::shared_ptr<const FatTree> EstimationService::TopologyFor(double oversub) {
-  std::uint64_t bits;  // bit-pattern key: exactly the double off the wire
-  std::memcpy(&bits, &oversub, sizeof bits);
-  std::lock_guard<std::mutex> lock(topo_mu_);
-  for (auto it = topos_.begin(); it != topos_.end(); ++it) {
-    if (it->first == bits) {
-      auto ft = it->second;
-      topos_.erase(it);
-      topos_.emplace_back(bits, ft);  // refresh recency
-      return ft;
-    }
-  }
-  auto ft = std::make_shared<const FatTree>(FatTreeConfig::Small(oversub));
-  if (topos_.size() >= kTopoCacheEntries) topos_.erase(topos_.begin());
-  topos_.emplace_back(bits, ft);
-  return ft;
-}
-
-std::size_t EstimationService::TopologyCacheSize() const {
-  std::lock_guard<std::mutex> lock(topo_mu_);
-  return topos_.size();
-}
+std::size_t EstimationService::TopologyCacheSize() const { return topos_.size(); }
 
 QueryResponse EstimationService::Execute(const QueryRequest& req) {
   QueryResponse resp;
@@ -194,90 +231,25 @@ QueryResponse EstimationService::Execute(const QueryRequest& req) {
     }
   }
 
-  if (!(req.oversub >= 0.0625 && req.oversub <= 64.0)) {
-    resp.status = Status::InvalidArgument(
-        "oversub: " + std::to_string(req.oversub) + " (must be in [0.0625, 64])");
-    queries_failed_.fetch_add(1, std::memory_order_relaxed);
-    resp.stats = Stats();
-    return resp;
-  }
-  const std::shared_ptr<const FatTree> ft = TopologyFor(req.oversub);
-
-  std::vector<Flow> flows;
-  flows.reserve(req.flows.size());
-  const int num_hosts = ft->num_hosts();
-  for (std::size_t i = 0; i < req.flows.size(); ++i) {
-    const WireFlow& wf = req.flows[i];
-    const auto bad = [&](const std::string& field, long long v, const std::string& want) {
-      return Status::InvalidArgument("flows[" + std::to_string(i) + "]." + field + ": " +
-                                     std::to_string(v) + " (" + want + ")");
-    };
-    Status st;
-    if (wf.src_host < 0 || wf.src_host >= num_hosts) {
-      st = bad("src", wf.src_host, "host index in [0, " + std::to_string(num_hosts) + ")");
-    } else if (wf.dst_host < 0 || wf.dst_host >= num_hosts) {
-      st = bad("dst", wf.dst_host, "host index in [0, " + std::to_string(num_hosts) + ")");
-    } else if (wf.src_host == wf.dst_host) {
-      st = bad("dst", wf.dst_host, "must differ from src");
-    } else if (wf.priority >= kNumPriorities) {
-      st = bad("priority", wf.priority, "class in [0, " + std::to_string(kNumPriorities) + ")");
-    }
-    if (!st.ok()) {
-      resp.status = st;
-      resp.degradation.errors_validation = 1;
-      queries_failed_.fetch_add(1, std::memory_order_relaxed);
-      resp.stats = Stats();
-      return resp;
-    }
-    Flow f;
-    f.id = wf.id;
-    f.src = ft->host(wf.src_host);
-    f.dst = ft->host(wf.dst_host);
-    f.size = wf.size;
-    f.arrival = wf.arrival;
-    f.priority = wf.priority;
-    // Route re-derivation, same ECMP-on-id convention as trace_io.
-    f.path = ft->RouteBetween(wf.src_host, wf.dst_host, static_cast<std::uint64_t>(wf.id));
-    flows.push_back(std::move(f));
+  if (supervisor_ != nullptr) {
+    resp = supervisor_->Execute(req);
+  } else {
+    ExecContext ctx;
+    ctx.topos = &topos_;
+    ctx.path_cache = opts_.path_cache_entries > 0 ? &path_cache_ : nullptr;
+    ctx.threads_per_query = opts_.threads_per_query;
+    resp = ExecuteQueryOnSnapshot(req, *snap, ctx);
   }
 
-  M3Options mopts;
-  mopts.num_paths = req.num_paths;
-  mopts.seed = req.seed;
-  mopts.use_context = req.use_context;
-  mopts.strict = req.strict;
-  mopts.deadline_seconds = req.deadline_seconds;
-  mopts.max_attempts = req.max_attempts;
-  mopts.num_threads = opts_.threads_per_query;
-
-  PathCacheHooks hooks;
-  if (!req.no_cache && opts_.path_cache_entries > 0) {
-    hooks.lookup = [this, &req, &snap](const PathScenario& sc) {
-      return path_cache_.Lookup(PathCacheKey(sc, req.cfg, req.use_context, snap->digest));
-    };
-    hooks.insert = [this, &req, &snap](const PathScenario& sc, const PathEstimate& pe) {
-      path_cache_.Insert(PathCacheKey(sc, req.cfg, req.use_context, snap->digest), pe);
-    };
-    mopts.path_cache = &hooks;
-  }
-
-  NetworkEstimate est = RunM3(ft->topo(), flows, req.cfg, snap->model, mopts);
-
-  resp.status = est.status;
-  resp.bucket_pct = std::move(est.bucket_pct);
-  resp.total_counts = est.total_counts;
-  resp.combined_pct = std::move(est.combined_pct);
-  resp.wall_seconds = est.wall_seconds;
-  resp.degradation = est.degradation;
-
-  const StatusCode code = est.status.code();
-  const bool answered = est.status.ok() || code == StatusCode::kDegraded ||
-                        code == StatusCode::kDeadlineExceeded;
-  (answered ? queries_ok_ : queries_failed_).fetch_add(1, std::memory_order_relaxed);
+  (IsAnsweredCode(resp.status.code()) ? queries_ok_ : queries_failed_)
+      .fetch_add(1, std::memory_order_relaxed);
 
   // Only full-quality answers are content-addressable: a degraded or
-  // partial answer depends on fault timing, not just on the inputs.
-  if (est.status.ok() && !req.no_cache) {
+  // partial answer depends on fault timing, not just on the inputs. The
+  // version check matters in worker mode: during a reload roll a worker
+  // pinning the *old* snapshot may answer, and its result must not be
+  // cached under the new digest's key.
+  if (resp.status.ok() && !req.no_cache && resp.model_version == snap->version) {
     QueryResponse cached = resp;  // stats/hit-flag fields stay default
     query_cache_.Insert(query_key, std::move(cached));
   }
@@ -306,7 +278,36 @@ ServerStatsWire EstimationService::Stats() const {
   }
   s.reloads_ok = registry_.reloads_ok();
   s.reloads_failed = registry_.reloads_failed();
+  if (supervisor_ != nullptr) {
+    const WorkerPoolStats w = supervisor_->stats();
+    s.worker_mode = true;
+    s.workers_configured = w.configured;
+    s.workers_alive = w.alive;
+    s.worker_spawns = w.spawns;
+    s.worker_restarts = w.restarts;
+    s.worker_crashes = w.crashes;
+    s.watchdog_kills = w.watchdog_kills;
+    s.garbage_replies = w.garbage_replies;
+    s.crash_retried_queries = w.crash_retried_queries;
+    s.breaker_trips = w.breaker_trips;
+    s.breaker_open = w.breaker_open;
+    s.quarantined_digests = w.quarantined_digests;
+  }
   return s;
+}
+
+PingResponse EstimationService::Ping() const {
+  PingResponse p;
+  const auto snap = registry_.Current();
+  if (snap != nullptr) p.model_version = snap->version;
+  if (supervisor_ != nullptr) {
+    p.worker_mode = true;
+    p.workers_alive = supervisor_->stats().alive;
+    p.ready = snap != nullptr && p.workers_alive > 0;
+  } else {
+    p.ready = snap != nullptr;
+  }
+  return p;
 }
 
 void EstimationService::ClearCaches() {

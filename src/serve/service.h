@@ -37,7 +37,9 @@
 #include <vector>
 
 #include "serve/cache.h"
+#include "serve/exec.h"
 #include "serve/registry.h"
+#include "serve/supervisor.h"
 #include "serve/wire.h"
 #include "topo/fat_tree.h"
 
@@ -52,6 +54,15 @@ struct ServiceOptions {
   unsigned threads_per_query = 1;
   // Compiled model dimensions; checkpoints must match (tests use small ones).
   M3ModelConfig model_config;
+  // > 0: execute queries in this many supervised worker *subprocesses*
+  // (crash isolation — a worker crash/hang never takes down the daemon).
+  // 0 (default): execute in-process, exactly the pre-supervisor behavior.
+  // Fault-free answers are bitwise identical either way (both run
+  // serve/exec.h on the same snapshot).
+  int worker_processes = 0;
+  // Supervisor tuning for worker mode. num_workers / threads_per_query /
+  // path_cache_entries inside are overridden from the fields above.
+  SupervisorOptions supervisor;
 };
 
 class EstimationService {
@@ -64,6 +75,9 @@ class EstimationService {
 
   /// Loads (or hot-reloads) the serving checkpoint. Safe under load: on
   /// failure the current snapshot keeps serving and the error is returned.
+  /// In worker mode a checkpoint whose digest the circuit breaker has
+  /// quarantined is refused (kUnavailable) without being published, and a
+  /// successful reload rolls the worker pool onto the new snapshot.
   Status ReloadModel(const std::string& checkpoint_path);
 
   /// Spawns the worker threads. kInvalidArgument if already running.
@@ -92,6 +106,10 @@ class EstimationService {
 
   ServerStatsWire Stats() const;
 
+  /// Liveness/readiness for `m3_client --ping`: ready once a model is
+  /// loaded and, in worker mode, at least one worker is alive.
+  PingResponse Ping() const;
+
   /// Drops every cached result (test/ops hook; counters are kept).
   void ClearCaches();
   /// Drops only the whole-query cache (lets tests drive path-cache hits).
@@ -99,6 +117,10 @@ class EstimationService {
 
   ModelRegistry& registry() { return registry_; }
   const ServiceOptions& options() const { return opts_; }
+
+  /// The worker-process pool, or nullptr when executing in-process.
+  /// Test/ops hook (chaos harnesses read worker_pids() off it).
+  WorkerSupervisor* supervisor() { return supervisor_.get(); }
 
   /// Topology memo entries (see TopologyFor). Test/ops visibility.
   std::size_t TopologyCacheSize() const;
@@ -113,18 +135,25 @@ class EstimationService {
   };
 
   void WorkerLoop();
-  /// The full query path: registry snapshot, validation, cache probes, RunM3.
+  /// The full query path: registry snapshot, validation, cache probes, RunM3
+  /// (or, in worker mode, dispatch to a supervised subprocess).
   QueryResponse Execute(const QueryRequest& req);
-  /// Fat trees are immutable post-build; memoize by oversubscription so
-  /// repeated queries skip topology construction. Bounded: any double in
-  /// the valid range is accepted on the wire, so an unbounded memo would
-  /// let a client iterating bit patterns grow the daemon without limit.
-  std::shared_ptr<const FatTree> TopologyFor(double oversub);
+  /// Circuit-breaker trip handler: rolls back to the last good snapshot
+  /// when the freshly published model is the one killing workers.
+  void OnBreakerTrip(const Hash128& digest);
 
   const ServiceOptions opts_;
   ModelRegistry registry_;
   LruCache<QueryResponse> query_cache_;
   LruCache<PathEstimate> path_cache_;
+  std::unique_ptr<WorkerSupervisor> supervisor_;  // null in in-process mode
+
+  // Serializes reload/rollback decisions (quarantine check + publish must
+  // be atomic against each other); also guards last_good_.
+  std::mutex reload_mu_;
+  // The snapshot a breaker trip rolls back to: the previously serving
+  // snapshot at the time of the last successful reload.
+  std::shared_ptr<const ModelSnapshot> last_good_;
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
@@ -133,9 +162,9 @@ class EstimationService {
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 
-  mutable std::mutex topo_mu_;
-  // Small LRU keyed by the oversub double's bit pattern; back = most recent.
-  std::vector<std::pair<std::uint64_t, std::shared_ptr<const FatTree>>> topos_;
+  // Fat-tree memo (serve/exec.h): fat trees are immutable post-build, so
+  // repeated queries skip topology construction.
+  TopoMemo topos_;
 
   std::atomic<std::uint64_t> queries_received_{0};
   std::atomic<std::uint64_t> queries_ok_{0};

@@ -259,6 +259,18 @@ void EncodeStatsBody(Writer& w, const ServerStatsWire& s) {
   w.U64(s.reloads_ok);
   w.U64(s.reloads_failed);
   w.Str(s.model_path);
+  w.Bool(s.worker_mode);
+  w.U32(s.workers_configured);
+  w.U32(s.workers_alive);
+  w.U64(s.worker_spawns);
+  w.U64(s.worker_restarts);
+  w.U64(s.worker_crashes);
+  w.U64(s.watchdog_kills);
+  w.U64(s.garbage_replies);
+  w.U64(s.crash_retried_queries);
+  w.U64(s.breaker_trips);
+  w.Bool(s.breaker_open);
+  w.U32(s.quarantined_digests);
 }
 
 Status DecodeStatsBody(Reader& r, ServerStatsWire* s) {
@@ -276,6 +288,18 @@ Status DecodeStatsBody(Reader& r, ServerStatsWire* s) {
   M3_RETURN_IF_ERROR(r.U64(&s->reloads_ok));
   M3_RETURN_IF_ERROR(r.U64(&s->reloads_failed));
   M3_RETURN_IF_ERROR(r.Str(&s->model_path));
+  M3_RETURN_IF_ERROR(r.Bool(&s->worker_mode));
+  M3_RETURN_IF_ERROR(r.U32(&s->workers_configured));
+  M3_RETURN_IF_ERROR(r.U32(&s->workers_alive));
+  M3_RETURN_IF_ERROR(r.U64(&s->worker_spawns));
+  M3_RETURN_IF_ERROR(r.U64(&s->worker_restarts));
+  M3_RETURN_IF_ERROR(r.U64(&s->worker_crashes));
+  M3_RETURN_IF_ERROR(r.U64(&s->watchdog_kills));
+  M3_RETURN_IF_ERROR(r.U64(&s->garbage_replies));
+  M3_RETURN_IF_ERROR(r.U64(&s->crash_retried_queries));
+  M3_RETURN_IF_ERROR(r.U64(&s->breaker_trips));
+  M3_RETURN_IF_ERROR(r.Bool(&s->breaker_open));
+  M3_RETURN_IF_ERROR(r.U32(&s->quarantined_digests));
   return Status::Ok();
 }
 
@@ -422,6 +446,40 @@ StatusOr<ReloadResponse> DecodeReloadResponse(const std::string& payload) {
   M3_RETURN_IF_ERROR(DecodeStatus(r, &resp.status));
   M3_RETURN_IF_ERROR(r.U64(&resp.model_version));
   M3_RETURN_IF_ERROR(r.U32(&resp.model_crc));
+  M3_RETURN_IF_ERROR(r.ExpectEnd());
+  return resp;
+}
+
+std::string EncodePingRequest() {
+  Writer w;
+  w.U32(kWireVersion);
+  return w.Take();
+}
+
+Status DecodePingRequest(const std::string& payload) {
+  Reader r(payload);
+  M3_RETURN_IF_ERROR(CheckVersion(r));
+  return r.ExpectEnd();
+}
+
+std::string EncodePingResponse(const PingResponse& resp) {
+  Writer w;
+  w.U32(kWireVersion);
+  w.Bool(resp.ready);
+  w.Bool(resp.worker_mode);
+  w.U64(resp.model_version);
+  w.U32(resp.workers_alive);
+  return w.Take();
+}
+
+StatusOr<PingResponse> DecodePingResponse(const std::string& payload) {
+  Reader r(payload);
+  PingResponse resp;
+  M3_RETURN_IF_ERROR(CheckVersion(r));
+  M3_RETURN_IF_ERROR(r.Bool(&resp.ready));
+  M3_RETURN_IF_ERROR(r.Bool(&resp.worker_mode));
+  M3_RETURN_IF_ERROR(r.U64(&resp.model_version));
+  M3_RETURN_IF_ERROR(r.U32(&resp.workers_alive));
   M3_RETURN_IF_ERROR(r.ExpectEnd());
   return resp;
 }

@@ -38,7 +38,8 @@
 
 namespace m3::serve {
 
-constexpr std::uint32_t kWireVersion = 1;
+/// v2: Ping message pair + worker-pool fields in ServerStatsWire.
+constexpr std::uint32_t kWireVersion = 2;
 
 /// Frame types (util/socket.h `type` field).
 enum class MsgType : std::uint32_t {
@@ -48,6 +49,8 @@ enum class MsgType : std::uint32_t {
   kStatsResponse = 4,
   kReloadRequest = 5,
   kReloadResponse = 6,
+  kPingRequest = 7,
+  kPingResponse = 8,
 };
 
 /// One flow as it travels on the wire: fat-tree host indices, route
@@ -93,6 +96,19 @@ struct ServerStatsWire {
   std::uint64_t reloads_ok = 0;
   std::uint64_t reloads_failed = 0;
   std::string model_path;
+  // Worker-pool health (all zero when queries execute in-process).
+  bool worker_mode = false;
+  std::uint32_t workers_configured = 0;
+  std::uint32_t workers_alive = 0;
+  std::uint64_t worker_spawns = 0;        // forks, incl. the initial pool
+  std::uint64_t worker_restarts = 0;      // respawns after an unexpected death
+  std::uint64_t worker_crashes = 0;       // died mid-query
+  std::uint64_t watchdog_kills = 0;       // SIGKILLed past deadline + grace
+  std::uint64_t garbage_replies = 0;      // undecodable reply -> worker replaced
+  std::uint64_t crash_retried_queries = 0;  // re-run on a fresh worker
+  std::uint64_t breaker_trips = 0;
+  bool breaker_open = false;              // current model version quarantined
+  std::uint32_t quarantined_digests = 0;
 };
 
 struct QueryResponse {
@@ -113,6 +129,15 @@ struct QueryResponse {
 
 struct ReloadRequest {
   std::string checkpoint_path;
+};
+
+/// Liveness/readiness probe (`m3_client --ping`). The request has no body
+/// beyond the wire version.
+struct PingResponse {
+  bool ready = false;  // model loaded and (in worker mode) >=1 worker alive
+  bool worker_mode = false;
+  std::uint64_t model_version = 0;
+  std::uint32_t workers_alive = 0;
 };
 
 struct ReloadResponse {
@@ -137,6 +162,12 @@ StatusOr<ReloadRequest> DecodeReloadRequest(const std::string& payload);
 
 std::string EncodeReloadResponse(const ReloadResponse& resp);
 StatusOr<ReloadResponse> DecodeReloadResponse(const std::string& payload);
+
+std::string EncodePingRequest();
+Status DecodePingRequest(const std::string& payload);
+
+std::string EncodePingResponse(const PingResponse& resp);
+StatusOr<PingResponse> DecodePingResponse(const std::string& payload);
 
 // ----- cache keys -----
 

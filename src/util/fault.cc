@@ -94,6 +94,10 @@ std::uint64_t FaultRegistry::hits(const std::string& site) const {
   return it == impl_->sites.end() ? 0 : it->second.hits;
 }
 
+void FaultRegistry::AcquireForkLock() { impl_->mu.lock(); }
+
+void FaultRegistry::ReleaseForkLock() { impl_->mu.unlock(); }
+
 Status FaultRegistry::ArmFromString(const std::string& spec) {
   std::size_t pos = 0;
   while (pos < spec.size()) {

@@ -74,6 +74,16 @@ class FaultRegistry {
   /// returns kInvalidArgument naming the entry; earlier entries stay armed.
   Status ArmFromString(const std::string& spec);
 
+  /// fork() bracketing. A forked child inherits this registry's mutex in
+  /// whatever state it was at the instant of fork — if another parent
+  /// thread held it (any fault-point Hit takes it while sites are armed),
+  /// the child's first fault point would deadlock on a lock nobody in the
+  /// child can release. The forking code holds the lock across fork():
+  ///   AcquireForkLock(); pid = fork(); ReleaseForkLock();  // both sides
+  /// so both processes resume with the registry consistent and unlocked.
+  void AcquireForkLock();
+  void ReleaseForkLock();
+
  private:
   FaultRegistry();
   ~FaultRegistry() = default;

@@ -25,6 +25,11 @@ unsigned EnvThreadCount() {
   return hw ? hw : 1;
 }
 
+// Set once the singleton pool has been constructed; lets a forked child
+// know whether there is parent-era pool state to abandon (see
+// ReinitAfterForkIfLive) without instantiating the pool just to ask.
+std::atomic<bool> g_pool_live{false};
+
 struct Shard {
   std::atomic<std::size_t> next{0};
   std::size_t end = 0;
@@ -130,6 +135,20 @@ ThreadPool::ThreadPool() : impl_(new Impl) {
   impl_->threads.reserve(num_threads_ - 1);
   for (unsigned w = 0; w + 1 < num_threads_; ++w) {
     impl_->threads.emplace_back([this, w] { impl_->WorkerLoop(w); });
+  }
+  g_pool_live.store(true, std::memory_order_release);
+}
+
+void ThreadPool::ReinitAfterForkIfLive() {
+  if (!g_pool_live.load(std::memory_order_acquire)) return;
+  ThreadPool& pool = Instance();
+  // The old Impl is deliberately leaked: its thread handles refer to
+  // parent-only threads (joining them would terminate), and its mutexes may
+  // have been held by a parent thread at the instant of fork.
+  pool.impl_ = new Impl;
+  pool.impl_->threads.reserve(pool.num_threads_ - 1);
+  for (unsigned w = 0; w + 1 < pool.num_threads_; ++w) {
+    pool.impl_->threads.emplace_back([&pool, w] { pool.impl_->WorkerLoop(w); });
   }
 }
 

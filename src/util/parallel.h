@@ -40,6 +40,14 @@ class ThreadPool {
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
                    unsigned max_threads);
 
+  /// Call in a freshly fork()ed child before any ParallelFor: fork copies
+  /// only the calling thread, so a pool instantiated in the parent exists in
+  /// the child with no worker threads behind it — dispatching to it would
+  /// hang forever. Rebuilds the pool's internals (the parent-era state,
+  /// whose mutexes may have been mid-held at fork, is abandoned) and spawns
+  /// fresh workers. A no-op when the pool was never instantiated.
+  static void ReinitAfterForkIfLive();
+
  private:
   ThreadPool();
   ~ThreadPool();

@@ -1,11 +1,15 @@
 #include "util/socket.h"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cmath>
 #include <csignal>
 #include <cstring>
 
@@ -44,6 +48,12 @@ StatusOr<std::size_t> ReadFull(int fd, void* data, std::size_t n) {
     const ssize_t r = ::read(fd, p + got, n - got);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired (SetRecvTimeout): the peer is alive but not
+        // talking. Distinct from kUnavailable so callers can treat a
+        // wedged peer as a deadline, not a transport fault.
+        return Status::DeadlineExceeded("socket read timed out");
+      }
       return Status::Unavailable(Errno("socket read"));
     }
     if (r == 0) break;  // peer closed
@@ -125,6 +135,80 @@ StatusOr<UnixFd> ConnectUnix(const std::string& path) {
     return Status::Unavailable(Errno("connect " + path));
   }
   return fd;
+}
+
+StatusOr<UnixFd> ConnectUnixTimeout(const std::string& path, double timeout_seconds) {
+  if (timeout_seconds <= 0) return ConnectUnix(path);
+  StatusOr<sockaddr_un> addr = MakeAddr(path);
+  if (!addr.ok()) return addr.status();
+  UnixFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::Unavailable(Errno("socket"));
+
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::Unavailable(Errno("fcntl O_NONBLOCK"));
+  }
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&*addr), sizeof(*addr)) != 0) {
+    if (errno == ENOENT || errno == ECONNREFUSED) {
+      return Status::NotFound("no m3d daemon listening at " + path + " (" +
+                              std::strerror(errno) + ")");
+    }
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      return Status::Unavailable(Errno("connect " + path));
+    }
+    // AF_UNIX connect blocks only when the listener's backlog is full; wait
+    // for writability up to the deadline.
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    const int timeout_ms = static_cast<int>(std::ceil(timeout_seconds * 1000.0));
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) return Status::Unavailable(Errno("poll connect " + path));
+    if (rc == 0) {
+      return Status::DeadlineExceeded("connect " + path + " timed out after " +
+                                      std::to_string(timeout_seconds) + "s");
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 || err != 0) {
+      errno = err != 0 ? err : errno;
+      if (errno == ENOENT || errno == ECONNREFUSED) {
+        return Status::NotFound("no m3d daemon listening at " + path + " (" +
+                                std::strerror(errno) + ")");
+      }
+      return Status::Unavailable(Errno("connect " + path));
+    }
+  }
+  if (::fcntl(fd.get(), F_SETFL, flags) != 0) {
+    return Status::Unavailable(Errno("fcntl restore flags"));
+  }
+  return fd;
+}
+
+Status SetRecvTimeout(const UnixFd& fd, double seconds) {
+  timeval tv{};
+  if (seconds > 0) {
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    // Sub-microsecond budgets round to zero, which the kernel reads as
+    // "block forever" — the opposite of what the caller asked for.
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  }
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::Unavailable(Errno("setsockopt SO_RCVTIMEO"));
+  }
+  return Status::Ok();
+}
+
+Status MakeSocketPair(UnixFd* a, UnixFd* b) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Status::Unavailable(Errno("socketpair"));
+  }
+  *a = UnixFd(fds[0]);
+  *b = UnixFd(fds[1]);
+  return Status::Ok();
 }
 
 Status SendFrame(const UnixFd& fd, std::uint32_t type, const std::string& payload) {

@@ -62,6 +62,23 @@ StatusOr<UnixFd> AcceptUnix(const UnixFd& listener);
 /// there, kUnavailable for other OS errors.
 StatusOr<UnixFd> ConnectUnix(const std::string& path);
 
+/// ConnectUnix with a wall-clock bound (non-blocking connect + poll): a
+/// daemon whose accept queue is wedged cannot hang the client forever.
+/// kDeadlineExceeded when the timeout expires; timeout_seconds <= 0 means
+/// block indefinitely (identical to ConnectUnix).
+StatusOr<UnixFd> ConnectUnixTimeout(const std::string& path, double timeout_seconds);
+
+/// Bounds every subsequent read on `fd` (SO_RCVTIMEO): a recv that sits
+/// longer than `seconds` with no bytes arriving fails, surfacing from
+/// RecvFrame as kDeadlineExceeded. seconds <= 0 clears the bound. This is
+/// both the client-side "wedged daemon" guard and the supervisor's
+/// per-query watchdog primitive (deadline + grace, then SIGKILL).
+Status SetRecvTimeout(const UnixFd& fd, double seconds);
+
+/// A connected AF_UNIX stream socketpair (the supervisor <-> worker
+/// channel; both ends speak the same framed protocol as daemon sockets).
+Status MakeSocketPair(UnixFd* a, UnixFd* b);
+
 /// Writes the whole frame. kUnavailable on any I/O failure (incl. EPIPE).
 Status SendFrame(const UnixFd& fd, std::uint32_t type, const std::string& payload);
 

@@ -6,7 +6,13 @@
 # paths (injected throws, NaN forwards, malformed traces) are checked for
 # undefined behaviour under fault, then a ThreadSanitizer build of the
 # serving suites so hot-reload-under-load, the shared result caches, and the
-# scheduler/socket shutdown paths are checked for data races.
+# scheduler/socket shutdown paths are checked for data races, and finally
+# the chaos tier: the supervised-worker suites under ASan (fork + crash +
+# watchdog + breaker paths) plus a live mini-soak — a real m3d with 4
+# supervised workers serving m3_client load-gen while every worker is
+# SIGKILLed over and over; every query must answer and no zombies may
+# survive shutdown. The chaos suites are kept out of the TSan tier on
+# purpose: fork() and ThreadSanitizer do not mix.
 #
 # Usage: tools/check.sh [extra cmake args...]
 set -euo pipefail
@@ -36,5 +42,65 @@ cmake -B build-tsan -S . -DM3_SANITIZE=thread "$@"
 cmake --build build-tsan -j"$JOBS" --target m3_tests
 ctest --test-dir build-tsan --output-on-failure -j"$JOBS" \
   -R 'Service|SocketServer|ModelRegistry|LruCache|ThreadPool'
+
+echo "== chaos: supervised-worker suites under ASan =="
+ctest --test-dir build-asan --output-on-failure -j"$JOBS" \
+  -R 'WorkerPool|Supervisor|ChaosSoak|SocketTimeout'
+
+echo "== chaos: live kill-storm mini-soak (m3d + load-gen vs SIGKILL) =="
+cmake --build build -j"$JOBS" --target m3d m3_client train_m3
+SOAK_DIR="$(mktemp -d)"
+SOAK_SOCK="$SOAK_DIR/m3d.sock"
+M3D_PID=""
+cleanup_soak() {
+  [ -n "$M3D_PID" ] && kill -KILL "$M3D_PID" 2>/dev/null || true
+  rm -rf "$SOAK_DIR"
+}
+trap cleanup_soak EXIT
+
+# A tiny (1-epoch) checkpoint is plenty: the soak tests supervision, not
+# accuracy.
+./build/tools/train_m3 2 10 1 "$SOAK_DIR/model.ckpt" > /dev/null
+./build/tools/m3d --socket "$SOAK_SOCK" --model "$SOAK_DIR/model.ckpt" \
+  --workers 4 > "$SOAK_DIR/m3d.log" 2>&1 &
+M3D_PID=$!
+for _ in $(seq 1 100); do
+  ./build/tools/m3_client --socket "$SOAK_SOCK" --ping > /dev/null 2>&1 && break
+  sleep 0.2
+done
+
+# SIGKILL every worker four times a second while load-gen runs (~30s of
+# storm cap; the killer dies with the load).
+(
+  end=$((SECONDS + 30))
+  while [ "$SECONDS" -lt "$end" ]; do
+    pkill -KILL -P "$M3D_PID" 2>/dev/null || true
+    sleep 0.25
+  done
+) &
+KILLER_PID=$!
+./build/tools/m3_client --socket "$SOAK_SOCK" --flows 5000 --paths 20 \
+  --no-cache --concurrency 8 --repeat 50 --retries 6
+kill "$KILLER_PID" 2>/dev/null || true
+wait "$KILLER_PID" 2>/dev/null || true
+
+# The daemon survived the storm, heals the pool, and reports ready again.
+for _ in $(seq 1 100); do
+  ./build/tools/m3_client --socket "$SOAK_SOCK" --ping > /dev/null 2>&1 && break
+  sleep 0.2
+done
+./build/tools/m3_client --socket "$SOAK_SOCK" --ping
+./build/tools/m3_client --socket "$SOAK_SOCK" --stats
+
+kill -TERM "$M3D_PID"
+wait "$M3D_PID"
+M3D_PID=""
+# Clean shutdown reaps every worker: nothing may still reference the socket
+# path (workers share m3d's argv — fork without exec).
+if pgrep -f "$SOAK_SOCK" > /dev/null 2>&1; then
+  echo "chaos soak: leaked worker processes:" >&2
+  pgrep -af "$SOAK_SOCK" >&2
+  exit 1
+fi
 
 echo "== all checks passed =="

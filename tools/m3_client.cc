@@ -7,10 +7,20 @@
 //   --stats          — print the daemon's counters and cache statistics
 //   --reload PATH    — hot-swap the serving checkpoint; on failure the old
 //                      model keeps serving and the error is printed
+//   --ping           — liveness/readiness probe: exit 0 once the daemon is
+//                      serving (model loaded; in worker mode, >= 1 worker
+//                      alive), 9 when up but not ready, 4 when unreachable
+//
+// Retries: transient failures (kUnavailable, kResourceExhausted) are
+// retried up to --retries times with exponential backoff + jitter,
+// reconnecting when the transport broke; a --deadline bounds the total
+// retry budget. Connects and reads are timeout-guarded, so a wedged daemon
+// surfaces as kDeadlineExceeded instead of a hang.
 //
 // Load generation: --concurrency N --repeat M sends the query N*M times
-// over N parallel connections and reports throughput, p50/p99 latency, and
-// the failed-query count (non-zero failures -> non-zero exit).
+// over N parallel connections and reports throughput, p50/p99 latency,
+// retry/reconnect counts, and the failed-query count (non-zero failures ->
+// non-zero exit).
 //
 // Exit codes extend m3_query's mapping with 10 = RESOURCE_EXHAUSTED (the
 // daemon's admission control rejected the query; back off and retry):
@@ -24,6 +34,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -49,6 +60,7 @@ constexpr const char* kUsage =
     "Admin:\n"
     "  --stats                  print daemon counters and exit\n"
     "  --reload PATH            hot-swap the serving checkpoint and exit\n"
+    "  --ping                   readiness probe: 0 ready, 9 not ready, 4 down\n"
     "\n"
     "Scenario (generated client-side, same semantics as m3_query):\n"
     "  --tm A|B|C               traffic matrix                     (B)\n"
@@ -70,6 +82,12 @@ constexpr const char* kUsage =
     "  --strict                 fail on the first path fault\n"
     "  --deadline SECONDS       daemon-side wall-clock budget\n"
     "  --no-cache               bypass the daemon's result caches\n"
+    "\n"
+    "Resilience:\n"
+    "  --retries N              retries of transient failures, >= 0  (4)\n"
+    "                           (UNAVAILABLE / RESOURCE_EXHAUSTED; exponential\n"
+    "                           backoff with jitter, bounded by --deadline)\n"
+    "  --connect-timeout SECS   give up connecting after this long    (5)\n"
     "\n"
     "Load generation:\n"
     "  --concurrency N          parallel connections, >= 1         (1)\n"
@@ -106,6 +124,7 @@ double ParseDouble(const std::string& key, const char* arg, double min, double m
 struct Args {
   std::string socket_path = "/tmp/m3d.sock";
   bool stats = false;
+  bool ping = false;
   std::string reload;
   std::string tm = "B";
   std::string workload = "WebServer";
@@ -124,6 +143,8 @@ struct Args {
   bool strict = false;
   double deadline = 0.0;
   bool no_cache = false;
+  int retries = 4;
+  double connect_timeout = 5.0;
   int concurrency = 1;
   int repeat = 1;
 };
@@ -140,6 +161,7 @@ Args Parse(int argc, char** argv) {
     if (key == "--strict") { a.strict = true; ++i; continue; }
     if (key == "--no-cache") { a.no_cache = true; ++i; continue; }
     if (key == "--stats") { a.stats = true; ++i; continue; }
+    if (key == "--ping") { a.ping = true; ++i; continue; }
     if (key.rfind("--", 0) != 0) UsageError("unexpected argument '" + key + "'");
     if (i + 1 >= argc) UsageError("missing value for " + key);
     const char* v = argv[i + 1];
@@ -160,6 +182,8 @@ Args Parse(int argc, char** argv) {
     else if (key == "--seed") a.seed = ParseInt(key, v, 0, 1'000'000'000);
     else if (key == "--percentile") a.percentile = ParseDouble(key, v, 1.0, 100.0);
     else if (key == "--deadline") a.deadline = ParseDouble(key, v, 0.0, 1e9);
+    else if (key == "--retries") a.retries = static_cast<int>(ParseInt(key, v, 0, 100));
+    else if (key == "--connect-timeout") a.connect_timeout = ParseDouble(key, v, 0.0, 86400.0);
     else if (key == "--concurrency") a.concurrency = static_cast<int>(ParseInt(key, v, 1, 4096));
     else if (key == "--repeat") a.repeat = static_cast<int>(ParseInt(key, v, 1, 1'000'000));
     else UsageError("unknown flag '" + key + "'");
@@ -183,12 +207,21 @@ int ExitCodeFor(StatusCode code) {
   return 7;
 }
 
-StatusOr<UnixFd> Connect(const std::string& socket_path) {
-  StatusOr<UnixFd> fd = ConnectUnix(socket_path);
-  if (!fd.ok() && fd.status().code() == StatusCode::kNotFound) {
-    return fd.status().Annotate("is m3d running? start it with: m3d --socket " +
-                                socket_path);
+StatusOr<UnixFd> Connect(const Args& a) {
+  StatusOr<UnixFd> fd = ConnectUnixTimeout(a.socket_path, a.connect_timeout);
+  if (!fd.ok()) {
+    if (fd.status().code() == StatusCode::kNotFound) {
+      return fd.status().Annotate("is m3d running? start it with: m3d --socket " +
+                                  a.socket_path);
+    }
+    return fd;
   }
+  // A wedged daemon must surface as kDeadlineExceeded, never a hung read.
+  // With a query deadline the daemon itself answers by deadline + grace, so
+  // a generous margin on top never fires spuriously; deadline-less queries
+  // get a cap past the daemon's default 120s watchdog.
+  const double read_timeout = a.deadline > 0 ? a.deadline + 30.0 : 180.0;
+  if (Status st = SetRecvTimeout(*fd, read_timeout); !st.ok()) return st;
   return fd;
 }
 
@@ -219,6 +252,43 @@ StatusOr<QueryResponse> DoQuery(UnixFd& fd, const std::string& payload) {
   return DecodeQueryResponse(*resp);
 }
 
+/// Transient failures worth retrying: admission-control rejection
+/// (RESOURCE_EXHAUSTED) and momentary unavailability (daemon or worker
+/// pool restarting, connection dropped mid-exchange).
+bool Retryable(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kResourceExhausted;
+}
+
+/// One query under the retry policy: up to `--retries` re-attempts of
+/// transient failures, exponential backoff (base 50ms, doubled per attempt)
+/// with U(0.5, 1.5) jitter, the whole budget bounded by --deadline when one
+/// is set. `fd` is reconnected when the transport broke and left open for
+/// the next call. `retries` counts re-attempts (load-gen reports the sum).
+StatusOr<QueryResponse> QueryWithRetry(const Args& a, const std::string& payload,
+                                       StatusOr<UnixFd>& fd, std::mt19937& rng,
+                                       std::uint64_t& retries) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int attempt = 0;; ++attempt) {
+    if (!fd.ok()) fd = Connect(a);
+    StatusOr<QueryResponse> resp = fd.ok() ? DoQuery(*fd, payload) : fd.status();
+    if (!resp.ok()) fd = resp.status();  // transport broke: reconnect next time
+    const Status st = resp.ok() ? resp->status : resp.status();
+    if (!Retryable(st.code()) || attempt >= a.retries) return resp;
+    const double jitter =
+        0.5 + std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+    const double delay =
+        0.05 * static_cast<double>(1 << std::min(attempt, 10)) * jitter;
+    if (a.deadline > 0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      if (elapsed + delay > a.deadline) return resp;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    ++retries;
+  }
+}
+
 void PrintStats(const ServerStatsWire& s) {
   std::printf("model: %s (v%llu crc %08x), reloads %llu ok / %llu failed\n",
               s.model_path.empty() ? "<none>" : s.model_path.c_str(),
@@ -243,11 +313,27 @@ void PrintStats(const ServerStatsWire& s) {
   };
   line("query", s.query_cache);
   line(" path", s.path_cache);
+  if (s.worker_mode) {
+    std::printf("worker pool: %u/%u alive; %llu spawns, %llu restarts, "
+                "%llu crashes, %llu watchdog kills, %llu garbage replies\n",
+                s.workers_alive, s.workers_configured,
+                static_cast<unsigned long long>(s.worker_spawns),
+                static_cast<unsigned long long>(s.worker_restarts),
+                static_cast<unsigned long long>(s.worker_crashes),
+                static_cast<unsigned long long>(s.watchdog_kills),
+                static_cast<unsigned long long>(s.garbage_replies));
+    std::printf("breaker: %llu trips, %u quarantined digest(s)%s; "
+                "%llu queries retried after a worker crash\n",
+                static_cast<unsigned long long>(s.breaker_trips),
+                s.quarantined_digests, s.breaker_open ? " [OPEN]" : "",
+                static_cast<unsigned long long>(s.crash_retried_queries));
+  }
 }
 
 struct WorkerResult {
   std::vector<double> latencies_ms;
   int failed = 0;
+  std::uint64_t retries = 0;
   Status first_failure;
 };
 
@@ -256,8 +342,36 @@ struct WorkerResult {
 int main(int argc, char** argv) {
   const Args a = Parse(argc, argv);
 
+  if (a.ping) {
+    StatusOr<UnixFd> fd = Connect(a);
+    if (!fd.ok()) {
+      std::fprintf(stderr, "m3_client: %s\n", fd.status().ToString().c_str());
+      return ExitCodeFor(fd.status().code());
+    }
+    StatusOr<std::string> payload = RoundTrip(*fd, MsgType::kPingRequest,
+                                              EncodePingRequest(),
+                                              MsgType::kPingResponse);
+    StatusOr<PingResponse> resp =
+        payload.ok() ? DecodePingResponse(*payload) : payload.status();
+    if (!resp.ok()) {
+      std::fprintf(stderr, "m3_client: %s\n", resp.status().ToString().c_str());
+      return ExitCodeFor(resp.status().code());
+    }
+    if (resp->worker_mode) {
+      std::printf("m3d: %s — model v%llu, %u worker processes alive\n",
+                  resp->ready ? "ready" : "not ready",
+                  static_cast<unsigned long long>(resp->model_version),
+                  resp->workers_alive);
+    } else {
+      std::printf("m3d: %s — model v%llu, in-process execution\n",
+                  resp->ready ? "ready" : "not ready",
+                  static_cast<unsigned long long>(resp->model_version));
+    }
+    return resp->ready ? 0 : 9;
+  }
+
   if (a.stats) {
-    StatusOr<UnixFd> fd = Connect(a.socket_path);
+    StatusOr<UnixFd> fd = Connect(a);
     if (!fd.ok()) {
       std::fprintf(stderr, "m3_client: %s\n", fd.status().ToString().c_str());
       return ExitCodeFor(fd.status().code());
@@ -275,7 +389,7 @@ int main(int argc, char** argv) {
   }
 
   if (!a.reload.empty()) {
-    StatusOr<UnixFd> fd = Connect(a.socket_path);
+    StatusOr<UnixFd> fd = Connect(a);
     if (!fd.ok()) {
       std::fprintf(stderr, "m3_client: %s\n", fd.status().ToString().c_str());
       return ExitCodeFor(fd.status().code());
@@ -356,15 +470,14 @@ int main(int argc, char** argv) {
     for (int t = 0; t < a.concurrency; ++t) {
       threads.emplace_back([&, t] {
         WorkerResult& r = results[static_cast<std::size_t>(t)];
-        StatusOr<UnixFd> fd = Connect(a.socket_path);
-        if (!fd.ok()) {
-          r.failed = a.repeat;
-          r.first_failure = fd.status();
-          return;
-        }
+        std::mt19937 rng(std::random_device{}() ^
+                         (static_cast<unsigned>(t) * 2654435761u));
+        // Even a failed first connect is not fatal: QueryWithRetry
+        // reconnects per attempt, riding out a daemon restart.
+        StatusOr<UnixFd> fd = Connect(a);
         for (int q = 0; q < a.repeat; ++q) {
           const auto q0 = std::chrono::steady_clock::now();
-          StatusOr<QueryResponse> resp = DoQuery(*fd, payload);
+          StatusOr<QueryResponse> resp = QueryWithRetry(a, payload, fd, rng, r.retries);
           const auto q1 = std::chrono::steady_clock::now();
           const Status st = resp.ok() ? resp->status : resp.status();
           const StatusCode code = st.code();
@@ -387,10 +500,12 @@ int main(int argc, char** argv) {
 
     std::vector<double> lat;
     int failed = 0;
+    std::uint64_t total_retries = 0;
     Status first_failure;
     for (const WorkerResult& r : results) {
       lat.insert(lat.end(), r.latencies_ms.begin(), r.latencies_ms.end());
       failed += r.failed;
+      total_retries += r.retries;
       if (first_failure.ok() && !r.first_failure.ok()) first_failure = r.first_failure;
     }
     std::sort(lat.begin(), lat.end());
@@ -408,6 +523,8 @@ int main(int argc, char** argv) {
                 lat.empty() ? 0.0 : static_cast<double>(lat.size()) / wall);
     std::printf("latency: p50 %.2fms  p99 %.2fms  max %.2fms\n", pct(50), pct(99),
                 lat.empty() ? 0.0 : lat.back());
+    std::printf("retries: %llu transient failures retried with backoff\n",
+                static_cast<unsigned long long>(total_retries));
     if (failed > 0) {
       std::fprintf(stderr, "m3_client: %d queries failed; first: %s\n", failed,
                    first_failure.ToString().c_str());
@@ -416,12 +533,10 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  StatusOr<UnixFd> fd = Connect(a.socket_path);
-  if (!fd.ok()) {
-    std::fprintf(stderr, "m3_client: %s\n", fd.status().ToString().c_str());
-    return ExitCodeFor(fd.status().code());
-  }
-  StatusOr<QueryResponse> got = DoQuery(*fd, payload);
+  StatusOr<UnixFd> fd = Connect(a);
+  std::mt19937 rng(std::random_device{}());
+  std::uint64_t retries = 0;
+  StatusOr<QueryResponse> got = QueryWithRetry(a, payload, fd, rng, retries);
   if (!got.ok()) {
     std::fprintf(stderr, "m3_client: %s\n", got.status().ToString().c_str());
     return ExitCodeFor(got.status().code());
@@ -433,6 +548,10 @@ int main(int argc, char** argv) {
     return ExitCodeFor(est.status.code());
   }
 
+  if (retries > 0) {
+    std::printf("(%llu transient failure%s retried with backoff)\n",
+                static_cast<unsigned long long>(retries), retries == 1 ? "" : "s");
+  }
   std::printf("scenario: tm=%s workload=%s oversub=%.0f:1 load=%.0f%% sigma=%.1f "
               "flows=%zu cc=%s\n",
               a.tm.c_str(), a.workload.c_str(), a.oversub, 100 * a.load, a.sigma,

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <string>
@@ -31,12 +32,18 @@ constexpr const char* kUsage =
     "\n"
     "  --socket PATH       Unix-domain socket to serve on   (/tmp/m3d.sock)\n"
     "  --model PATH        checkpoint to serve              (models/m3_default.ckpt)\n"
-    "  --workers N         scheduler worker threads, >= 1   (2)\n"
+    "  --workers N         supervised worker subprocesses   (2; 0 = in-process)\n"
     "  --queue N           request queue capacity, >= 1     (64)\n"
     "  --query-cache N     whole-query cache entries, >= 0  (256)\n"
     "  --path-cache N      per-path cache entries, >= 0     (4096)\n"
     "  --threads-per-query N   pool threads per query, >= 0 (1; 0 = full pool)\n"
+    "  --watchdog SECS     watchdog for deadline-less queries, > 0 (120)\n"
+    "  --grace SECS        kill grace past a query deadline, > 0   (2)\n"
     "  --help              show this message\n"
+    "\n"
+    "With --workers N > 0 queries execute in forked worker subprocesses: a\n"
+    "crash or hang takes down one worker (respawned with backoff), never the\n"
+    "daemon. --workers 0 executes queries in-process.\n"
     "\n"
     "Hot reload: m3_client --reload <checkpoint> swaps the model without\n"
     "dropping in-flight queries; a corrupt checkpoint keeps the old model.\n";
@@ -53,6 +60,16 @@ long ParseInt(const std::string& key, const char* arg, long min, long max) {
   if (end == arg || *end != '\0' || errno == ERANGE || v < min || v > max) {
     UsageError("invalid " + key + " '" + arg + "' (expected integer in [" +
                std::to_string(min) + ", " + std::to_string(max) + "])");
+  }
+  return v;
+}
+
+double ParseSeconds(const std::string& key, const char* arg) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(arg, &end);
+  if (end == arg || *end != '\0' || errno == ERANGE || !(v > 0) || v > 86400) {
+    UsageError("invalid " + key + " '" + arg + "' (expected seconds in (0, 86400])");
   }
   return v;
 }
@@ -81,6 +98,7 @@ int main(int argc, char** argv) {
   std::string socket_path = "/tmp/m3d.sock";
   std::string model_path = "models/m3_default.ckpt";
   ServiceOptions opts;
+  opts.worker_processes = 2;  // daemon default: crash-isolated workers
 
   for (int i = 1; i < argc;) {
     const std::string key = argv[i];
@@ -93,14 +111,19 @@ int main(int argc, char** argv) {
     const char* v = argv[i + 1];
     if (key == "--socket") socket_path = v;
     else if (key == "--model") model_path = v;
-    else if (key == "--workers") opts.num_workers = static_cast<int>(ParseInt(key, v, 1, 1024));
+    else if (key == "--workers") opts.worker_processes = static_cast<int>(ParseInt(key, v, 0, 256));
     else if (key == "--queue") opts.queue_capacity = static_cast<std::size_t>(ParseInt(key, v, 1, 1 << 20));
     else if (key == "--query-cache") opts.query_cache_entries = static_cast<std::size_t>(ParseInt(key, v, 0, 1 << 24));
     else if (key == "--path-cache") opts.path_cache_entries = static_cast<std::size_t>(ParseInt(key, v, 0, 1 << 24));
     else if (key == "--threads-per-query") opts.threads_per_query = static_cast<unsigned>(ParseInt(key, v, 0, 1024));
+    else if (key == "--watchdog") opts.supervisor.default_watchdog_seconds = ParseSeconds(key, v);
+    else if (key == "--grace") opts.supervisor.grace_seconds = ParseSeconds(key, v);
     else UsageError("unknown flag '" + key + "'");
     i += 2;
   }
+  // One scheduler thread per worker subprocess keeps the pool saturated
+  // without queueing inside the supervisor's lease wait.
+  opts.num_workers = std::max(1, opts.worker_processes);
 
   EstimationService service(opts);
   if (Status st = service.ReloadModel(model_path); !st.ok()) {
@@ -129,11 +152,19 @@ int main(int argc, char** argv) {
   sigaction(SIGINT, &sa, nullptr);
   sigaction(SIGTERM, &sa, nullptr);
 
-  std::printf("m3d: serving %s (model v%llu crc %08x) on %s — %d workers, queue %zu, "
-              "caches %zu query / %zu path\n",
-              model_path.c_str(), static_cast<unsigned long long>(boot.model_version),
-              boot.model_crc, socket_path.c_str(), opts.num_workers, opts.queue_capacity,
-              opts.query_cache_entries, opts.path_cache_entries);
+  if (opts.worker_processes > 0) {
+    std::printf("m3d: serving %s (model v%llu crc %08x) on %s — %d worker processes "
+                "(supervised), queue %zu, caches %zu query / %zu path\n",
+                model_path.c_str(), static_cast<unsigned long long>(boot.model_version),
+                boot.model_crc, socket_path.c_str(), opts.worker_processes,
+                opts.queue_capacity, opts.query_cache_entries, opts.path_cache_entries);
+  } else {
+    std::printf("m3d: serving %s (model v%llu crc %08x) on %s — in-process, %d scheduler "
+                "threads, queue %zu, caches %zu query / %zu path\n",
+                model_path.c_str(), static_cast<unsigned long long>(boot.model_version),
+                boot.model_crc, socket_path.c_str(), opts.num_workers, opts.queue_capacity,
+                opts.query_cache_entries, opts.path_cache_entries);
+  }
   std::fflush(stdout);
 
   while (g_signal.load(std::memory_order_relaxed) == 0) {
@@ -155,5 +186,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(s.query_cache[0] + s.query_cache[1]),
               static_cast<unsigned long long>(s.path_cache[0]),
               static_cast<unsigned long long>(s.path_cache[0] + s.path_cache[1]));
+  if (s.worker_mode) {
+    std::printf("m3d: worker pool: %llu spawns, %llu restarts, %llu crashes, "
+                "%llu watchdog kills, %llu garbage replies, %llu retried queries, "
+                "%llu breaker trips\n",
+                static_cast<unsigned long long>(s.worker_spawns),
+                static_cast<unsigned long long>(s.worker_restarts),
+                static_cast<unsigned long long>(s.worker_crashes),
+                static_cast<unsigned long long>(s.watchdog_kills),
+                static_cast<unsigned long long>(s.garbage_replies),
+                static_cast<unsigned long long>(s.crash_retried_queries),
+                static_cast<unsigned long long>(s.breaker_trips));
+  }
   return 0;
 }
