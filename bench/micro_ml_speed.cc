@@ -1,23 +1,35 @@
-// ML compute-backend microbenchmark: GEMM GFLOP/s for the tiled kernels
-// vs. the naive seed loops, and end-to-end TrainModel samples/sec for
+// ML compute-backend microbenchmark: GEMM GFLOP/s for every available
+// kernel implementation (naive seed loops, tiled, AVX2, AVX-512) on the
+// model's hot shapes, and end-to-end TrainModel samples/sec for
 // data-parallel training vs. the serial seed baseline (reproduced
-// in-process via kernels::SetUseTiled(false) + num_threads=1, so the
-// comparison does not require checking out the seed revision).
+// in-process via the naive kernel tier + num_threads=1, so the comparison
+// does not require checking out the seed revision).
+//
+// Every trainer row records both the *requested* thread count and the
+// *effective* one (requested clamped to the pool width, which is sized
+// from M3_NUM_THREADS / hardware_concurrency): on a 1-CPU host a
+// "parallel8" row runs with effective_threads=1 and says so, instead of
+// implying an 8-way measurement that never happened.
 //
 // Emits JSON on stdout; the checked-in snapshot lives in
 // BENCH_ml_speed.json so the perf trajectory is tracked across PRs.
 //
 //   ./micro_ml_speed [trainer_samples] [trainer_epochs]
+//   ./micro_ml_speed N E naive|tiled|avx2|avx512   (profiling mode: one
+//                                                   serial trainer run)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/model.h"
 #include "core/trainer.h"
 #include "ml/kernels.h"
 #include "ml/tensor.h"
+#include "util/cpu_features.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -25,17 +37,20 @@ namespace m3 {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+using ml::kernels::KernelImpl;
 
 double SecondsSince(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-struct GemmResult {
-  std::string name;
-  int m, k, n;
-  double naive_gflops = 0.0;
-  double tiled_gflops = 0.0;
-};
+std::vector<KernelImpl> AvailableImpls() {
+  std::vector<KernelImpl> impls;
+  for (KernelImpl impl : {KernelImpl::kNaive, KernelImpl::kTiled, KernelImpl::kAvx2,
+                          KernelImpl::kAvx512}) {
+    if (ml::kernels::KernelImplAvailable(impl)) impls.push_back(impl);
+  }
+  return impls;
+}
 
 // Times `fn` by doubling the repetition count until the measurement
 // exceeds `min_seconds`, then returns seconds per repetition.
@@ -49,21 +64,40 @@ double TimePerRep(const Fn& fn, double min_seconds = 0.2) {
   }
 }
 
+struct GemmResult {
+  std::string name;
+  int m, k, n;
+  // Parallel arrays: impl -> GFLOP/s (only available impls present).
+  std::vector<KernelImpl> impls;
+  std::vector<double> gflops;
+};
+
 GemmResult BenchGemm(const char* name, int m, int k, int n) {
   Rng rng(2024);
   ml::Tensor a = ml::Tensor::Randn(m, k, rng, 1.0f);
   ml::Tensor b = ml::Tensor::Randn(k, n, rng, 1.0f);
   ml::Tensor c(m, n);
   const double flops = 2.0 * m * k * n;
-  GemmResult res{name, m, k, n, 0.0, 0.0};
-  const double naive_sec = TimePerRep(
-      [&] { ml::kernels::GemmAccumNaive(a.data(), b.data(), c.data(), m, k, n); });
-  c.Fill(0.0f);
-  const double tiled_sec = TimePerRep([&] {
-    ml::kernels::GemmAccum(a.data(), b.data(), c.data(), m, k, n);
-  });
-  res.naive_gflops = flops / naive_sec * 1e-9;
-  res.tiled_gflops = flops / tiled_sec * 1e-9;
+  GemmResult res;
+  res.name = name;
+  res.m = m;
+  res.k = k;
+  res.n = n;
+  const KernelImpl prev = ml::kernels::GetKernelImpl();
+  for (KernelImpl impl : AvailableImpls()) {
+    ml::kernels::SetKernelImpl(impl);
+    c.Fill(0.0f);
+    // Best-of-5: the container shares its host, so single measurements
+    // swing by 30%+; the minimum is the least-disturbed run.
+    double sec = 1e30;
+    for (int rep = 0; rep < 5; ++rep)
+      sec = std::min(sec, TimePerRep([&] {
+              ml::kernels::GemmAccum(a.data(), b.data(), c.data(), m, k, n);
+            }));
+    res.impls.push_back(impl);
+    res.gflops.push_back(flops / sec * 1e-9);
+  }
+  ml::kernels::SetKernelImpl(prev);
   return res;
 }
 
@@ -84,18 +118,19 @@ std::vector<Sample> SyntheticSamples(const M3ModelConfig& cfg, int count) {
   return samples;
 }
 
-struct TrainerResult {
-  int num_samples = 0;
-  int epochs = 0;
-  double seed_serial_sec = 0.0;     // naive kernels, 1 thread (seed baseline)
-  double tiled_serial_sec = 0.0;    // tiled kernels, 1 thread
-  double tiled_parallel_sec = 0.0;  // tiled kernels, 8 threads
-  unsigned pool_threads = 0;
+struct TrainerRow {
+  std::string label;
+  KernelImpl impl;
+  unsigned requested_threads = 0;
+  unsigned effective_threads = 0;
+  double sec = 0.0;
+  double samples_per_sec = 0.0;
 };
 
-double RunTrainer(const M3ModelConfig& cfg, const std::vector<Sample>& samples, int epochs,
-                  bool tiled, unsigned threads) {
-  ml::kernels::SetUseTiled(tiled);
+double RunTrainerOnce(const M3ModelConfig& cfg, const std::vector<Sample>& samples,
+                      int epochs, KernelImpl impl, unsigned threads) {
+  const KernelImpl prev = ml::kernels::GetKernelImpl();
+  ml::kernels::SetKernelImpl(impl);
   M3Model model(cfg);
   TrainOptions opts;
   opts.epochs = epochs;
@@ -105,29 +140,34 @@ double RunTrainer(const M3ModelConfig& cfg, const std::vector<Sample>& samples, 
   opts.num_threads = threads;
   const auto t0 = Clock::now();
   TrainModel(model, samples, opts);
-  ml::kernels::SetUseTiled(true);
-  return SecondsSince(t0);
+  const double sec = SecondsSince(t0);
+  ml::kernels::SetKernelImpl(prev);
+  return sec;
 }
 
-TrainerResult BenchTrainer(int num_samples, int epochs) {
-  const M3ModelConfig cfg;  // full paper-scale model
-  const std::vector<Sample> samples = SyntheticSamples(cfg, num_samples);
-  TrainerResult res;
-  res.num_samples = num_samples;
-  res.epochs = epochs;
-  res.pool_threads = ThreadPool::Instance().num_threads();
-  res.seed_serial_sec = RunTrainer(cfg, samples, epochs, /*tiled=*/false, /*threads=*/1);
-  res.tiled_serial_sec = RunTrainer(cfg, samples, epochs, /*tiled=*/true, /*threads=*/1);
-  res.tiled_parallel_sec = RunTrainer(cfg, samples, epochs, /*tiled=*/true, /*threads=*/8);
-  return res;
+TrainerRow BenchTrainerRow(const char* label, const M3ModelConfig& cfg,
+                           const std::vector<Sample>& samples, int epochs, KernelImpl impl,
+                           unsigned threads, int repeats) {
+  TrainerRow row;
+  row.label = label;
+  row.impl = impl;
+  row.requested_threads = threads;
+  row.effective_threads = std::min(threads, ThreadPool::Instance().num_threads());
+  row.sec = 1e30;
+  for (int r = 0; r < repeats; ++r)
+    row.sec = std::min(row.sec, RunTrainerOnce(cfg, samples, epochs, impl, threads));
+  const double samples_per_epoch =
+      static_cast<double>(samples.size()) * 0.9;  // 10% val split
+  row.samples_per_sec = samples_per_epoch * epochs / row.sec;
+  return row;
 }
 
 }  // namespace
 
-double BenchTrainerOnly(int num_samples, int epochs, bool tiled) {
+double BenchTrainerOnly(int num_samples, int epochs, ml::kernels::KernelImpl impl) {
   const M3ModelConfig cfg;
   const std::vector<Sample> samples = SyntheticSamples(cfg, num_samples);
-  return RunTrainer(cfg, samples, epochs, tiled, /*threads=*/1);
+  return RunTrainerOnce(cfg, samples, epochs, impl, /*threads=*/1);
 }
 
 }  // namespace m3
@@ -137,14 +177,21 @@ int main(int argc, char** argv) {
   const int trainer_epochs = argc > 2 ? std::atoi(argv[2]) : 2;
 
   // Profiling mode: run only the requested trainer configuration so a
-  // profiler sees one code path (usage: micro_ml_speed N E tiled|naive).
+  // profiler sees one code path.
   if (argc > 3) {
-    const bool tiled = std::string(argv[3]) != "naive";
-    const double sec = m3::BenchTrainerOnly(trainer_samples, trainer_epochs, tiled);
-    std::printf("{\"trainer_only\": {\"tiled\": %s, \"sec\": %.3f}}\n",
-                tiled ? "true" : "false", sec);
+    m3::ml::kernels::KernelImpl impl;
+    if (!m3::ml::kernels::ParseKernelImpl(argv[3], &impl)) {
+      std::fprintf(stderr, "unknown impl %s (want naive|tiled|avx2|avx512)\n", argv[3]);
+      return 1;
+    }
+    const double sec = m3::BenchTrainerOnly(trainer_samples, trainer_epochs, impl);
+    std::printf("{\"trainer_only\": {\"impl\": \"%s\", \"sec\": %.3f}}\n",
+                m3::ml::kernels::KernelImplName(impl), sec);
     return 0;
   }
+
+  using m3::ml::kernels::KernelImpl;
+  const KernelImpl active = m3::ml::kernels::GetKernelImpl();
 
   std::vector<m3::GemmResult> gemms;
   // Forward shapes of the model (sequence projection, head layers) plus a
@@ -154,37 +201,65 @@ int main(int argc, char** argv) {
   gemms.push_back(m3::BenchGemm("head_fc2", 1, 256, 400));
   gemms.push_back(m3::BenchGemm("square_256", 256, 256, 256));
 
-  const m3::TrainerResult tr = m3::BenchTrainer(trainer_samples, trainer_epochs);
-
-  const double samples_per_epoch =
-      static_cast<double>(tr.num_samples) * 0.9;  // 10% val split
-  const double seed_sps = samples_per_epoch * tr.epochs / tr.seed_serial_sec;
-  const double tiled_sps = samples_per_epoch * tr.epochs / tr.tiled_serial_sec;
-  const double par_sps = samples_per_epoch * tr.epochs / tr.tiled_parallel_sec;
+  const m3::M3ModelConfig cfg;
+  const std::vector<m3::Sample> samples = m3::SyntheticSamples(cfg, trainer_samples);
+  const int kRepeats = 3;  // best-of-3 per row to damp scheduler noise
+  std::vector<m3::TrainerRow> rows;
+  rows.push_back(m3::BenchTrainerRow("seed_serial", cfg, samples, trainer_epochs,
+                                     KernelImpl::kNaive, 1, kRepeats));
+  rows.push_back(m3::BenchTrainerRow("tiled_serial", cfg, samples, trainer_epochs,
+                                     KernelImpl::kTiled, 1, kRepeats));
+  if (active != KernelImpl::kTiled && active != KernelImpl::kNaive) {
+    std::string label = std::string(m3::ml::kernels::KernelImplName(active)) + "_serial";
+    rows.push_back(m3::BenchTrainerRow(label.c_str(), cfg, samples, trainer_epochs, active,
+                                       1, kRepeats));
+  }
+  {
+    std::string label = std::string(m3::ml::kernels::KernelImplName(active)) + "_parallel8";
+    rows.push_back(m3::BenchTrainerRow(label.c_str(), cfg, samples, trainer_epochs, active,
+                                       8, kRepeats));
+  }
 
   std::printf("{\n");
+  std::printf("  \"host\": {\"hardware_concurrency\": %u, \"pool_threads\": %u, "
+              "\"cpu_features\": \"%s\", \"active_impl\": \"%s\"},\n",
+              std::thread::hardware_concurrency(),
+              m3::ThreadPool::Instance().num_threads(),
+              m3::CpuFeatureSummary().c_str(), m3::ml::kernels::KernelImplName(active));
   std::printf("  \"gemm\": [\n");
   for (std::size_t i = 0; i < gemms.size(); ++i) {
     const auto& g = gemms[i];
-    std::printf("    {\"name\": \"%s\", \"m\": %d, \"k\": %d, \"n\": %d, "
-                "\"naive_gflops\": %.3f, \"tiled_gflops\": %.3f, \"speedup\": %.2f}%s\n",
-                g.name.c_str(), g.m, g.k, g.n, g.naive_gflops, g.tiled_gflops,
-                g.tiled_gflops / g.naive_gflops, i + 1 < gemms.size() ? "," : "");
+    std::printf("    {\"name\": \"%s\", \"m\": %d, \"k\": %d, \"n\": %d", g.name.c_str(),
+                g.m, g.k, g.n);
+    double naive_gf = 0.0, best_gf = 0.0;
+    for (std::size_t t = 0; t < g.impls.size(); ++t) {
+      std::printf(", \"%s_gflops\": %.3f", m3::ml::kernels::KernelImplName(g.impls[t]),
+                  g.gflops[t]);
+      if (g.impls[t] == KernelImpl::kNaive) naive_gf = g.gflops[t];
+      best_gf = std::max(best_gf, g.gflops[t]);
+    }
+    std::printf(", \"best_speedup_vs_naive\": %.2f}%s\n",
+                naive_gf > 0.0 ? best_gf / naive_gf : 0.0,
+                i + 1 < gemms.size() ? "," : "");
   }
   std::printf("  ],\n");
   std::printf("  \"trainer\": {\n");
-  std::printf("    \"num_samples\": %d, \"epochs\": %d, \"pool_threads\": %u,\n",
-              tr.num_samples, tr.epochs, tr.pool_threads);
-  std::printf("    \"seed_serial_sec\": %.3f, \"seed_serial_samples_per_sec\": %.1f,\n",
-              tr.seed_serial_sec, seed_sps);
-  std::printf("    \"tiled_serial_sec\": %.3f, \"tiled_serial_samples_per_sec\": %.1f,\n",
-              tr.tiled_serial_sec, tiled_sps);
-  std::printf("    \"tiled_parallel8_sec\": %.3f, \"tiled_parallel8_samples_per_sec\": %.1f,\n",
-              tr.tiled_parallel_sec, par_sps);
-  std::printf("    \"speedup_tiled_serial_vs_seed\": %.2f,\n",
-              tr.seed_serial_sec / tr.tiled_serial_sec);
-  std::printf("    \"speedup_parallel8_vs_seed\": %.2f\n",
-              tr.seed_serial_sec / tr.tiled_parallel_sec);
+  std::printf("    \"num_samples\": %d, \"epochs\": %d,\n", trainer_samples,
+              trainer_epochs);
+  std::printf("    \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::printf("      {\"label\": \"%s\", \"impl\": \"%s\", \"requested_threads\": %u, "
+                "\"effective_threads\": %u, \"sec\": %.3f, \"samples_per_sec\": %.1f}%s\n",
+                r.label.c_str(), m3::ml::kernels::KernelImplName(r.impl),
+                r.requested_threads, r.effective_threads, r.sec, r.samples_per_sec,
+                i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("    ],\n");
+  const double seed_sec = rows.front().sec;
+  std::printf("    \"speedup_serial_vs_seed\": %.2f,\n",
+              seed_sec / rows[rows.size() >= 3 ? rows.size() - 2 : 1].sec);
+  std::printf("    \"speedup_parallel8_vs_seed\": %.2f\n", seed_sec / rows.back().sec);
   std::printf("  }\n");
   std::printf("}\n");
   return 0;

@@ -1,0 +1,64 @@
+#include "ml/arena.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace m3::ml {
+
+TensorArena& TensorArena::ThreadLocal() {
+  static thread_local TensorArena arena;
+  return arena;
+}
+
+FloatVec TensorArena::Acquire(std::size_t n) {
+  // Best fit: the smallest pooled buffer whose capacity covers the
+  // request, rejected if it is more than kMaxSlack times too big.
+  auto it = pool_.lower_bound(n);
+  if (it != pool_.end() && it->first <= n * kMaxSlack) {
+    FloatVec buf = std::move(it->second);
+    pooled_bytes_ -= it->first * sizeof(float);
+    pool_.erase(it);
+    ++reuse_count_;
+    return buf;
+  }
+  ++alloc_count_;
+  return FloatVec();
+}
+
+Tensor TensorArena::GetZeros(int rows, int cols) {
+  const std::size_t n = static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+  FloatVec buf = Acquire(n);
+  buf.assign(n, 0.0f);  // within capacity for reused buffers: no realloc
+  return Tensor(rows, cols, std::move(buf));
+}
+
+Tensor TensorArena::GetCopy(const Tensor& src) {
+  const std::size_t n = src.size();
+  FloatVec buf = Acquire(n);
+  buf.resize(n);
+  if (n > 0) std::memcpy(buf.data(), src.data(), n * sizeof(float));
+  return Tensor(src.rows(), src.cols(), std::move(buf));
+}
+
+void TensorArena::Put(Tensor&& t) {
+  if (t.empty()) return;
+  FloatVec buf = t.ReleaseBuffer();
+  const std::size_t cap = buf.capacity();
+  pool_.emplace(cap, std::move(buf));
+  pooled_bytes_ += cap * sizeof(float);
+  // Evict largest-first once over budget: big buffers are the cheapest
+  // to re-create relative to the memory they pin.
+  while (pooled_bytes_ > kMaxPoolBytes && !pool_.empty()) {
+    auto last = std::prev(pool_.end());
+    pooled_bytes_ -= last->first * sizeof(float);
+    pool_.erase(last);
+  }
+}
+
+void TensorArena::Clear() {
+  pool_.clear();
+  pooled_bytes_ = 0;
+}
+
+}  // namespace m3::ml

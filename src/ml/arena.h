@@ -1,0 +1,63 @@
+// Thread-local tensor buffer pool.
+//
+// Training builds and tears down an autograd tape per sample: every
+// forward op allocates a value tensor and every backward pass allocates
+// gradients of the same shapes, so an epoch performs hundreds of
+// thousands of identical heap round-trips. TensorArena breaks that cycle:
+// a Graph draws its tensors from the calling thread's arena and returns
+// the buffers on destruction, so steady-state training reuses the same
+// few hundred allocations forever.
+//
+// The pool is strictly thread-local (one arena per training thread),
+// which makes it lock-free and keeps a buffer on the core that last
+// touched it. Reuse is best-fit on capacity with a 2x slack bound so a
+// tiny request can never pin a huge buffer, and the pooled total is
+// capped (kMaxPoolBytes) with largest-first eviction.
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "ml/tensor.h"
+
+namespace m3::ml {
+
+class TensorArena {
+ public:
+  /// The calling thread's arena (created on first use).
+  static TensorArena& ThreadLocal();
+
+  /// Returns a zero-filled [rows, cols] tensor, reusing a pooled buffer
+  /// when one of suitable capacity exists.
+  Tensor GetZeros(int rows, int cols);
+
+  /// Returns a copy of `src` backed by a pooled buffer.
+  Tensor GetCopy(const Tensor& src);
+
+  /// Reclaims a tensor's buffer into the pool. Empty tensors are ignored.
+  void Put(Tensor&& t);
+
+  /// Drops all pooled buffers.
+  void Clear();
+
+  std::size_t pooled_bytes() const { return pooled_bytes_; }
+  std::size_t pooled_buffers() const { return pool_.size(); }
+  // Lifetime counters, for tests and diagnostics.
+  std::size_t reuse_count() const { return reuse_count_; }
+  std::size_t alloc_count() const { return alloc_count_; }
+
+  // Buffers larger than request * kMaxSlack are not reused for it.
+  static constexpr std::size_t kMaxSlack = 2;
+  static constexpr std::size_t kMaxPoolBytes = 128u << 20;  // 128 MiB
+
+ private:
+  FloatVec Acquire(std::size_t n);
+
+  // capacity -> buffer; multimap because many tensors share a shape.
+  std::multimap<std::size_t, FloatVec> pool_;
+  std::size_t pooled_bytes_ = 0;
+  std::size_t reuse_count_ = 0;
+  std::size_t alloc_count_ = 0;
+};
+
+}  // namespace m3::ml

@@ -1,8 +1,10 @@
 #include "ml/autograd.h"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
+#include "ml/arena.h"
 #include "ml/kernels.h"
 
 namespace m3::ml {
@@ -16,7 +18,25 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
   }
 }
 
+// Tape tensors come from (and return to) the calling thread's arena, so
+// steady-state training/inference on a thread performs no heap traffic
+// for tape values, gradients, or saved activations.
+Tensor ArenaZeros(int rows, int cols) {
+  return TensorArena::ThreadLocal().GetZeros(rows, cols);
+}
+
+Tensor ArenaCopy(const Tensor& src) { return TensorArena::ThreadLocal().GetCopy(src); }
+
 }  // namespace
+
+Graph::~Graph() {
+  TensorArena& arena = TensorArena::ThreadLocal();
+  for (Node& n : nodes_) {
+    arena.Put(std::move(n.val));
+    arena.Put(std::move(n.grad));
+    arena.Put(std::move(n.saved));
+  }
+}
 
 Var Graph::Emit(Node node) {
   nodes_.push_back(std::move(node));
@@ -28,7 +48,7 @@ Tensor& Graph::MutableGrad(std::int32_t id) {
   if (n.op == Op::kParam) return ParamGradTarget(n);
   if (n.grad.empty()) {
     const Tensor& v = NodeValue(n);
-    n.grad = Tensor::Zeros(v.rows(), v.cols());
+    n.grad = ArenaZeros(v.rows(), v.cols());
   }
   return n.grad;
 }
@@ -42,13 +62,20 @@ void Graph::AccumulateGrad(std::int32_t id, const Tensor& t) {
   // First touch copies instead of zero-filling then adding: the whole
   // tensor is overwritten either way.
   if (n.grad.empty()) {
-    n.grad = t;
+    n.grad = ArenaCopy(t);
   } else {
     n.grad.AddInPlace(t);
   }
 }
 
-Var Graph::Input(Tensor value) {
+Var Graph::Input(const Tensor& value) {
+  Node n;
+  n.val = ArenaCopy(value);
+  n.op = Op::kInput;
+  return Emit(std::move(n));
+}
+
+Var Graph::Input(Tensor&& value) {
   Node n;
   n.val = std::move(value);
   n.op = Op::kInput;
@@ -69,7 +96,7 @@ Var Graph::MatMul(Var a, Var b) {
   const Tensor& A = value(a);
   const Tensor& B = value(b);
   if (A.cols() != B.rows()) throw std::invalid_argument("MatMul: inner dims differ");
-  Tensor out(A.rows(), B.cols());
+  Tensor out = ArenaZeros(A.rows(), B.cols());
   kernels::GemmAccum(A.data(), B.data(), out.data(), A.rows(), A.cols(), B.cols());
   Node node;
   node.val = std::move(out);
@@ -78,18 +105,64 @@ Var Graph::MatMul(Var a, Var b) {
   return Emit(std::move(node));
 }
 
+Var Graph::MatMulNT(Var a, Var b) {
+  const Tensor& A = value(a);
+  const Tensor& B = value(b);
+  if (A.cols() != B.cols()) throw std::invalid_argument("MatMulNT: inner dims differ");
+  Tensor out = ArenaZeros(A.rows(), B.rows());
+  kernels::GemmAccumNT(A.data(), B.data(), out.data(), A.rows(), A.cols(), B.rows());
+  Node node;
+  node.val = std::move(out);
+  node.op = Op::kMatMulNT;
+  node.in = {a.id, b.id};
+  return Emit(std::move(node));
+}
+
+Var Graph::Linear(Var x, Var w, Var b, Act act) {
+  const Tensor& X = value(x);
+  const Tensor& W = value(w);
+  const Tensor& B = value(b);
+  if (X.cols() != W.rows()) throw std::invalid_argument("Linear: inner dims differ");
+  if (B.rows() != 1 || B.cols() != W.cols()) {
+    throw std::invalid_argument("Linear: bias must be [1, out]");
+  }
+  const int m = X.rows(), k = X.cols(), n = W.cols();
+  Tensor out = ArenaZeros(m, n);
+  kernels::FillRowsWithBias(out.data(), B.data(), m, n);
+  kernels::GemmAccum(X.data(), W.data(), out.data(), m, k, n);
+  Node node;
+  node.op = Op::kLinear;
+  node.in = {x.id, w.id, b.id};
+  node.aux = static_cast<int>(act);
+  if (act == Act::kNone) {
+    node.val = std::move(out);
+  } else {
+    // Keep the pre-activation for the backward pass; activate into a
+    // fresh tape tensor.
+    Tensor activated = ArenaZeros(m, n);
+    if (act == Act::kRelu) {
+      kernels::ReluForward(activated.data(), out.data(), out.size());
+    } else {
+      kernels::GeluForward(activated.data(), out.data(), out.size());
+    }
+    node.saved = std::move(out);
+    node.val = std::move(activated);
+  }
+  return Emit(std::move(node));
+}
+
 Var Graph::Add(Var a, Var b) {
   const Tensor& A = value(a);
   const Tensor& B = value(b);
   Node node;
   if (B.rows() == 1 && A.rows() != 1 && B.cols() == A.cols()) {
-    Tensor out(A.rows(), A.cols());
+    Tensor out = ArenaZeros(A.rows(), A.cols());
     kernels::BiasAddRows(out.data(), A.data(), B.data(), A.rows(), A.cols());
     node.val = std::move(out);
     node.op = Op::kAddBroadcast;
   } else {
     CheckSameShape(A, B, "Add");
-    Tensor out = A;
+    Tensor out = ArenaCopy(A);
     out.AddInPlace(B);
     node.val = std::move(out);
     node.op = Op::kAdd;
@@ -102,7 +175,7 @@ Var Graph::Sub(Var a, Var b) {
   const Tensor& A = value(a);
   const Tensor& B = value(b);
   CheckSameShape(A, B, "Sub");
-  Tensor out = A;
+  Tensor out = ArenaCopy(A);
   kernels::AxpyAccum(out.data(), B.data(), -1.0f, out.size());
   Node node;
   node.val = std::move(out);
@@ -115,7 +188,7 @@ Var Graph::Mul(Var a, Var b) {
   const Tensor& A = value(a);
   const Tensor& B = value(b);
   CheckSameShape(A, B, "Mul");
-  Tensor out = A;
+  Tensor out = ArenaCopy(A);
   for (std::size_t i = 0; i < out.size(); ++i) out.vec()[i] *= B.vec()[i];
   Node node;
   node.val = std::move(out);
@@ -125,8 +198,8 @@ Var Graph::Mul(Var a, Var b) {
 }
 
 Var Graph::Scale(Var a, float s) {
-  Tensor out = value(a);
-  for (float& v : out.vec()) v *= s;
+  Tensor out = ArenaCopy(value(a));
+  kernels::ScaleInPlace(out.data(), s, out.size());
   Node node;
   node.val = std::move(out);
   node.op = Op::kScale;
@@ -137,7 +210,7 @@ Var Graph::Scale(Var a, float s) {
 
 Var Graph::Relu(Var a) {
   const Tensor& A = value(a);
-  Tensor out(A.rows(), A.cols());
+  Tensor out = ArenaZeros(A.rows(), A.cols());
   kernels::ReluForward(out.data(), A.data(), A.size());
   Node node;
   node.val = std::move(out);
@@ -148,7 +221,7 @@ Var Graph::Relu(Var a) {
 
 Var Graph::Gelu(Var a) {
   const Tensor& A = value(a);
-  Tensor out(A.rows(), A.cols());
+  Tensor out = ArenaZeros(A.rows(), A.cols());
   kernels::GeluForward(out.data(), A.data(), A.size());
   Node node;
   node.val = std::move(out);
@@ -158,7 +231,7 @@ Var Graph::Gelu(Var a) {
 }
 
 Var Graph::Tanh(Var a) {
-  Tensor out = value(a);
+  Tensor out = ArenaCopy(value(a));
   for (float& v : out.vec()) v = std::tanh(v);
   Node node;
   node.val = std::move(out);
@@ -168,7 +241,7 @@ Var Graph::Tanh(Var a) {
 }
 
 Var Graph::Softmax(Var a) {
-  Tensor out = value(a);
+  Tensor out = ArenaCopy(value(a));
   kernels::SoftmaxRows(out.data(), out.rows(), out.cols());
   Node node;
   node.val = std::move(out);
@@ -177,9 +250,20 @@ Var Graph::Softmax(Var a) {
   return Emit(std::move(node));
 }
 
+Var Graph::SoftmaxScaled(Var a, float scale) {
+  Tensor out = ArenaCopy(value(a));
+  kernels::SoftmaxScaledRows(out.data(), out.rows(), out.cols(), scale);
+  Node node;
+  node.val = std::move(out);
+  node.op = Op::kScaledSoftmax;
+  node.in = {a.id};
+  node.scalar = scale;
+  return Emit(std::move(node));
+}
+
 Var Graph::Transpose(Var a) {
   const Tensor& A = value(a);
-  Tensor out(A.cols(), A.rows());
+  Tensor out = ArenaZeros(A.cols(), A.rows());
   for (int i = 0; i < A.rows(); ++i) {
     for (int j = 0; j < A.cols(); ++j) out.at(j, i) = A.at(i, j);
   }
@@ -196,15 +280,13 @@ Var Graph::RmsNorm(Var x, Var gain) {
   if (G.rows() != 1 || G.cols() != X.cols()) {
     throw std::invalid_argument("RmsNorm: gain must be [1, cols]");
   }
-  Tensor out(X.rows(), X.cols());
-  for (int i = 0; i < X.rows(); ++i) {
-    float ss = 0.0f;
-    for (int j = 0; j < X.cols(); ++j) ss += X.at(i, j) * X.at(i, j);
-    const float r = std::sqrt(ss / static_cast<float>(X.cols()) + kRmsEps);
-    for (int j = 0; j < X.cols(); ++j) out.at(i, j) = G.at(0, j) * X.at(i, j) / r;
-  }
+  Tensor out = ArenaZeros(X.rows(), X.cols());
+  Tensor inv_r = ArenaZeros(1, X.rows());
+  kernels::RmsNormForward(out.data(), inv_r.data(), X.data(), G.data(), X.rows(),
+                          X.cols(), kRmsEps);
   Node node;
   node.val = std::move(out);
+  node.saved = std::move(inv_r);  // per-row 1/rms, reused by the backward pass
   node.op = Op::kRmsNorm;
   node.in = {x.id, gain.id};
   return Emit(std::move(node));
@@ -218,7 +300,7 @@ Var Graph::ConcatCols(const std::vector<Var>& xs) {
     if (value(v).rows() != rows) throw std::invalid_argument("ConcatCols: row mismatch");
     cols += value(v).cols();
   }
-  Tensor out(rows, cols);
+  Tensor out = ArenaZeros(rows, cols);
   int off = 0;
   for (Var v : xs) {
     const Tensor& X = value(v);
@@ -239,7 +321,7 @@ Var Graph::SliceCols(Var a, int start, int len) {
   if (start < 0 || len <= 0 || start + len > A.cols()) {
     throw std::invalid_argument("SliceCols: out of range");
   }
-  Tensor out(A.rows(), len);
+  Tensor out = ArenaZeros(A.rows(), len);
   for (int i = 0; i < A.rows(); ++i) {
     for (int j = 0; j < len; ++j) out.at(i, j) = A.at(i, start + j);
   }
@@ -252,9 +334,27 @@ Var Graph::SliceCols(Var a, int start, int len) {
   return Emit(std::move(node));
 }
 
+Var Graph::SliceRows(Var a, int start, int len) {
+  const Tensor& A = value(a);
+  if (start < 0 || len <= 0 || start + len > A.rows()) {
+    throw std::invalid_argument("SliceRows: out of range");
+  }
+  Tensor out = ArenaZeros(len, A.cols());
+  std::memcpy(out.data(),
+              A.data() + static_cast<std::size_t>(start) * A.cols(),
+              static_cast<std::size_t>(len) * A.cols() * sizeof(float));
+  Node node;
+  node.val = std::move(out);
+  node.op = Op::kSliceRows;
+  node.in = {a.id};
+  node.scalar = static_cast<float>(start);
+  node.aux = len;
+  return Emit(std::move(node));
+}
+
 Var Graph::MeanRows(Var a) {
   const Tensor& A = value(a);
-  Tensor out(1, A.cols());
+  Tensor out = ArenaZeros(1, A.cols());
   kernels::ColSumAccum(out.data(), A.data(), A.rows(), A.cols());
   for (float& v : out.vec()) v /= static_cast<float>(A.rows());
   Node node;
@@ -341,6 +441,43 @@ void Graph::Backward(Var loss) {
         kernels::GemmAccumTN(A.data(), go.data(), gb.data(), m, k, c);
         break;
       }
+      case Op::kMatMulNT: {
+        // out = A * B^T with A [m,k], B [c,k]:
+        //   dA += go * B   (plain GEMM), dB += go^T * A (TN GEMM).
+        const Tensor& A = NodeValue(nodes_[static_cast<std::size_t>(n.in[0])]);
+        const Tensor& B = NodeValue(nodes_[static_cast<std::size_t>(n.in[1])]);
+        Tensor& ga = MutableGrad(n.in[0]);
+        Tensor& gb = MutableGrad(n.in[1]);
+        const int m = A.rows(), k = A.cols(), c = B.rows();
+        kernels::GemmAccum(go.data(), B.data(), ga.data(), m, c, k);
+        kernels::GemmAccumTN(go.data(), A.data(), gb.data(), m, c, k);
+        break;
+      }
+      case Op::kLinear: {
+        const Tensor& X = NodeValue(nodes_[static_cast<std::size_t>(n.in[0])]);
+        const Tensor& W = NodeValue(nodes_[static_cast<std::size_t>(n.in[1])]);
+        Tensor& gx = MutableGrad(n.in[0]);
+        Tensor& gw = MutableGrad(n.in[1]);
+        Tensor& gb = MutableGrad(n.in[2]);
+        const int m = X.rows(), k = X.cols(), c = W.cols();
+        const Act act = static_cast<Act>(n.aux);
+        const float* d = go.data();
+        if (act != Act::kNone) {
+          // d = f'(pre) * go, overwriting the saved pre-activation in
+          // place (strictly elementwise: saved[i] is read before written).
+          float* pre = n.saved.data();
+          if (act == Act::kRelu) {
+            kernels::ReluBackwardInto(pre, go.data(), pre, go.size());
+          } else {
+            kernels::GeluBackwardInto(pre, go.data(), pre, go.size());
+          }
+          d = pre;
+        }
+        kernels::GemmAccumNT(d, W.data(), gx.data(), m, c, k);
+        kernels::GemmAccumTN(X.data(), d, gw.data(), m, k, c);
+        kernels::ColSumAccum(gb.data(), d, m, c);
+        break;
+      }
       case Op::kAdd: {
         AccumulateGrad(n.in[0], go);
         AccumulateGrad(n.in[1], go);
@@ -400,6 +537,12 @@ void Graph::Backward(Var loss) {
                                       n.val.cols());
         break;
       }
+      case Op::kScaledSoftmax: {
+        Tensor& ga = MutableGrad(n.in[0]);
+        kernels::SoftmaxScaledBackwardAccum(ga.data(), go.data(), n.val.data(),
+                                            n.val.rows(), n.val.cols(), n.scalar);
+        break;
+      }
       case Op::kTranspose: {
         Tensor& ga = MutableGrad(n.in[0]);
         for (int i = 0; i < go.rows(); ++i) {
@@ -412,20 +555,8 @@ void Graph::Backward(Var loss) {
         const Tensor& G = NodeValue(nodes_[static_cast<std::size_t>(n.in[1])]);
         Tensor& gx = MutableGrad(n.in[0]);
         Tensor& gg = MutableGrad(n.in[1]);
-        const int c = X.cols();
-        for (int i = 0; i < X.rows(); ++i) {
-          float ss = 0.0f;
-          for (int j = 0; j < c; ++j) ss += X.at(i, j) * X.at(i, j);
-          const float r = std::sqrt(ss / static_cast<float>(c) + kRmsEps);
-          // s = sum_j go_j * g_j * x_j
-          float s = 0.0f;
-          for (int j = 0; j < c; ++j) s += go.at(i, j) * G.at(0, j) * X.at(i, j);
-          for (int j = 0; j < c; ++j) {
-            gx.at(i, j) += go.at(i, j) * G.at(0, j) / r -
-                           X.at(i, j) * s / (static_cast<float>(c) * r * r * r);
-            gg.at(0, j) += go.at(i, j) * X.at(i, j) / r;
-          }
-        }
+        kernels::RmsNormBackwardAccum(gx.data(), gg.data(), go.data(), X.data(),
+                                      G.data(), n.saved.data(), X.rows(), X.cols());
         break;
       }
       case Op::kConcatCols: {
@@ -445,6 +576,13 @@ void Graph::Backward(Var loss) {
         for (int i = 0; i < go.rows(); ++i) {
           for (int j = 0; j < go.cols(); ++j) ga.at(i, start + j) += go.at(i, j);
         }
+        break;
+      }
+      case Op::kSliceRows: {
+        Tensor& ga = MutableGrad(n.in[0]);
+        const int start = static_cast<int>(n.scalar);
+        kernels::AxpyAccum(ga.data() + static_cast<std::size_t>(start) * ga.cols(),
+                           go.data(), 1.0f, go.size());
         break;
       }
       case Op::kMeanRows: {

@@ -19,8 +19,19 @@ struct Var {
   std::int32_t id = -1;
 };
 
+/// Activation fused into Graph::Linear.
+enum class Act : std::uint8_t { kNone, kRelu, kGelu };
+
 class Graph {
  public:
+  Graph() = default;
+  /// Returns every tape tensor to the thread-local TensorArena, so the
+  /// next Graph built on this thread reuses the buffers instead of
+  /// re-allocating them.
+  ~Graph();
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
   /// Pre-sizes the tape for a forward episode (avoids vector regrowth;
   /// call before the first op with an upper bound on the node count).
   void Reserve(std::size_t nodes) { nodes_.reserve(nodes); }
@@ -33,8 +44,11 @@ class Graph {
     param_grad_sink_ = std::move(sink);
   }
 
-  /// Leaf holding a constant (no gradient flows out of the graph).
-  Var Input(Tensor value);
+  /// Leaf holding a constant (no gradient flows out of the graph). The
+  /// lvalue form copies through the thread-local arena; the rvalue form
+  /// adopts the tensor.
+  Var Input(const Tensor& value);
+  Var Input(Tensor&& value);
 
   /// Leaf bound to a trainable parameter; Backward() accumulates into
   /// param->grad. The parameter must outlive the graph.
@@ -42,6 +56,12 @@ class Graph {
 
   // ----- operations (shapes checked; throws std::invalid_argument) -----
   Var MatMul(Var a, Var b);             // [m,k] x [k,n] -> [m,n]
+  Var MatMulNT(Var a, Var b);           // [m,k] x [n,k]^T -> [m,n]; no Transpose tape node
+  /// Fused x*W + b with optional activation: one op instead of the
+  /// MatMul -> Add(broadcast) -> Relu/Gelu chain (no intermediate value or
+  /// gradient tensors; the backward feeds the activation gradient straight
+  /// into the three GEMM/reduction accumulations).
+  Var Linear(Var x, Var w, Var b, Act act = Act::kNone);
   Var Add(Var a, Var b);                // same shape, or b = [1,n] broadcast over rows
   Var Sub(Var a, Var b);                // same shape
   Var Mul(Var a, Var b);                // elementwise, same shape
@@ -50,10 +70,12 @@ class Graph {
   Var Gelu(Var a);                      // SiLU-style approximation x*sigmoid(1.702x)
   Var Tanh(Var a);
   Var Softmax(Var a);                   // row-wise
+  Var SoftmaxScaled(Var a, float scale);  // row-wise softmax(scale*a), fused
   Var Transpose(Var a);
   Var RmsNorm(Var x, Var gain);         // row-wise RMS norm; gain [1,n]
   Var ConcatCols(const std::vector<Var>& xs);  // all [m, *]
   Var SliceCols(Var a, int start, int len);
+  Var SliceRows(Var a, int start, int len);  // contiguous row slice (memcpy)
   Var MeanRows(Var a);                  // [m,n] -> [1,n]
   Var L1Loss(Var pred, Var target, Var mask);  // -> [1,1]; mask in {0,1}
   Var MseLoss(Var pred, Var target, Var mask); // -> [1,1]
@@ -69,9 +91,10 @@ class Graph {
 
  private:
   enum class Op : std::uint8_t {
-    kInput, kParam, kMatMul, kAdd, kAddBroadcast, kSub, kMul, kScale, kRelu,
-    kGelu, kTanh, kSoftmax, kTranspose, kRmsNorm, kConcatCols, kSliceCols,
-    kMeanRows, kL1Loss, kMseLoss,
+    kInput, kParam, kMatMul, kMatMulNT, kLinear, kAdd, kAddBroadcast, kSub,
+    kMul, kScale, kRelu, kGelu, kTanh, kSoftmax, kScaledSoftmax, kTranspose,
+    kRmsNorm, kConcatCols, kSliceCols, kSliceRows, kMeanRows, kL1Loss,
+    kMseLoss,
   };
 
   struct Node {
@@ -79,11 +102,13 @@ class Graph {
     const Tensor* ref = nullptr;  // kParam aliases param->value instead of copying
     Tensor grad;  // allocated lazily in Backward (unused for kParam, whose
                   // gradient goes straight to the parameter / sink buffer)
+    Tensor saved;  // extra forward state for fused backward passes:
+                   // pre-activation for kLinear, per-row 1/rms for kRmsNorm
     Op op = Op::kInput;
     std::vector<std::int32_t> in;
     Parameter* param = nullptr;
-    float scalar = 0.0f;  // Scale factor / slice start (reused)
-    int aux = 0;          // slice length
+    float scalar = 0.0f;  // Scale/softmax factor / slice start (reused)
+    int aux = 0;          // slice length / Act of kLinear
   };
 
   static const Tensor& NodeValue(const Node& n) { return n.ref ? *n.ref : n.val; }

@@ -1,14 +1,21 @@
-// Tiled kernel implementations. This translation unit is compiled with
-// aggressive optimization flags (see src/CMakeLists.txt, M3_KERNEL_NATIVE),
-// so the loops below are written to autovectorize: contiguous unit-stride
-// inner loops, restrict-qualified pointers, and register-resident
-// accumulator tiles with compile-time extents.
+// Dispatch layer + tiled kernel implementations. This translation unit is
+// compiled with aggressive optimization flags (see src/CMakeLists.txt,
+// M3_KERNEL_NATIVE), so the loops below are written to autovectorize:
+// contiguous unit-stride inner loops, restrict-qualified pointers, and
+// register-resident accumulator tiles with compile-time extents. The
+// hand-vectorized AVX2/AVX-512 tiers live in kernels_avx2.cc /
+// kernels_avx512.cc behind the same dispatch.
 #include "ml/kernels.h"
 
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+
+#include "ml/kernels_impl.h"
+#include "util/cpu_features.h"
 
 #if defined(__GNUC__)
 #define M3_RESTRICT __restrict__
@@ -17,11 +24,101 @@
 #endif
 
 namespace m3::ml::kernels {
+
+// ----------------------------------------------------------------------
+// Implementation selection
+// ----------------------------------------------------------------------
 namespace {
 
-std::atomic<bool> g_use_tiled{true};
+// -1 = not yet resolved; otherwise a KernelImpl value. Resolution is a
+// pure function of M3_KERNEL + CPUID, so a racing first use from several
+// threads installs the same value.
+std::atomic<int> g_impl{-1};
 
-inline float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+KernelImpl BestAvailableImpl() {
+  if (KernelImplAvailable(KernelImpl::kAvx512)) return KernelImpl::kAvx512;
+  if (KernelImplAvailable(KernelImpl::kAvx2)) return KernelImpl::kAvx2;
+  return KernelImpl::kTiled;
+}
+
+}  // namespace
+
+bool KernelImplAvailable(KernelImpl impl) {
+  switch (impl) {
+    case KernelImpl::kNaive:
+    case KernelImpl::kTiled:
+      return true;
+    case KernelImpl::kAvx2:
+      return avx2::Compiled() && CpuSupportsAvx2Fma();
+    case KernelImpl::kAvx512:
+      return avx512::Compiled() && CpuSupportsAvx512();
+  }
+  return false;
+}
+
+const char* KernelImplName(KernelImpl impl) {
+  switch (impl) {
+    case KernelImpl::kNaive: return "naive";
+    case KernelImpl::kTiled: return "tiled";
+    case KernelImpl::kAvx2: return "avx2";
+    case KernelImpl::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+bool ParseKernelImpl(const char* name, KernelImpl* out) {
+  if (name == nullptr || out == nullptr) return false;
+  for (KernelImpl impl : {KernelImpl::kNaive, KernelImpl::kTiled, KernelImpl::kAvx2,
+                          KernelImpl::kAvx512}) {
+    if (std::strcmp(name, KernelImplName(impl)) == 0) {
+      *out = impl;
+      return true;
+    }
+  }
+  return false;
+}
+
+KernelImpl ResolveKernelImpl(const char* env_value) {
+  if (env_value == nullptr || env_value[0] == '\0') return BestAvailableImpl();
+  KernelImpl requested;
+  if (!ParseKernelImpl(env_value, &requested)) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "m3: unrecognized M3_KERNEL=\"%s\" (want naive|tiled|avx2|avx512); "
+                   "using %s\n",
+                   env_value, KernelImplName(BestAvailableImpl()));
+    }
+    return BestAvailableImpl();
+  }
+  if (!KernelImplAvailable(requested)) return BestAvailableImpl();
+  return requested;
+}
+
+KernelImpl GetKernelImpl() {
+  int v = g_impl.load(std::memory_order_acquire);
+  if (v < 0) {
+    const KernelImpl resolved = ResolveKernelImpl(std::getenv("M3_KERNEL"));
+    v = static_cast<int>(resolved);
+    int expected = -1;
+    if (!g_impl.compare_exchange_strong(expected, v, std::memory_order_acq_rel)) {
+      v = expected;  // someone else resolved first (same value unless they Set)
+    }
+  }
+  return static_cast<KernelImpl>(v);
+}
+
+KernelImpl SetKernelImpl(KernelImpl impl) {
+  const KernelImpl effective = KernelImplAvailable(impl) ? impl : BestAvailableImpl();
+  g_impl.store(static_cast<int>(effective), std::memory_order_release);
+  return effective;
+}
+
+// ----------------------------------------------------------------------
+// Tiled GEMM family
+// ----------------------------------------------------------------------
+namespace tiled {
+namespace {
 
 // Micro-tile extents. kMr rows of C are updated at once so each loaded
 // B-row segment is reused kMr times; kNc columns of C live in a local
@@ -74,8 +171,10 @@ inline void MicroKernel(const float* M3_RESTRICT a, const float* M3_RESTRICT b,
   (void)m;
 }
 
-void GemmAccumTiled(const float* M3_RESTRICT a, const float* M3_RESTRICT b,
-                    float* M3_RESTRICT c, int m, int k, int n) {
+}  // namespace
+
+void GemmAccum(const float* M3_RESTRICT a, const float* M3_RESTRICT b,
+               float* M3_RESTRICT c, int m, int k, int n) {
   for (int j0 = 0; j0 < n; j0 += kNc) {
     const int jb = std::min(kNc, n - j0);
     for (int i0 = 0; i0 < m; i0 += kMr) {
@@ -90,8 +189,8 @@ void GemmAccumTiled(const float* M3_RESTRICT a, const float* M3_RESTRICT b,
 // are processed per pass so each loaded dC segment is reused, and eight
 // independent accumulators per dot product keep the reduction vectorizable
 // without reassociating a single serial sum.
-void GemmAccumNTTiled(const float* M3_RESTRICT dc, const float* M3_RESTRICT b,
-                      float* M3_RESTRICT da, int m, int n, int k) {
+void GemmAccumNT(const float* M3_RESTRICT dc, const float* M3_RESTRICT b,
+                 float* M3_RESTRICT da, int m, int n, int k) {
   constexpr int kPr = 4;   // B rows (= dA columns) per pass
   constexpr int kLanes = 8;
   for (int i = 0; i < m; ++i) {
@@ -137,8 +236,8 @@ void GemmAccumNTTiled(const float* M3_RESTRICT dc, const float* M3_RESTRICT b,
 // dB[p,:] += sum_i A[i,p] * dC[i,:] — same register-tile shape as the
 // forward kernel with the roles of A and C swapped: a kMr-column strip of
 // A drives rank-1 updates into a dB tile held in local accumulators.
-void GemmAccumTNTiled(const float* M3_RESTRICT a, const float* M3_RESTRICT dc,
-                      float* M3_RESTRICT db, int m, int k, int n) {
+void GemmAccumTN(const float* M3_RESTRICT a, const float* M3_RESTRICT dc,
+                 float* M3_RESTRICT db, int m, int k, int n) {
   if (m <= 16) {
     // Short-m fast path (the common case here: m is a sequence length or
     // 1). dB is the large streamed operand; each of its rows is read and
@@ -195,34 +294,13 @@ void GemmAccumTNTiled(const float* M3_RESTRICT a, const float* M3_RESTRICT dc,
   }
 }
 
-}  // namespace
+}  // namespace tiled
 
-void SetUseTiled(bool use_tiled) { g_use_tiled.store(use_tiled, std::memory_order_relaxed); }
-bool UseTiled() { return g_use_tiled.load(std::memory_order_relaxed); }
-
-void GemmAccum(const float* a, const float* b, float* c, int m, int k, int n) {
-  if (UseTiled()) {
-    GemmAccumTiled(a, b, c, m, k, n);
-  } else {
-    GemmAccumNaive(a, b, c, m, k, n);
-  }
-}
-
-void GemmAccumNT(const float* dc, const float* b, float* da, int m, int n, int k) {
-  if (UseTiled()) {
-    GemmAccumNTTiled(dc, b, da, m, n, k);
-  } else {
-    GemmAccumNTNaive(dc, b, da, m, n, k);
-  }
-}
-
-void GemmAccumTN(const float* a, const float* dc, float* db, int m, int k, int n) {
-  if (UseTiled()) {
-    GemmAccumTNTiled(a, dc, db, m, k, n);
-  } else {
-    GemmAccumTNNaive(a, dc, db, m, k, n);
-  }
-}
+// ----------------------------------------------------------------------
+// Scalar elementwise reference loops (autovectorized under the tiled TU's
+// flags; the hand-vectorized versions live in the AVX TUs).
+// ----------------------------------------------------------------------
+namespace scalar {
 
 void BiasAddRows(float* out, const float* x, const float* bias, int rows, int cols) {
   for (int r = 0; r < rows; ++r) {
@@ -266,12 +344,102 @@ void ReduceScaleAndZero(float* dst, float* const* srcs, std::size_t nsrcs, std::
   }
 }
 
+}  // namespace scalar
+
+// ----------------------------------------------------------------------
+// Dispatching wrappers
+// ----------------------------------------------------------------------
+
+void GemmAccum(const float* a, const float* b, float* c, int m, int k, int n) {
+  switch (GetKernelImpl()) {
+    case KernelImpl::kNaive: GemmAccumNaive(a, b, c, m, k, n); return;
+    case KernelImpl::kTiled: tiled::GemmAccum(a, b, c, m, k, n); return;
+    case KernelImpl::kAvx2: avx2::GemmAccum(a, b, c, m, k, n); return;
+    case KernelImpl::kAvx512: avx512::GemmAccum(a, b, c, m, k, n); return;
+  }
+}
+
+void GemmAccumNT(const float* dc, const float* b, float* da, int m, int n, int k) {
+  switch (GetKernelImpl()) {
+    case KernelImpl::kNaive: GemmAccumNTNaive(dc, b, da, m, n, k); return;
+    case KernelImpl::kTiled: tiled::GemmAccumNT(dc, b, da, m, n, k); return;
+    case KernelImpl::kAvx2: avx2::GemmAccumNT(dc, b, da, m, n, k); return;
+    case KernelImpl::kAvx512: avx512::GemmAccumNT(dc, b, da, m, n, k); return;
+  }
+}
+
+void GemmAccumTN(const float* a, const float* dc, float* db, int m, int k, int n) {
+  switch (GetKernelImpl()) {
+    case KernelImpl::kNaive: GemmAccumTNNaive(a, dc, db, m, k, n); return;
+    case KernelImpl::kTiled: tiled::GemmAccumTN(a, dc, db, m, k, n); return;
+    case KernelImpl::kAvx2: avx2::GemmAccumTN(a, dc, db, m, k, n); return;
+    case KernelImpl::kAvx512: avx512::GemmAccumTN(a, dc, db, m, k, n); return;
+  }
+}
+
+void BiasAddRows(float* out, const float* x, const float* bias, int rows, int cols) {
+  switch (GetKernelImpl()) {
+    case KernelImpl::kAvx2: avx2::BiasAddRows(out, x, bias, rows, cols); return;
+    case KernelImpl::kAvx512: avx512::BiasAddRows(out, x, bias, rows, cols); return;
+    default: scalar::BiasAddRows(out, x, bias, rows, cols); return;
+  }
+}
+
+void ColSumAccum(float* bg, const float* go, int rows, int cols) {
+  switch (GetKernelImpl()) {
+    case KernelImpl::kAvx2: avx2::ColSumAccum(bg, go, rows, cols); return;
+    case KernelImpl::kAvx512: avx512::ColSumAccum(bg, go, rows, cols); return;
+    default: scalar::ColSumAccum(bg, go, rows, cols); return;
+  }
+}
+
+void AxpyAccum(float* y, const float* x, float alpha, std::size_t size) {
+  switch (GetKernelImpl()) {
+    case KernelImpl::kAvx2: avx2::AxpyAccum(y, x, alpha, size); return;
+    case KernelImpl::kAvx512: avx512::AxpyAccum(y, x, alpha, size); return;
+    default: scalar::AxpyAccum(y, x, alpha, size); return;
+  }
+}
+
+void AddAndZero(float* dst, float* src, std::size_t size) {
+  switch (GetKernelImpl()) {
+    case KernelImpl::kAvx2: avx2::AddAndZero(dst, src, size); return;
+    case KernelImpl::kAvx512: avx512::AddAndZero(dst, src, size); return;
+    default: scalar::AddAndZero(dst, src, size); return;
+  }
+}
+
+void ReduceScaleAndZero(float* dst, float* const* srcs, std::size_t nsrcs, std::size_t size,
+                        float alpha) {
+  switch (GetKernelImpl()) {
+    case KernelImpl::kAvx2: avx2::ReduceScaleAndZero(dst, srcs, nsrcs, size, alpha); return;
+    case KernelImpl::kAvx512: avx512::ReduceScaleAndZero(dst, srcs, nsrcs, size, alpha); return;
+    default: scalar::ReduceScaleAndZero(dst, srcs, nsrcs, size, alpha); return;
+  }
+}
+
+// ----------------------------------------------------------------------
+// Shared kernels (single implementation; autovectorized here)
+// ----------------------------------------------------------------------
+namespace {
+
+inline float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+void FillRowsWithBias(float* out, const float* bias, int rows, int cols) {
+  for (int r = 0; r < rows; ++r) {
+    std::memcpy(out + static_cast<std::size_t>(r) * cols, bias,
+                static_cast<std::size_t>(cols) * sizeof(float));
+  }
+}
+
 void ScaleInPlace(float* x, float alpha, std::size_t size) {
   for (std::size_t i = 0; i < size; ++i) x[i] *= alpha;
 }
 
 double SumSquares(const float* x, std::size_t size) {
-  if (!UseTiled()) return SumSquaresNaive(x, size);
+  if (GetKernelImpl() == KernelImpl::kNaive) return SumSquaresNaive(x, size);
   // Eight independent double accumulators so the reduction vectorizes
   // without changing the (documented, deterministic) summation order from
   // run to run.
@@ -323,6 +491,11 @@ void ReluBackwardAccum(float* ga, const float* go, const float* x, std::size_t s
   }
 }
 
+void ReluBackwardInto(float* dst, const float* go, const float* x, std::size_t size) {
+  float* M3_RESTRICT d = dst;
+  for (std::size_t i = 0; i < size; ++i) d[i] = x[i] > 0.0f ? go[i] : 0.0f;
+}
+
 void GeluForward(float* dst, const float* src, std::size_t size) {
   for (std::size_t i = 0; i < size; ++i) dst[i] = src[i] * Sigmoid(1.702f * src[i]);
 }
@@ -334,14 +507,27 @@ void GeluBackwardAccum(float* ga, const float* go, const float* x, std::size_t s
   }
 }
 
-void SoftmaxRows(float* data, int rows, int cols) {
+void GeluBackwardInto(float* dst, const float* go, const float* x, std::size_t size) {
+  float* M3_RESTRICT d = dst;
+  for (std::size_t i = 0; i < size; ++i) {
+    const float s = Sigmoid(1.702f * x[i]);
+    d[i] = go[i] * (s + x[i] * 1.702f * s * (1.0f - s));
+  }
+}
+
+void SoftmaxRows(float* data, int rows, int cols) { SoftmaxScaledRows(data, rows, cols, 1.0f); }
+
+void SoftmaxScaledRows(float* data, int rows, int cols, float scale) {
   for (int r = 0; r < rows; ++r) {
     float* M3_RESTRICT row = data + static_cast<std::size_t>(r) * cols;
     float mx = row[0];
     for (int j = 1; j < cols; ++j) mx = std::max(mx, row[j]);
+    // softmax(scale*x) == exp(scale*(x - max)) / sum: folding the scale
+    // into the exponent keeps one pass and is max-shifted for stability
+    // (scale is positive here: 1/sqrt(d_head) or 1).
     float sum = 0.0f;
     for (int j = 0; j < cols; ++j) {
-      row[j] = std::exp(row[j] - mx);
+      row[j] = std::exp(scale * (row[j] - mx));
       sum += row[j];
     }
     const float inv = 1.0f / sum;
@@ -350,13 +536,48 @@ void SoftmaxRows(float* data, int rows, int cols) {
 }
 
 void SoftmaxBackwardAccum(float* ga, const float* go, const float* y, int rows, int cols) {
+  SoftmaxScaledBackwardAccum(ga, go, y, rows, cols, 1.0f);
+}
+
+void SoftmaxScaledBackwardAccum(float* ga, const float* go, const float* y, int rows,
+                                int cols, float scale) {
   for (int r = 0; r < rows; ++r) {
     const float* M3_RESTRICT yrow = y + static_cast<std::size_t>(r) * cols;
     const float* M3_RESTRICT grow = go + static_cast<std::size_t>(r) * cols;
     float* M3_RESTRICT garow = ga + static_cast<std::size_t>(r) * cols;
     float dot = 0.0f;
     for (int j = 0; j < cols; ++j) dot += grow[j] * yrow[j];
-    for (int j = 0; j < cols; ++j) garow[j] += yrow[j] * (grow[j] - dot);
+    for (int j = 0; j < cols; ++j) garow[j] += scale * yrow[j] * (grow[j] - dot);
+  }
+}
+
+void RmsNormForward(float* out, float* inv_r, const float* x, const float* gain,
+                    int rows, int cols, float eps) {
+  for (int r = 0; r < rows; ++r) {
+    const float* M3_RESTRICT xrow = x + static_cast<std::size_t>(r) * cols;
+    float* M3_RESTRICT orow = out + static_cast<std::size_t>(r) * cols;
+    float ss = 0.0f;
+    for (int j = 0; j < cols; ++j) ss += xrow[j] * xrow[j];
+    const float ir = 1.0f / std::sqrt(ss / static_cast<float>(cols) + eps);
+    inv_r[r] = ir;
+    for (int j = 0; j < cols; ++j) orow[j] = gain[j] * xrow[j] * ir;
+  }
+}
+
+void RmsNormBackwardAccum(float* gx, float* ggain, const float* go, const float* x,
+                          const float* gain, const float* inv_r, int rows, int cols) {
+  for (int r = 0; r < rows; ++r) {
+    const float* M3_RESTRICT grow = go + static_cast<std::size_t>(r) * cols;
+    const float* M3_RESTRICT xrow = x + static_cast<std::size_t>(r) * cols;
+    float* M3_RESTRICT gxrow = gx + static_cast<std::size_t>(r) * cols;
+    const float ir = inv_r[r];
+    float s = 0.0f;
+    for (int j = 0; j < cols; ++j) s += grow[j] * gain[j] * xrow[j];
+    const float c = s * ir * ir * ir / static_cast<float>(cols);
+    for (int j = 0; j < cols; ++j) {
+      gxrow[j] += grow[j] * gain[j] * ir - xrow[j] * c;
+      ggain[j] += grow[j] * xrow[j] * ir;
+    }
   }
 }
 

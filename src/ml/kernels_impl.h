@@ -1,0 +1,68 @@
+// Internal per-implementation entry points behind the ml/kernels.h
+// dispatch seam. Each SIMD tier lives in its own translation unit compiled
+// with exactly the ISA flags it needs (see src/CMakeLists.txt):
+//
+//   tiled   kernels.cc        cache-blocked portable C++ (autovectorized)
+//   avx2    kernels_avx2.cc   256-bit FMA intrinsics (-mavx2 -mfma)
+//   avx512  kernels_avx512.cc 512-bit intrinsics (-mavx512f)
+//
+// The AVX TUs are compiled whenever the *compiler* accepts the flags; the
+// dispatcher additionally gates on runtime CPUID (util/cpu_features.h), so
+// a binary built on/for an AVX-512 box still runs everywhere. When the
+// compiler cannot target an ISA, the TU compiles as a stub whose
+// Compiled() returns false and whose kernels abort if ever reached.
+//
+// This header is internal to the ml/ kernels; everything else goes through
+// the dispatching functions in ml/kernels.h.
+#pragma once
+
+#include <cstddef>
+
+namespace m3::ml::kernels {
+
+namespace tiled {
+void GemmAccum(const float* a, const float* b, float* c, int m, int k, int n);
+void GemmAccumNT(const float* dc, const float* b, float* da, int m, int n, int k);
+void GemmAccumTN(const float* a, const float* dc, float* db, int m, int k, int n);
+}  // namespace tiled
+
+// Scalar reference loops for the elementwise kernels (shared by the naive
+// and tiled tiers, and the parity baseline for the AVX tiers).
+namespace scalar {
+void BiasAddRows(float* out, const float* x, const float* bias, int rows, int cols);
+void ColSumAccum(float* bg, const float* go, int rows, int cols);
+void AxpyAccum(float* y, const float* x, float alpha, std::size_t size);
+void AddAndZero(float* dst, float* src, std::size_t size);
+void ReduceScaleAndZero(float* dst, float* const* srcs, std::size_t nsrcs, std::size_t size,
+                        float alpha);
+}  // namespace scalar
+
+namespace avx2 {
+/// True when this TU was built with real AVX2/FMA code.
+bool Compiled();
+void GemmAccum(const float* a, const float* b, float* c, int m, int k, int n);
+void GemmAccumNT(const float* dc, const float* b, float* da, int m, int n, int k);
+void GemmAccumTN(const float* a, const float* dc, float* db, int m, int k, int n);
+void BiasAddRows(float* out, const float* x, const float* bias, int rows, int cols);
+void ColSumAccum(float* bg, const float* go, int rows, int cols);
+void AxpyAccum(float* y, const float* x, float alpha, std::size_t size);
+void AddAndZero(float* dst, float* src, std::size_t size);
+void ReduceScaleAndZero(float* dst, float* const* srcs, std::size_t nsrcs, std::size_t size,
+                        float alpha);
+}  // namespace avx2
+
+namespace avx512 {
+/// True when this TU was built with real AVX-512 code.
+bool Compiled();
+void GemmAccum(const float* a, const float* b, float* c, int m, int k, int n);
+void GemmAccumNT(const float* dc, const float* b, float* da, int m, int n, int k);
+void GemmAccumTN(const float* a, const float* dc, float* db, int m, int k, int n);
+void BiasAddRows(float* out, const float* x, const float* bias, int rows, int cols);
+void ColSumAccum(float* bg, const float* go, int rows, int cols);
+void AxpyAccum(float* y, const float* x, float alpha, std::size_t size);
+void AddAndZero(float* dst, float* src, std::size_t size);
+void ReduceScaleAndZero(float* dst, float* const* srcs, std::size_t nsrcs, std::size_t size,
+                        float alpha);
+}  // namespace avx512
+
+}  // namespace m3::ml::kernels

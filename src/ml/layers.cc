@@ -8,8 +8,8 @@ Linear::Linear(const std::string& name, int in, int out, Rng& rng)
     : w_(name + ".w", Tensor::Randn(in, out, rng, 1.0f / std::sqrt(static_cast<float>(in)))),
       b_(name + ".b", Tensor::Zeros(1, out)) {}
 
-Var Linear::operator()(Graph& g, Var x) {
-  return g.Add(g.MatMul(x, g.Param(&w_)), g.Param(&b_));
+Var Linear::operator()(Graph& g, Var x, Act act) {
+  return g.Linear(x, g.Param(&w_), g.Param(&b_), act);
 }
 
 void Linear::CollectParams(std::vector<Parameter*>& out) {
@@ -29,7 +29,7 @@ void RmsNormLayer::CollectParams(std::vector<Parameter*>& out) { out.push_back(&
 Mlp::Mlp(const std::string& name, int in, int hidden, int out, Rng& rng)
     : fc1_(name + ".fc1", in, hidden, rng), fc2_(name + ".fc2", hidden, out, rng) {}
 
-Var Mlp::operator()(Graph& g, Var x) { return fc2_(g, g.Relu(fc1_(g, x))); }
+Var Mlp::operator()(Graph& g, Var x) { return fc2_(g, fc1_(g, x, Act::kRelu)); }
 
 void Mlp::CollectParams(std::vector<Parameter*>& out) {
   fc1_.CollectParams(out);

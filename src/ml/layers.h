@@ -10,13 +10,15 @@
 
 namespace m3::ml {
 
-/// y = x W + b, with Kaiming-ish init (stddev = 1/sqrt(in)).
+/// y = act(x W + b), with Kaiming-ish init (stddev = 1/sqrt(in)). The
+/// whole layer is one fused tape op (Graph::Linear), including the
+/// optional activation.
 class Linear {
  public:
   Linear() = default;
   Linear(const std::string& name, int in, int out, Rng& rng);
 
-  Var operator()(Graph& g, Var x);
+  Var operator()(Graph& g, Var x, Act act = Act::kNone);
   void CollectParams(std::vector<Parameter*>& out);
 
   int in_features() const { return w_.value.rows(); }

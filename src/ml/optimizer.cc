@@ -28,7 +28,7 @@ void Adam::Step() {
   const float bc1 = 1.0f - std::pow(opts_.beta1, static_cast<float>(step_));
   const float bc2 = 1.0f - std::pow(opts_.beta2, static_cast<float>(step_));
 
-  if (!kernels::UseTiled()) {
+  if (kernels::GetKernelImpl() == kernels::KernelImpl::kNaive) {
     // Reference path: the seed's separate clip / step / zero passes.
     if (opts_.grad_clip > 0.0f) {
       double norm_sq = 0.0;

@@ -11,6 +11,14 @@ Tensor::Tensor(int rows, int cols)
   if (rows < 0 || cols < 0) throw std::invalid_argument("Tensor: negative shape");
 }
 
+Tensor::Tensor(int rows, int cols, FloatVec&& buf)
+    : rows_(rows), cols_(cols), data_(std::move(buf)) {
+  if (rows < 0 || cols < 0) throw std::invalid_argument("Tensor: negative shape");
+  if (data_.size() != static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {
+    throw std::invalid_argument("Tensor: adopted buffer size mismatch");
+  }
+}
+
 Tensor Tensor::Randn(int rows, int cols, Rng& rng, float stddev) {
   Tensor t(rows, cols);
   for (float& v : t.data_) v = static_cast<float>(rng.Normal(0.0, stddev));
@@ -19,7 +27,7 @@ Tensor Tensor::Randn(int rows, int cols, Rng& rng, float stddev) {
 
 Tensor Tensor::FromVector(const std::vector<float>& v) {
   Tensor t(1, static_cast<int>(v.size()));
-  t.data_ = v;
+  t.data_.assign(v.begin(), v.end());
   return t;
 }
 

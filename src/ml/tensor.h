@@ -1,9 +1,15 @@
 // Dense row-major float32 matrix. 1-D vectors are represented as [1, n].
 // This is deliberately minimal: m3's model only needs 2-D tensors (the
 // per-hop feature-map sequence is handled as a [hops, feat] matrix).
+//
+// Tensor storage is 64-byte aligned and padded to a 64-byte multiple (see
+// AlignedAllocator): SIMD kernels get aligned full-width loads, and no two
+// tensor allocations ever share a cache line, so per-thread gradient
+// buffers written concurrently from different threads cannot false-share.
 #pragma once
 
 #include <cstddef>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -11,10 +17,50 @@
 
 namespace m3::ml {
 
+/// Minimal aligned allocator: every allocation starts on an `Align`-byte
+/// boundary and its byte size is rounded up to a multiple of `Align`.
+template <typename T, std::size_t Align>
+struct AlignedAllocator {
+  using value_type = T;
+  // Explicit rebind: the default mechanism cannot rewrite the non-type
+  // Align parameter.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = (n * sizeof(T) + Align - 1) / Align * Align;
+    return static_cast<T*>(::operator new(bytes, std::align_val_t(Align)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U, Align>&) const noexcept {
+    return false;
+  }
+};
+
+/// Backing storage for Tensor: cache-line aligned float vector.
+using FloatVec = std::vector<float, AlignedAllocator<float, 64>>;
+
 class Tensor {
  public:
   Tensor() = default;
   Tensor(int rows, int cols);
+  /// Adopts `buf` as backing storage (arena reuse); buf.size() must equal
+  /// rows * cols.
+  Tensor(int rows, int cols, FloatVec&& buf);
 
   static Tensor Zeros(int rows, int cols) { return Tensor(rows, cols); }
   /// Gaussian init with the given standard deviation.
@@ -30,8 +76,16 @@ class Tensor {
   float at(int r, int c) const { return data_[static_cast<std::size_t>(r) * cols_ + c]; }
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
-  std::vector<float>& vec() { return data_; }
-  const std::vector<float>& vec() const { return data_; }
+  FloatVec& vec() { return data_; }
+  const FloatVec& vec() const { return data_; }
+
+  /// Moves the backing buffer out (for arena reclamation), leaving the
+  /// tensor empty.
+  FloatVec ReleaseBuffer() {
+    rows_ = 0;
+    cols_ = 0;
+    return std::move(data_);
+  }
 
   void Fill(float v);
   void AddInPlace(const Tensor& other);  // same shape
@@ -39,7 +93,7 @@ class Tensor {
  private:
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<float> data_;
+  FloatVec data_;
 };
 
 /// Named trainable parameter with gradient accumulator and Adam state.

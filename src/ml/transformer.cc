@@ -36,15 +36,15 @@ Var TransformerBlock::operator()(Graph& g, Var x) {
     Var qh = g.SliceCols(q, head * dh, dh);
     Var kh = g.SliceCols(k, head * dh, dh);
     Var vh = g.SliceCols(v, head * dh, dh);
-    Var scores = g.Scale(g.MatMul(qh, g.Transpose(kh)), scale);
-    Var attn = g.Softmax(scores);
+    // q·k^T with no Transpose node, scale folded into the softmax pass.
+    Var attn = g.SoftmaxScaled(g.MatMulNT(qh, kh), scale);
     heads.push_back(g.MatMul(attn, vh));
   }
   Var attn_out = wo_(g, g.ConcatCols(heads));
   Var x1 = g.Add(x, attn_out);
 
-  // Pre-norm feed-forward with residual.
-  Var ff = ff2_(g, g.Gelu(ff1_(g, norm2_(g, x1))));
+  // Pre-norm feed-forward with residual (GELU fused into ff1).
+  Var ff = ff2_(g, ff1_(g, norm2_(g, x1), Act::kGelu));
   return g.Add(x1, ff);
 }
 
@@ -78,9 +78,10 @@ Var TransformerEncoder::Encode(Graph& g, const Tensor& sequence) {
     throw std::invalid_argument("TransformerEncoder: bad sequence shape");
   }
   Var x = in_proj_(g, g.Input(sequence));
-  // Add the first n rows of the positional embedding.
-  Var pos = g.SliceCols(g.Transpose(g.Param(&pos_emb_)), 0, n);
-  x = g.Add(x, g.Transpose(pos));
+  // Add the first n rows of the positional embedding (a direct row slice;
+  // the old Transpose -> SliceCols -> Transpose chain materialized the
+  // full embedding twice per episode).
+  x = g.Add(x, g.SliceRows(g.Param(&pos_emb_), 0, n));
   for (auto& block : blocks_) x = block(g, x);
   return final_norm_(g, g.MeanRows(x));
 }

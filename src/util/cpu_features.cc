@@ -1,0 +1,41 @@
+#include "util/cpu_features.h"
+
+namespace m3 {
+namespace {
+
+CpuFeatures Detect() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports checks CPUID *and* OS support for the register
+  // state (XGETBV), so a kernel that does not save ZMM state reports false.
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+  f.fma = __builtin_cpu_supports("fma") != 0;
+  f.avx512f = __builtin_cpu_supports("avx512f") != 0;
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& GetCpuFeatures() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+bool CpuSupportsAvx2Fma() {
+  const CpuFeatures& f = GetCpuFeatures();
+  return f.avx2 && f.fma;
+}
+
+bool CpuSupportsAvx512() { return GetCpuFeatures().avx512f; }
+
+std::string CpuFeatureSummary() {
+  const CpuFeatures& f = GetCpuFeatures();
+  std::string s;
+  if (f.avx2 && f.fma) s += "avx2+fma";
+  if (f.avx512f) s += s.empty() ? "avx512f" : " avx512f";
+  if (s.empty()) s = "scalar-only";
+  return s;
+}
+
+}  // namespace m3

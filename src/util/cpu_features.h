@@ -1,0 +1,31 @@
+// Runtime CPU SIMD feature detection for the kernel dispatch seam
+// (ml/kernels.h). Detection runs once (CPUID + OS XSAVE state via the
+// compiler builtins, which check both the instruction sets and that the
+// OS preserves the wider register files) and is cached; all queries after
+// the first are a plain struct read.
+#pragma once
+
+#include <string>
+
+namespace m3 {
+
+struct CpuFeatures {
+  bool avx2 = false;      // AVX2 integer/permute ISA
+  bool fma = false;       // FMA3
+  bool avx512f = false;   // AVX-512 Foundation (implies 512-bit FMA)
+};
+
+/// Detected features of the executing CPU (cached after the first call).
+const CpuFeatures& GetCpuFeatures();
+
+/// True when the 256-bit kernels (ml/kernels_avx2.cc) can run here.
+bool CpuSupportsAvx2Fma();
+
+/// True when the 512-bit kernels (ml/kernels_avx512.cc) can run here.
+bool CpuSupportsAvx512();
+
+/// Human-readable summary, e.g. "avx2+fma avx512f" or "scalar-only"
+/// (bench provenance and startup logs).
+std::string CpuFeatureSummary();
+
+}  // namespace m3

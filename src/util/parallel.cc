@@ -37,7 +37,11 @@ struct Shard {
 
 struct Job {
   const std::function<void(std::size_t)>* fn = nullptr;
-  std::vector<Shard> shards;
+  // Shard storage lives in Impl::shard_buf (reused across dispatches;
+  // top-level callers are serialized by dispatch_mu), so a training run's
+  // thousands of ParallelFor calls allocate nothing.
+  Shard* shards = nullptr;
+  std::size_t nshards = 0;
   std::size_t chunk = 1;
   unsigned workers_needed = 0;           // pool workers participating (excl. caller)
   std::atomic<unsigned> workers_active{0};
@@ -61,9 +65,9 @@ struct Job {
         continue;
       }
       // Own shard drained: steal from the shard with the most work left.
-      std::size_t victim = shards.size();
+      std::size_t victim = nshards;
       std::size_t best_left = 0;
-      for (std::size_t s = 0; s < shards.size(); ++s) {
+      for (std::size_t s = 0; s < nshards; ++s) {
         if (s == self) continue;
         const std::size_t nxt = shards[s].next.load(std::memory_order_relaxed);
         const std::size_t left = nxt < shards[s].end ? shards[s].end - nxt : 0;
@@ -72,7 +76,7 @@ struct Job {
           victim = s;
         }
       }
-      if (victim == shards.size()) break;  // nothing left anywhere
+      if (victim == nshards) break;  // nothing left anywhere
       Shard& v = shards[victim];
       const std::size_t j = v.next.fetch_add(chunk, std::memory_order_relaxed);
       if (j < v.end) RunRange(j, std::min(j + chunk, v.end));
@@ -101,6 +105,7 @@ struct ThreadPool::Impl {
   std::uint64_t generation = 0;
   bool stop = false;
   std::mutex dispatch_mu;  // serializes top-level ParallelFor callers
+  std::vector<Shard> shard_buf;  // guarded by dispatch_mu; grows to max width
   std::vector<std::thread> threads;
 
   void WorkerLoop(std::size_t worker_idx) {
@@ -185,9 +190,11 @@ void ThreadPool::ParallelFor(std::size_t n, const std::function<void(std::size_t
   }
 
   std::lock_guard<std::mutex> dispatch(impl_->dispatch_mu);
+  if (impl_->shard_buf.size() < p) impl_->shard_buf = std::vector<Shard>(p);
   Job job;
   job.fn = &fn;
-  job.shards = std::vector<Shard>(p);
+  job.shards = impl_->shard_buf.data();
+  job.nshards = p;
   job.chunk = std::max<std::size_t>(1, n / (static_cast<std::size_t>(p) * 8));
   const std::size_t per = (n + p - 1) / p;
   for (unsigned s = 0; s < p; ++s) {

@@ -1,0 +1,122 @@
+// Tensor storage alignment and the thread-local tape arena.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+
+#include "ml/arena.h"
+#include "ml/autograd.h"
+#include "ml/tensor.h"
+#include "util/rng.h"
+
+namespace m3::ml {
+namespace {
+
+bool Aligned64(const float* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % 64 == 0;
+}
+
+TEST(TensorAlignment, StorageIs64ByteAligned) {
+  // Odd sizes too: the allocator rounds the byte size up to a 64-byte
+  // multiple, so consecutive allocations never share a cache line.
+  for (int n : {1, 3, 8, 17, 64, 100, 1000}) {
+    Tensor t(3, n);
+    EXPECT_TRUE(Aligned64(t.data())) << "rows=3 cols=" << n;
+    Rng rng(1);
+    Tensor r = Tensor::Randn(n, 2, rng, 1.0f);
+    EXPECT_TRUE(Aligned64(r.data())) << "randn n=" << n;
+  }
+}
+
+TEST(TensorArena, ReusesReturnedBuffers) {
+  TensorArena& arena = TensorArena::ThreadLocal();
+  arena.Clear();
+  const std::size_t alloc0 = arena.alloc_count();
+  const std::size_t reuse0 = arena.reuse_count();
+
+  Tensor a = arena.GetZeros(8, 16);
+  EXPECT_EQ(arena.alloc_count(), alloc0 + 1);
+  float* const buf = a.data();
+  arena.Put(std::move(a));
+  EXPECT_EQ(arena.pooled_buffers(), 1u);
+
+  // Same shape comes back as the same buffer.
+  Tensor b = arena.GetZeros(8, 16);
+  EXPECT_EQ(arena.reuse_count(), reuse0 + 1);
+  EXPECT_EQ(b.data(), buf);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(b.vec()[i], 0.0f);
+  arena.Put(std::move(b));
+
+  // A smaller request may reuse it (within the 2x slack bound)...
+  Tensor c = arena.GetZeros(8, 8);
+  EXPECT_EQ(arena.reuse_count(), reuse0 + 2);
+  arena.Put(std::move(c));
+  // ...but a tiny request must not pin the big buffer.
+  Tensor d = arena.GetZeros(1, 4);
+  EXPECT_EQ(arena.alloc_count(), alloc0 + 2);
+  arena.Put(std::move(d));
+  arena.Clear();
+  EXPECT_EQ(arena.pooled_buffers(), 0u);
+  EXPECT_EQ(arena.pooled_bytes(), 0u);
+}
+
+TEST(TensorArena, GetCopyCopiesValues) {
+  TensorArena& arena = TensorArena::ThreadLocal();
+  Rng rng(3);
+  const Tensor src = Tensor::Randn(4, 5, rng, 1.0f);
+  Tensor copy = arena.GetCopy(src);
+  ASSERT_EQ(copy.rows(), 4);
+  ASSERT_EQ(copy.cols(), 5);
+  for (std::size_t i = 0; i < src.size(); ++i) EXPECT_EQ(copy.vec()[i], src.vec()[i]);
+  arena.Put(std::move(copy));
+}
+
+TEST(TensorArena, SteadyStateGraphAllocatesNothing) {
+  TensorArena& arena = TensorArena::ThreadLocal();
+  arena.Clear();
+  Rng rng(5);
+  Parameter w("w", Tensor::Randn(6, 4, rng, 0.5f));
+  Parameter b("b", Tensor::Randn(1, 4, rng, 0.5f));
+  const Tensor x = Tensor::Randn(3, 6, rng, 1.0f);
+  const Tensor t = Tensor::Randn(3, 4, rng, 1.0f);
+  Tensor mask(3, 4);
+  mask.Fill(1.0f);
+
+  const auto run_episode = [&] {
+    Graph g;
+    const Var out = g.Linear(g.Input(x), g.Param(&w), g.Param(&b), Act::kRelu);
+    const Var loss = g.MseLoss(out, g.Input(t), g.Input(mask));
+    g.Backward(loss);
+  };
+
+  run_episode();  // warm-up: populates the pool via ~Graph
+  const std::size_t allocs_after_warmup = arena.alloc_count();
+  for (int i = 0; i < 10; ++i) run_episode();
+  // Every subsequent identical episode is served entirely from the pool.
+  EXPECT_EQ(arena.alloc_count(), allocs_after_warmup);
+  arena.Clear();
+}
+
+TEST(TensorArena, ArenasAreThreadLocal) {
+  TensorArena& main_arena = TensorArena::ThreadLocal();
+  TensorArena* other = nullptr;
+  std::thread th([&] { other = &TensorArena::ThreadLocal(); });
+  th.join();
+  ASSERT_NE(other, nullptr);
+  EXPECT_NE(other, &main_arena);
+}
+
+TEST(TensorArena, PoolByteCapEvicts) {
+  TensorArena arena_local;  // a private instance, not the thread-local one
+  // Two buffers whose sum exceeds the cap: returning the second evicts
+  // largest-first down to the budget.
+  const int big_cols = static_cast<int>(TensorArena::kMaxPoolBytes / sizeof(float) / 2 + 64);
+  Tensor a = arena_local.GetZeros(1, big_cols);
+  Tensor b = arena_local.GetZeros(2, big_cols);
+  arena_local.Put(std::move(a));
+  arena_local.Put(std::move(b));
+  EXPECT_LE(arena_local.pooled_bytes(), TensorArena::kMaxPoolBytes);
+}
+
+}  // namespace
+}  // namespace m3::ml

@@ -221,6 +221,172 @@ TEST(Autograd, BackwardTwiceThrows) {
   EXPECT_THROW(g.Backward(loss), std::logic_error);
 }
 
+// ----------------------------------------------------------- fused ops ---
+//
+// Each fused tape op must match the unfused chain it replaced — same
+// forward values and same parameter gradients (within float tolerance;
+// fusion changes the accumulation order, so bitwise equality is not
+// expected).
+
+void ExpectTensorsNear(const Tensor& got, const Tensor& want, float tol, const char* what) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(got.vec()[i], want.vec()[i], tol) << what << " at element " << i;
+  }
+}
+
+TEST(AutogradFused, LinearMatchesMatMulAddActChain) {
+  Rng rng(21);
+  const Tensor x = Tensor::Randn(5, 7, rng, 1.0f);
+  const Tensor t = Tensor::Randn(5, 4, rng, 1.0f);
+  Tensor mask(5, 4);
+  mask.Fill(1.0f);
+  for (Act act : {Act::kNone, Act::kRelu, Act::kGelu}) {
+    Parameter w("w", Tensor::Randn(7, 4, rng, 0.5f));
+    Parameter b("b", Tensor::Randn(1, 4, rng, 0.5f));
+
+    Tensor ref_val, ref_gw, ref_gb;
+    {
+      w.ZeroGrad();
+      b.ZeroGrad();
+      Graph g;
+      Var out = g.Add(g.MatMul(g.Input(x), g.Param(&w)), g.Param(&b));
+      if (act == Act::kRelu) out = g.Relu(out);
+      if (act == Act::kGelu) out = g.Gelu(out);
+      const Var loss = g.MseLoss(out, g.Input(t), g.Input(mask));
+      ref_val = g.value(out);
+      g.Backward(loss);
+      ref_gw = w.grad;
+      ref_gb = b.grad;
+    }
+
+    w.ZeroGrad();
+    b.ZeroGrad();
+    Graph g;
+    const Var out = g.Linear(g.Input(x), g.Param(&w), g.Param(&b), act);
+    const Var loss = g.MseLoss(out, g.Input(t), g.Input(mask));
+    ExpectTensorsNear(g.value(out), ref_val, 1e-5f, "Linear forward");
+    g.Backward(loss);
+    ExpectTensorsNear(w.grad, ref_gw, 1e-5f, "Linear grad_w");
+    ExpectTensorsNear(b.grad, ref_gb, 1e-5f, "Linear grad_b");
+  }
+}
+
+TEST(AutogradFused, MatMulNTMatchesMatMulTranspose) {
+  Rng rng(22);
+  Parameter a("a", Tensor::Randn(4, 6, rng, 0.7f));
+  Parameter b("b", Tensor::Randn(3, 6, rng, 0.7f));
+  const Tensor t = Tensor::Randn(4, 3, rng, 1.0f);
+  Tensor mask(4, 3);
+  mask.Fill(1.0f);
+
+  Tensor ref_val, ref_ga, ref_gb;
+  {
+    a.ZeroGrad();
+    b.ZeroGrad();
+    Graph g;
+    const Var out = g.MatMul(g.Param(&a), g.Transpose(g.Param(&b)));
+    const Var loss = g.MseLoss(out, g.Input(t), g.Input(mask));
+    ref_val = g.value(out);
+    g.Backward(loss);
+    ref_ga = a.grad;
+    ref_gb = b.grad;
+  }
+
+  a.ZeroGrad();
+  b.ZeroGrad();
+  Graph g;
+  const Var out = g.MatMulNT(g.Param(&a), g.Param(&b));
+  const Var loss = g.MseLoss(out, g.Input(t), g.Input(mask));
+  ExpectTensorsNear(g.value(out), ref_val, 1e-5f, "MatMulNT forward");
+  g.Backward(loss);
+  ExpectTensorsNear(a.grad, ref_ga, 1e-5f, "MatMulNT grad_a");
+  ExpectTensorsNear(b.grad, ref_gb, 1e-5f, "MatMulNT grad_b");
+}
+
+TEST(AutogradFused, SoftmaxScaledMatchesScaleThenSoftmax) {
+  Rng rng(23);
+  Parameter p("p", Tensor::Randn(3, 5, rng, 1.2f));
+  const Tensor t = Arange(3, 5, 0.1f);
+  Tensor mask(3, 5);
+  mask.Fill(1.0f);
+  const float scale = 0.37f;
+
+  Tensor ref_val, ref_gp;
+  {
+    p.ZeroGrad();
+    Graph g;
+    const Var out = g.Softmax(g.Scale(g.Param(&p), scale));
+    const Var loss = g.MseLoss(out, g.Input(t), g.Input(mask));
+    ref_val = g.value(out);
+    g.Backward(loss);
+    ref_gp = p.grad;
+  }
+
+  p.ZeroGrad();
+  Graph g;
+  const Var out = g.SoftmaxScaled(g.Param(&p), scale);
+  const Var loss = g.MseLoss(out, g.Input(t), g.Input(mask));
+  ExpectTensorsNear(g.value(out), ref_val, 1e-6f, "SoftmaxScaled forward");
+  g.Backward(loss);
+  ExpectTensorsNear(p.grad, ref_gp, 1e-6f, "SoftmaxScaled grad");
+}
+
+TEST(AutogradFused, SliceRowsMatchesTransposeSliceColsChain) {
+  Rng rng(24);
+  Parameter p("p", Tensor::Randn(6, 4, rng, 0.9f));
+  const Tensor t = Arange(3, 4, 0.1f);
+  Tensor mask(3, 4);
+  mask.Fill(1.0f);
+
+  Tensor ref_val, ref_gp;
+  {
+    p.ZeroGrad();
+    Graph g;
+    // The old positional-embedding pattern: transpose, slice columns,
+    // transpose back.
+    const Var out = g.Transpose(g.SliceCols(g.Transpose(g.Param(&p)), 2, 3));
+    const Var loss = g.MseLoss(out, g.Input(t), g.Input(mask));
+    ref_val = g.value(out);
+    g.Backward(loss);
+    ref_gp = p.grad;
+  }
+
+  p.ZeroGrad();
+  Graph g;
+  const Var out = g.SliceRows(g.Param(&p), 2, 3);
+  const Var loss = g.MseLoss(out, g.Input(t), g.Input(mask));
+  ExpectTensorsNear(g.value(out), ref_val, 0.0f, "SliceRows forward");
+  g.Backward(loss);
+  ExpectTensorsNear(p.grad, ref_gp, 1e-7f, "SliceRows grad");
+}
+
+TEST(AutogradFused, SliceRowsOutOfRangeThrows) {
+  Graph g;
+  const Var a = g.Input(Tensor::Zeros(4, 3));
+  EXPECT_THROW(g.SliceRows(a, 3, 2), std::invalid_argument);
+  EXPECT_THROW(g.SliceRows(a, -1, 2), std::invalid_argument);
+  EXPECT_THROW(g.SliceRows(a, 0, 0), std::invalid_argument);
+}
+
+TEST(AutogradFused, LinearGradientAgainstFiniteDifferences) {
+  Rng rng(25);
+  Parameter w("w", Tensor::Randn(3, 4, rng, 0.5f));
+  const Tensor x = Arange(2, 3);
+  const Tensor t = Arange(2, 4, 0.05f);
+  Tensor mask(2, 4);
+  mask.Fill(1.0f);
+  Parameter b("b", Tensor::Randn(1, 4, rng, 0.3f));
+  CheckParamGradient(w, [&](Graph& g, Var pv) {
+    const Var loss = g.MseLoss(g.Linear(g.Input(x), pv, g.Param(&b), Act::kGelu),
+                               g.Input(t), g.Input(mask));
+    const float v = g.value(loss).at(0, 0);
+    g.Backward(loss);
+    return v;
+  });
+}
+
 // --------------------------------------------------------------- layers ---
 
 TEST(Layers, LinearShapesAndParams) {

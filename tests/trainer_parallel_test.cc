@@ -9,11 +9,29 @@
 
 #include "core/model.h"
 #include "core/trainer.h"
+#include "ml/kernels.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
 namespace m3 {
 namespace {
+
+using ml::kernels::KernelImpl;
+
+// Restores the process-wide kernel implementation on scope exit.
+struct ImplGuard {
+  KernelImpl prev = ml::kernels::GetKernelImpl();
+  ~ImplGuard() { ml::kernels::SetKernelImpl(prev); }
+};
+
+std::vector<KernelImpl> AvailableImpls() {
+  std::vector<KernelImpl> impls;
+  for (KernelImpl impl :
+       {KernelImpl::kNaive, KernelImpl::kTiled, KernelImpl::kAvx2, KernelImpl::kAvx512}) {
+    if (ml::kernels::KernelImplAvailable(impl)) impls.push_back(impl);
+  }
+  return impls;
+}
 
 // A small model + synthetic tensor-only samples keep each train step cheap;
 // TrainModel never touches the global feature constants, so reduced
@@ -65,37 +83,49 @@ TrainOptions SmallTrainOptions(unsigned num_threads) {
   return opts;
 }
 
-TEST(TrainerParallel, DeterministicAcrossThreadCounts) {
+TEST(TrainerParallel, DeterministicAcrossThreadCountsForEveryKernelImpl) {
   const M3ModelConfig cfg = SmallConfig();
   const std::vector<Sample> samples = SyntheticSamples(cfg, 23, 42);
+  ImplGuard guard;
 
-  M3Model serial_model(cfg);
-  const TrainReport serial = TrainModel(serial_model, samples, SmallTrainOptions(1));
+  // Bitwise determinism must hold per implementation: for a fixed kernel
+  // tier the slot layout and reduction order are thread-count invariant
+  // (different tiers may round differently — that is cross-impl parity,
+  // tested with tolerances in kernels_test).
+  for (KernelImpl impl : AvailableImpls()) {
+    ml::kernels::SetKernelImpl(impl);
+    const char* impl_name = ml::kernels::KernelImplName(impl);
 
-  for (unsigned threads : {2u, 8u}) {
-    M3Model model(cfg);
-    const TrainReport report = TrainModel(model, samples, SmallTrainOptions(threads));
+    M3Model serial_model(cfg);
+    const TrainReport serial = TrainModel(serial_model, samples, SmallTrainOptions(1));
 
-    ASSERT_EQ(report.train_loss.size(), serial.train_loss.size());
-    ASSERT_EQ(report.val_loss.size(), serial.val_loss.size());
-    for (std::size_t e = 0; e < serial.train_loss.size(); ++e) {
-      EXPECT_EQ(report.train_loss[e], serial.train_loss[e])
-          << "train loss differs at epoch " << e << " with " << threads << " threads";
-    }
-    for (std::size_t e = 0; e < serial.val_loss.size(); ++e) {
-      EXPECT_EQ(report.val_loss[e], serial.val_loss[e])
-          << "val loss differs at epoch " << e << " with " << threads << " threads";
-    }
+    for (unsigned threads : {2u, 8u}) {
+      M3Model model(cfg);
+      const TrainReport report = TrainModel(model, samples, SmallTrainOptions(threads));
 
-    const std::vector<ml::Parameter*> want = serial_model.params();
-    const std::vector<ml::Parameter*> got = model.params();
-    ASSERT_EQ(want.size(), got.size());
-    for (std::size_t p = 0; p < want.size(); ++p) {
-      ASSERT_EQ(want[p]->value.size(), got[p]->value.size());
-      for (std::size_t i = 0; i < want[p]->value.size(); ++i) {
-        ASSERT_EQ(want[p]->value.vec()[i], got[p]->value.vec()[i])
-            << "parameter " << want[p]->name << " diverges at element " << i << " with "
-            << threads << " threads";
+      ASSERT_EQ(report.train_loss.size(), serial.train_loss.size());
+      ASSERT_EQ(report.val_loss.size(), serial.val_loss.size());
+      for (std::size_t e = 0; e < serial.train_loss.size(); ++e) {
+        EXPECT_EQ(report.train_loss[e], serial.train_loss[e])
+            << impl_name << ": train loss differs at epoch " << e << " with " << threads
+            << " threads";
+      }
+      for (std::size_t e = 0; e < serial.val_loss.size(); ++e) {
+        EXPECT_EQ(report.val_loss[e], serial.val_loss[e])
+            << impl_name << ": val loss differs at epoch " << e << " with " << threads
+            << " threads";
+      }
+
+      const std::vector<ml::Parameter*> want = serial_model.params();
+      const std::vector<ml::Parameter*> got = model.params();
+      ASSERT_EQ(want.size(), got.size());
+      for (std::size_t p = 0; p < want.size(); ++p) {
+        ASSERT_EQ(want[p]->value.size(), got[p]->value.size());
+        for (std::size_t i = 0; i < want[p]->value.size(); ++i) {
+          ASSERT_EQ(want[p]->value.vec()[i], got[p]->value.vec()[i])
+              << impl_name << ": parameter " << want[p]->name << " diverges at element "
+              << i << " with " << threads << " threads";
+        }
       }
     }
   }

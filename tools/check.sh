@@ -31,6 +31,22 @@ cmake --build build-asan -j"$JOBS" --target m3_tests
 ctest --test-dir build-asan --output-on-failure -j"$JOBS" \
   -R 'CheckpointV2|Checkpoint\.|Resume|Trainer|ThreadPool'
 
+echo "== kernels: SIMD parity suites under ASan+UBSan for every M3_KERNEL =="
+# Every dispatchable tier (including forced-but-unavailable values, which
+# must fall back gracefully) runs the kernel parity + fused-op + trainer
+# determinism suites under both sanitizers: masked tail loads/stores, the
+# arena recycling, and the fused backward passes are exactly where an
+# out-of-bounds lane or UB would hide.
+cmake -B build-ubsan -S . -DM3_SANITIZE=undefined "$@"
+cmake --build build-ubsan -j"$JOBS" --target m3_tests
+for kernel_impl in naive tiled avx2 avx512; do
+  for san_build in build-asan build-ubsan; do
+    echo "--  M3_KERNEL=$kernel_impl ($san_build)"
+    M3_KERNEL="$kernel_impl" ctest --test-dir "$san_build" --output-on-failure -j"$JOBS" \
+      -R 'Kernels|KernelDispatch|AutogradFused|TensorArena|TensorAlignment|TrainerParallel\.'
+  done
+done
+
 echo "== UBSan: resilience / fault-injection suites =="
 cmake -B build-ubsan -S . -DM3_SANITIZE=undefined "$@"
 cmake --build build-ubsan -j"$JOBS" --target m3_tests
