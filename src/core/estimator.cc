@@ -84,6 +84,34 @@ NetworkEstimate RunPathPipeline(const Topology& topo, const std::vector<Flow>& f
   const std::vector<std::size_t> sample = SamplePaths(decomp, opts.num_paths, rng);
   est.paths.resize(sample.size());
 
+  // Slot filter (distributed serving): `work` lists the sample slots this
+  // run estimates — all of them by default, or the caller's subset. The
+  // sampling above stays identical either way, so shards given disjoint
+  // subsets of the same (seed, num_paths) query reproduce exactly the slots
+  // a single host would have computed.
+  std::vector<std::size_t> work;
+  if (opts.sample_slots != nullptr) {
+    std::vector<bool> seen(sample.size(), false);
+    work.reserve(opts.sample_slots->size());
+    for (std::uint32_t slot : *opts.sample_slots) {
+      if (slot >= sample.size() || seen[slot]) {
+        est.status = Status::InvalidArgument(
+            "sample_slots: " + std::to_string(slot) +
+            (slot < sample.size() ? " duplicated" : " out of range [0, " +
+                                                        std::to_string(sample.size()) + ")"));
+        est.degradation.errors_validation = 1;
+        est.degradation.first_error = est.status.ToString();
+        est.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+        return est;
+      }
+      seen[slot] = true;
+      work.push_back(slot);
+    }
+  } else {
+    work.resize(sample.size());
+    for (std::size_t i = 0; i < work.size(); ++i) work[i] = i;
+  }
+
   // Shared failure bookkeeping. Outcomes are computed lock-free per path;
   // the report is updated under one short lock per path.
   std::mutex mu;
@@ -100,8 +128,9 @@ NetworkEstimate RunPathPipeline(const Topology& topo, const std::vector<Flow>& f
   };
 
   ParallelFor(
-      sample.size(),
-      [&](std::size_t i) {
+      work.size(),
+      [&](std::size_t w) {
+        const std::size_t i = work[w];
         // Cooperative cancellation: a strict-mode fault or an expired
         // deadline stops remaining paths before they start.
         if (cancel.load(std::memory_order_relaxed) != kNone || past_deadline()) {

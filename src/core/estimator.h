@@ -57,6 +57,17 @@ struct M3Options {
   // nullptr disables reuse. Hit paths are reported in
   // DegradationReport::paths_cached.
   const PathCacheHooks* path_cache = nullptr;
+
+  // --- distributed serving ---
+  // When non-null, only these sample slots (positions in the deterministic
+  // SamplePaths order, each in [0, num_paths)) are estimated; every other
+  // slot is skipped outright — zero bucket counts and absent from the
+  // degradation report, unlike a drop. NetworkEstimate::paths keeps full
+  // num_paths length, so a scatter-gather front-end can merge disjoint slot
+  // sets from different shards positionally and re-aggregate. Duplicate or
+  // out-of-range slots are rejected as kInvalidArgument. Not owned; must
+  // outlive the call.
+  const std::vector<std::uint32_t>* sample_slots = nullptr;
 };
 
 /// Answer-quality accounting for one estimation run. Every sampled path

@@ -234,8 +234,11 @@ void SaveCheckpoint(const std::string& path, const std::vector<Parameter*>& para
   // Atomic write: everything goes to a sibling temp file which is renamed
   // over the target only after a successful flush, so a crash at any point
   // leaves either the old checkpoint or the complete new one — never a
-  // partial file under the real name.
-  const std::string tmp = path + ".tmp";
+  // partial file under the real name. The temp name carries the pid so
+  // concurrent writers to the same target never interleave bytes or steal
+  // each other's rename; last rename wins with a complete file either way.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
     if (!os) throw CheckpointError(StatusCode::kUnavailable, "checkpoint: cannot open " + tmp + " for writing");

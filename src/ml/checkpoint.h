@@ -73,9 +73,11 @@ struct CheckpointInfo {
 
 /// Writes all parameters (name, shape, data), and optionally Adam moments and
 /// trainer state, to `path`. Parent directories are created as needed. The
-/// write is atomic: data goes to `path + ".tmp"`, is flushed and fsynced,
-/// then renamed over `path`, so an interrupted save never leaves a partially
-/// written file at `path`. Throws std::runtime_error on I/O error.
+/// write is atomic: data goes to a pid-suffixed `path + ".tmp.<pid>"`
+/// sibling, is flushed and fsynced, then renamed over `path`, so an
+/// interrupted save never leaves a partially written file at `path` and
+/// concurrent savers cannot corrupt each other. Throws std::runtime_error
+/// on I/O error.
 void SaveCheckpoint(const std::string& path, const std::vector<Parameter*>& params,
                     const CheckpointExtra* extra = nullptr);
 

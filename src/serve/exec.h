@@ -25,24 +25,33 @@
 
 namespace m3::serve {
 
-/// Small LRU of immutable fat trees keyed by the oversubscription double's
-/// bit pattern — exactly the value off the wire. Bounded because the ratio
-/// is client-supplied (any admissible bit pattern would otherwise grow the
-/// process without limit). Thread-safe.
+/// Small LRU of immutable fat trees keyed by the request's topology terms:
+/// the oversubscription double's bit pattern — exactly the value off the
+/// wire — plus the explicit v3 shape (all-zero for the default Small
+/// testbed). Bounded because both are client-supplied (any admissible bit
+/// pattern would otherwise grow the process without limit). Thread-safe.
 class TopoMemo {
  public:
   explicit TopoMemo(std::size_t capacity = 8);
 
-  /// The fat tree for `oversub`, built on first use.
-  std::shared_ptr<const FatTree> For(double oversub);
+  /// The fat tree for (oversub, shape), built on first use. A default
+  /// (all-zero) shape means FatTreeConfig::Small(oversub).
+  std::shared_ptr<const FatTree> For(double oversub, const WireTopo& topo = WireTopo{});
 
   std::size_t size() const;
 
  private:
+  struct Key {
+    std::uint64_t oversub_bits = 0;
+    WireTopo topo;
+    bool operator==(const Key& o) const {
+      return oversub_bits == o.oversub_bits && topo == o.topo;
+    }
+  };
   const std::size_t capacity_;
   mutable std::mutex mu_;
   // back = most recently used.
-  std::vector<std::pair<std::uint64_t, std::shared_ptr<const FatTree>>> topos_;
+  std::vector<std::pair<Key, std::shared_ptr<const FatTree>>> topos_;
 };
 
 /// Caller-owned resources ExecuteQueryOnSnapshot draws on.
@@ -59,6 +68,30 @@ struct ExecContext {
 /// (model_version/model_crc come from `snap`). Never throws.
 QueryResponse ExecuteQueryOnSnapshot(const QueryRequest& req, const ModelSnapshot& snap,
                                      const ExecContext& ctx);
+
+/// The shard's share of a scattered query: same validation, topology, and
+/// options as ExecuteQueryOnSnapshot, but only `req.slots` of the
+/// deterministic path sample are estimated (M3Options::sample_slots) and
+/// the reply carries the raw per-slot estimates instead of the aggregate.
+/// Slots the ladder dropped are omitted from `estimates` (the router runs
+/// its own fallback for them); the shard's DegradationReport covers only
+/// its assigned slots. Never throws.
+ShardQueryResponse ExecuteShardOnSnapshot(const ShardQueryRequest& req,
+                                          const ModelSnapshot& snap, const ExecContext& ctx);
+
+/// Validates the request's topology terms (oversub range for the default
+/// shape; per-field and total-size bounds for an explicit v3 shape) and
+/// returns the memoized fat tree. Shared by the daemon execution path and
+/// the router's decomposition step so both sides of a scattered query build
+/// the identical tree.
+StatusOr<std::shared_ptr<const FatTree>> TopoForRequest(const QueryRequest& req,
+                                                        TopoMemo* memo);
+
+/// Validates `req.flows` against the tree (host ranges, src != dst,
+/// priority class) and builds the routed core flows, re-deriving ECMP
+/// routes from the flow id (the trace_io convention). On error `out` is
+/// left untouched and the status names the offending flow and field.
+Status BuildRequestFlows(const QueryRequest& req, const FatTree& ft, std::vector<Flow>* out);
 
 /// True when `code` counts as an answer the client can use: full-quality,
 /// degraded, or a partial deadline answer (the service's queries_ok bucket).

@@ -6,25 +6,55 @@
 #include <algorithm>
 #include <utility>
 
+#include "serve/service.h"
+
 namespace m3::serve {
+
+ServerHooks ServiceHooks(EstimationService& service) {
+  ServerHooks h;
+  h.query = [&service](const QueryRequest& req) { return service.Query(req); };
+  h.stats = [&service] { return service.Stats(); };
+  h.ping = [&service] { return service.Ping(); };
+  h.reload = [&service](const ReloadRequest& req) {
+    ReloadResponse resp;
+    resp.status = service.ReloadModel(req.checkpoint_path);
+    const ServerStatsWire stats = service.Stats();
+    resp.model_version = stats.model_version;
+    resp.model_crc = stats.model_crc;
+    return resp;
+  };
+  h.shard_query = [&service](const ShardQueryRequest& req) { return service.ExecuteShard(req); };
+  return h;
+}
+
+SocketServer::SocketServer(EstimationService& service) : hooks_(ServiceHooks(service)) {}
 
 SocketServer::~SocketServer() { Stop(); }
 
 Status SocketServer::Start(const std::string& socket_path) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (started_) return Status::InvalidArgument("server already started");
-  }
-  StatusOr<UnixFd> listener = ListenUnix(socket_path);
+  Endpoint ep;
+  ep.kind = Endpoint::Kind::kUnix;
+  ep.path = socket_path;
+  return Start(ep);
+}
+
+Status SocketServer::Start(const Endpoint& ep) {
+  StatusOr<UnixFd> listener = ListenEndpoint(ep);
   if (!listener.ok()) return listener.status();
-  listener_ = std::move(*listener);
-  path_ = socket_path;
+  Listener* l;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    listeners_.emplace_back();
+    l = &listeners_.back();
+    l->fd = std::move(*listener);
+    if (ep.kind == Endpoint::Kind::kUnix) {
+      l->unlink_path = ep.path;
+      if (path_.empty()) path_ = ep.path;
+    }
     started_ = true;
     stopping_ = false;
   }
-  acceptor_ = std::thread([this] { AcceptLoop(); });
+  l->acceptor = std::thread([this, l] { AcceptLoop(l); });
   return Status::Ok();
 }
 
@@ -33,16 +63,20 @@ void SocketServer::Stop() {
     std::lock_guard<std::mutex> lock(mu_);
     if (!started_) return;
     stopping_ = true;
-    // Unblock every parked read: the acceptor's accept() and each live
+    // Unblock every parked read: each acceptor's accept() and each live
     // connection thread's recv(). Exited handlers (done) already closed
     // their fd, which may have been recycled — never shutdown() those.
-    if (listener_.valid()) ::shutdown(listener_.get(), SHUT_RDWR);
+    for (Listener& l : listeners_) {
+      if (l.fd.valid()) ::shutdown(l.fd.get(), SHUT_RDWR);
+    }
     for (const Conn& c : conns_) {
       if (!c.done) ::shutdown(c.fd, SHUT_RDWR);
     }
   }
-  if (acceptor_.joinable()) acceptor_.join();
-  // After the acceptor exits no new connection threads appear; join the
+  for (Listener& l : listeners_) {
+    if (l.acceptor.joinable()) l.acceptor.join();
+  }
+  // After the acceptors exit no new connection threads appear; join the
   // existing ones (their recv() has been shut down).
   std::list<Conn> conns;
   {
@@ -50,9 +84,13 @@ void SocketServer::Stop() {
     conns.splice(conns.end(), conns_);
   }
   for (Conn& c : conns) c.t.join();
-  listener_.Close();
-  if (!path_.empty()) ::unlink(path_.c_str());
+  for (Listener& l : listeners_) {
+    l.fd.Close();
+    if (!l.unlink_path.empty()) ::unlink(l.unlink_path.c_str());
+  }
   std::lock_guard<std::mutex> lock(mu_);
+  listeners_.clear();
+  path_.clear();
   started_ = false;
   stopping_ = false;
 }
@@ -62,9 +100,9 @@ std::size_t SocketServer::connection_threads() const {
   return conns_.size();
 }
 
-void SocketServer::AcceptLoop() {
+void SocketServer::AcceptLoop(Listener* l) {
   for (;;) {
-    StatusOr<UnixFd> conn = AcceptUnix(listener_);
+    StatusOr<UnixFd> conn = AcceptUnix(l->fd);
     ReapFinished();
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return;  // shutdown() woke us; drop any race-winner conn
@@ -106,9 +144,11 @@ void SocketServer::ServeConnection(UnixFd fd, std::list<Conn>::iterator self) {
           QueryResponse resp;
           if (!req.ok()) {
             resp.status = req.status().Annotate("decoding query request");
-            resp.stats = service_.Stats();
+            if (hooks_.stats) resp.stats = hooks_.stats();
+          } else if (!hooks_.query) {
+            resp.status = Status::Unavailable("this daemon does not serve queries");
           } else {
-            resp = service_.Query(*req);
+            resp = hooks_.query(*req);
           }
           send = SendFrame(fd, static_cast<std::uint32_t>(MsgType::kQueryResponse),
                            EncodeQueryResponse(resp));
@@ -117,13 +157,17 @@ void SocketServer::ServeConnection(UnixFd fd, std::list<Conn>::iterator self) {
         case MsgType::kPingRequest: {
           // Liveness probes must answer even for a malformed body version
           // — the prober wants "is anyone home", not a parse verdict.
+          PingResponse resp;
+          if (hooks_.ping) resp = hooks_.ping();
           send = SendFrame(fd, static_cast<std::uint32_t>(MsgType::kPingResponse),
-                           EncodePingResponse(service_.Ping()));
+                           EncodePingResponse(resp));
           break;
         }
         case MsgType::kStatsRequest: {
+          ServerStatsWire stats;
+          if (hooks_.stats) stats = hooks_.stats();
           send = SendFrame(fd, static_cast<std::uint32_t>(MsgType::kStatsResponse),
-                           EncodeStats(service_.Stats()));
+                           EncodeStats(stats));
           break;
         }
         case MsgType::kReloadRequest: {
@@ -131,14 +175,27 @@ void SocketServer::ServeConnection(UnixFd fd, std::list<Conn>::iterator self) {
           ReloadResponse resp;
           if (!req.ok()) {
             resp.status = req.status().Annotate("decoding reload request");
+          } else if (!hooks_.reload) {
+            resp.status = Status::Unavailable("this daemon does not serve reloads");
           } else {
-            resp.status = service_.ReloadModel(req->checkpoint_path);
+            resp = hooks_.reload(*req);
           }
-          const ServerStatsWire stats = service_.Stats();
-          resp.model_version = stats.model_version;
-          resp.model_crc = stats.model_crc;
           send = SendFrame(fd, static_cast<std::uint32_t>(MsgType::kReloadResponse),
                            EncodeReloadResponse(resp));
+          break;
+        }
+        case MsgType::kShardQueryRequest: {
+          StatusOr<ShardQueryRequest> req = DecodeShardQueryRequest(frame->payload);
+          ShardQueryResponse resp;
+          if (!req.ok()) {
+            resp.status = req.status().Annotate("decoding shard query");
+          } else if (!hooks_.shard_query) {
+            resp.status = Status::Unavailable("this daemon does not serve shard queries");
+          } else {
+            resp = hooks_.shard_query(*req);
+          }
+          send = SendFrame(fd, static_cast<std::uint32_t>(MsgType::kShardQueryResponse),
+                           EncodeShardQueryResponse(resp));
           break;
         }
         default:
@@ -156,7 +213,7 @@ void SocketServer::ServeConnection(UnixFd fd, std::list<Conn>::iterator self) {
     if (!send.ok()) break;
   }
   // Publish completion *before* the fd closes (it is destroyed after this
-  // scope): once done is visible, Stop() skips the shutdown() and the
+  // scope): once done is visible, Stop() skips the shutdown() and an
   // acceptor may join this thread; the fd number cannot have been recycled
   // while done was still false.
   std::lock_guard<std::mutex> lock(mu_);

@@ -1,42 +1,74 @@
-// SocketServer: the m3d daemon's transport loop.
+// SocketServer: the transport loop shared by m3d and m3d-router.
 //
-// Accepts connections on a Unix-domain socket and speaks the serve/wire.h
-// protocol: each connection is handled by its own I/O thread that decodes
-// frames, hands queries to the EstimationService scheduler (blocking until
+// Accepts connections on a Unix-domain or TCP listener and speaks the
+// serve/wire.h protocol: each connection is handled by its own I/O thread
+// that decodes frames, hands queries to the backing handler (blocking until
 // the answer is computed — so admission control naturally bounds the number
 // of in-flight queries per daemon), and writes the response frame back.
-// Compute never happens on I/O threads; they only park in Query().
+// Compute never happens on I/O threads; they only park in the handler.
+//
+// The backing handler is a set of hooks (ServerHooks): m3d binds them to an
+// EstimationService (including the fleet-internal shard-query handler);
+// m3d-router binds them to a Router. Hooks left empty answer with a clean
+// kUnavailable response of the matching type (e.g. a router has no reload).
 //
 // A malformed frame gets an error response where the expected response type
 // is known (bad query payload -> kQueryResponse carrying the decode error);
 // an unknown frame type or transport-level garbage closes the connection.
 #pragma once
 
+#include <functional>
 #include <list>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 
-#include "serve/service.h"
+#include "serve/wire.h"
 #include "util/socket.h"
 
 namespace m3::serve {
 
+class EstimationService;
+
+/// What a SocketServer serves. query/stats/ping are required; reload and
+/// shard_query are optional (empty = answered kUnavailable).
+struct ServerHooks {
+  std::function<QueryResponse(const QueryRequest&)> query;
+  std::function<ServerStatsWire()> stats;
+  std::function<PingResponse()> ping;
+  std::function<ReloadResponse(const ReloadRequest&)> reload;
+  std::function<ShardQueryResponse(const ShardQueryRequest&)> shard_query;
+};
+
+/// m3d's hook binding: Query/Stats/Ping/ReloadModel/ExecuteShard on the
+/// service.
+ServerHooks ServiceHooks(EstimationService& service);
+
 class SocketServer {
  public:
-  explicit SocketServer(EstimationService& service) : service_(service) {}
+  explicit SocketServer(ServerHooks hooks) : hooks_(std::move(hooks)) {}
+  /// Convenience: serve an EstimationService (the ServiceHooks binding).
+  explicit SocketServer(EstimationService& service);
   ~SocketServer();  // Stop()s
 
   SocketServer(const SocketServer&) = delete;
   SocketServer& operator=(const SocketServer&) = delete;
 
-  /// Binds `socket_path` and spawns the acceptor thread.
+  /// Binds the Unix socket `socket_path` and spawns an acceptor thread.
   Status Start(const std::string& socket_path);
 
-  /// Shuts down the listener and every open connection, joins all threads,
-  /// and unlinks the socket file. Idempotent.
+  /// Binds an endpoint of either kind ("unix:/path" or "tcp:host:port")
+  /// and spawns an acceptor thread. May be called again while running to
+  /// add a listener — m3d serves its Unix socket and, with --listen-tcp,
+  /// a TCP port at the same time.
+  Status Start(const Endpoint& ep);
+
+  /// Shuts down every listener and open connection, joins all threads, and
+  /// unlinks Unix socket files. Idempotent.
   void Stop();
 
+  /// The first Unix listener's path (empty for TCP-only servers).
   const std::string& socket_path() const { return path_; }
 
   /// Connection threads not yet reaped (test/ops visibility; exited handlers
@@ -46,25 +78,30 @@ class SocketServer {
  private:
   // One accepted connection: its handler thread, the raw fd (so Stop can
   // shutdown() a parked recv), and a completion flag the handler sets —
-  // under mu_, before closing the fd — so the acceptor can join exited
+  // under mu_, before closing the fd — so an acceptor can join exited
   // threads and Stop never shutdown()s a recycled fd number.
   struct Conn {
     std::thread t;
     int fd = -1;
     bool done = false;
   };
+  // One bound listener + its acceptor thread (m3d may run two: unix + tcp).
+  struct Listener {
+    UnixFd fd;
+    std::thread acceptor;
+    std::string unlink_path;  // non-empty for unix listeners
+  };
 
-  void AcceptLoop();
+  void AcceptLoop(Listener* l);
   void ServeConnection(UnixFd fd, std::list<Conn>::iterator self);
-  /// Joins handler threads that have finished. Called by the acceptor after
+  /// Joins handler threads that have finished. Called by acceptors after
   /// every accept so a long-running daemon serving short-lived connections
   /// does not accrete joinable-thread stacks until shutdown.
   void ReapFinished();
 
-  EstimationService& service_;
-  UnixFd listener_;
+  const ServerHooks hooks_;
+  std::list<Listener> listeners_;  // std::list: acceptors hold stable pointers
   std::string path_;
-  std::thread acceptor_;
   mutable std::mutex mu_;  // guards conns_ (list + done flags), stopping_
   std::list<Conn> conns_;  // std::list: handlers hold stable iterators
   bool stopping_ = false;

@@ -199,6 +199,26 @@ QueryResponse EstimationService::ExecuteInline(const QueryRequest& req) {
   return Execute(req);
 }
 
+ShardQueryResponse EstimationService::ExecuteShard(const ShardQueryRequest& req) {
+  queries_received_.fetch_add(1, std::memory_order_relaxed);
+  ShardQueryResponse resp;
+  const std::shared_ptr<const ModelSnapshot> snap = registry_.Current();
+  if (snap == nullptr) {
+    resp.status = Status::Unavailable(
+        "no model loaded (start m3d with --model, or send a reload request)");
+    queries_failed_.fetch_add(1, std::memory_order_relaxed);
+    return resp;
+  }
+  ExecContext ctx;
+  ctx.topos = &topos_;
+  ctx.path_cache = opts_.path_cache_entries > 0 ? &path_cache_ : nullptr;
+  ctx.threads_per_query = opts_.threads_per_query;
+  resp = ExecuteShardOnSnapshot(req, *snap, ctx);
+  (IsAnsweredCode(resp.status.code()) ? queries_ok_ : queries_failed_)
+      .fetch_add(1, std::memory_order_relaxed);
+  return resp;
+}
+
 std::size_t EstimationService::TopologyCacheSize() const { return topos_.size(); }
 
 QueryResponse EstimationService::Execute(const QueryRequest& req) {

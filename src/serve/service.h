@@ -104,6 +104,16 @@ class EstimationService {
   /// execution; used by tests and benchmarks.
   QueryResponse ExecuteInline(const QueryRequest& req);
 
+  /// Executes a shard's share of a scattered query (serve/exec.h
+  /// ExecuteShardOnSnapshot) on the calling thread against the current
+  /// snapshot, with the shared path cache. Runs in-process even in worker
+  /// mode: the fleet's crash-failure domain is the whole shard daemon, and
+  /// m3d-router — not this process — supervises it. Admission control for
+  /// shard queries is likewise the router's job (it bounds in-flight
+  /// sub-requests to one per shard per client query). kUnavailable when no
+  /// model is loaded.
+  ShardQueryResponse ExecuteShard(const ShardQueryRequest& req);
+
   ServerStatsWire Stats() const;
 
   /// Liveness/readiness for `m3_client --ping`: ready once a model is

@@ -35,12 +35,31 @@ int WorkerSupervisor::BackoffDelayMs(int consecutive_failures, int initial_ms,
   return static_cast<int>(std::min<long long>(delay, max_ms));
 }
 
+int WorkerSupervisor::JitteredBackoffMs(int delay_ms, std::uint64_t seed, std::uint64_t slot,
+                                        std::uint64_t failure) {
+  // splitmix64 over (seed, slot, failure): every slot and every retry round
+  // lands on its own point of the [0.5, 1.5) factor range, deterministically
+  // for a fixed seed.
+  std::uint64_t z = seed ^ (slot * 0x9e3779b97f4a7c15ull) ^ (failure * 0xbf58476d1ce4e5b9ull);
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  const double factor = 0.5 + static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);
+  return std::max(1, static_cast<int>(static_cast<double>(delay_ms) * factor));
+}
+
 Status WorkerSupervisor::Start() {
   std::lock_guard<std::mutex> lock(mu_);
   if (running_) return Status::InvalidArgument("worker supervisor already running");
   running_ = true;
   stopping_ = false;
   generation_ = 1;
+  // Pid-derived default: every daemon in a fleet gets its own jitter
+  // stream even when launched from identical configs.
+  jitter_seed_ = opts_.backoff_jitter_seed != 0
+                     ? opts_.backoff_jitter_seed
+                     : static_cast<std::uint64_t>(::getpid()) * 0x9e3779b97f4a7c15ull + 1;
   slots_ = std::vector<Slot>(static_cast<std::size_t>(std::max(1, opts_.num_workers)));
   const auto now = Clock::now();
   for (Slot& s : slots_) {
@@ -145,9 +164,11 @@ void WorkerSupervisor::FailBusyWorkerLocked(Slot& s, bool intentional) {
   } else {
     ++s.consecutive_failures;
     ++restarts_;
-    s.respawn_at = now + std::chrono::milliseconds(BackoffDelayMs(
-                             s.consecutive_failures, opts_.backoff_initial_ms,
-                             opts_.backoff_max_ms));
+    s.respawn_at = now + std::chrono::milliseconds(JitteredBackoffMs(
+                             BackoffDelayMs(s.consecutive_failures, opts_.backoff_initial_ms,
+                                            opts_.backoff_max_ms),
+                             jitter_seed_, static_cast<std::uint64_t>(&s - slots_.data()),
+                             static_cast<std::uint64_t>(s.consecutive_failures)));
   }
 }
 
@@ -307,9 +328,12 @@ void WorkerSupervisor::ReaperLoop() {
             s.fd.Close();
             ++s.consecutive_failures;
             ++restarts_;
-            s.respawn_at = now + std::chrono::milliseconds(BackoffDelayMs(
-                                     s.consecutive_failures, opts_.backoff_initial_ms,
-                                     opts_.backoff_max_ms));
+            s.respawn_at =
+                now + std::chrono::milliseconds(JitteredBackoffMs(
+                          BackoffDelayMs(s.consecutive_failures, opts_.backoff_initial_ms,
+                                         opts_.backoff_max_ms),
+                          jitter_seed_, static_cast<std::uint64_t>(&s - slots_.data()),
+                          static_cast<std::uint64_t>(s.consecutive_failures)));
             tripped = RecordFailureLocked(s.snap_digest);
           }
           s.pid = -1;

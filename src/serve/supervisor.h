@@ -63,9 +63,17 @@ struct SupervisorOptions {
   unsigned threads_per_query = 1;
   std::size_t path_cache_entries = 4096;  // per worker (worker-local LRU)
   // Respawn backoff: delay after the k-th consecutive failure of one slot
-  // is min(backoff_max_ms, backoff_initial_ms * 2^(k-1)).
+  // is min(backoff_max_ms, backoff_initial_ms * 2^(k-1)), then scaled by a
+  // jitter factor in [0.5, 1.5) drawn deterministically from
+  // (backoff_jitter_seed, slot index, failure count). Without the jitter a
+  // fleet-wide crash puts every slot — and every daemon in a sharded fleet,
+  // since the schedule was identical everywhere — on the same respawn tick,
+  // thundering-herd style, against the model registry. Seed 0 (the
+  // default) derives a per-process seed from the pid so daemons decorrelate
+  // on their own; tests pin a nonzero seed for reproducible schedules.
   int backoff_initial_ms = 25;
   int backoff_max_ms = 2000;
+  std::uint64_t backoff_jitter_seed = 0;
   // Watchdog: a query with a deadline may run to deadline + grace before
   // its worker is SIGKILLed; a deadline-less query gets the default budget.
   double grace_seconds = 2.0;
@@ -141,6 +149,11 @@ class WorkerSupervisor {
   /// Exposed for tests: the deterministic backoff schedule.
   static int BackoffDelayMs(int consecutive_failures, int initial_ms, int max_ms);
 
+  /// Exposed for tests: `delay_ms` scaled by the [0.5, 1.5) jitter factor
+  /// for (seed, slot, failure). Pure function of its arguments.
+  static int JitteredBackoffMs(int delay_ms, std::uint64_t seed, std::uint64_t slot,
+                               std::uint64_t failure);
+
  private:
   // Slot lifecycle: kEmpty -> (spawn) -> kIdle <-> kBusy
   //   kIdle/kBusy -> kReaping (death noticed / intentional kill; pid still
@@ -174,6 +187,7 @@ class WorkerSupervisor {
   const SupervisorOptions opts_;
   const SnapshotProvider provider_;
   TripCallback on_trip_;
+  std::uint64_t jitter_seed_ = 0;  // resolved in Start() (0 -> pid-derived)
 
   mutable std::mutex mu_;
   std::condition_variable lease_cv_;  // signaled when a worker turns idle

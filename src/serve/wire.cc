@@ -8,8 +8,8 @@ namespace m3::serve {
 namespace {
 
 // Cache-key schema tags: bump when the hashed field set changes so old and
-// new processes can never alias keys.
-constexpr const char* kQueryKeySchema = "m3d/query-key/v1";
+// new processes can never alias keys. v2 query key: + topology shape.
+constexpr const char* kQueryKeySchema = "m3d/query-key/v2";
 constexpr const char* kPathKeySchema = "m3d/path-key/v1";
 
 // Upper bound on decoded vector lengths (percentile vectors are 100 wide;
@@ -18,6 +18,14 @@ constexpr std::uint64_t kMaxVecLen = 1u << 20;
 constexpr std::uint64_t kMaxStrLen = 1u << 20;
 // Bytes per wire flow record (id, src, dst: i32; size, arrival: i64; prio: u8).
 constexpr std::uint64_t kWireFlowBytes = 3 * 4 + 2 * 8 + 1;
+// Bytes per slot estimate (slot u32 + 4x100 pct doubles + 4 count doubles).
+constexpr std::uint64_t kSlotEstimateBytes =
+    4 + std::uint64_t{kNumOutputBuckets} * kNumPercentiles * 8 + kNumOutputBuckets * 8;
+// Minimum bytes per shard report (empty shard string: u64 len + 6 u32 + bool).
+constexpr std::uint64_t kMinShardReportBytes = 8 + 6 * 4 + 1;
+// Minimum bytes per shard health record (empty address: u64 len + 2 bools +
+// 7 u64 counters).
+constexpr std::uint64_t kMinShardHealthBytes = 8 + 2 + 7 * 8;
 
 class Writer {
  public:
@@ -196,6 +204,74 @@ void HashNetConfig(Hasher& h, const NetConfig& cfg) {
   h.U64(cfg.seed);
 }
 
+void EncodeTopo(Writer& w, const WireTopo& t) {
+  w.I32(t.pods);
+  w.I32(t.racks_per_pod);
+  w.I32(t.hosts_per_rack);
+  w.I32(t.fabric_per_pod);
+  w.I32(t.spines_per_plane);
+}
+
+Status DecodeTopo(Reader& r, WireTopo* t) {
+  M3_RETURN_IF_ERROR(r.I32(&t->pods));
+  M3_RETURN_IF_ERROR(r.I32(&t->racks_per_pod));
+  M3_RETURN_IF_ERROR(r.I32(&t->hosts_per_rack));
+  M3_RETURN_IF_ERROR(r.I32(&t->fabric_per_pod));
+  M3_RETURN_IF_ERROR(r.I32(&t->spines_per_plane));
+  return Status::Ok();
+}
+
+void EncodePathEstimate(Writer& w, const PathEstimate& pe) {
+  for (const auto& bucket : pe.pct) {
+    for (double v : bucket) w.F64(v);
+  }
+  for (double c : pe.counts) w.F64(c);
+}
+
+Status DecodePathEstimate(Reader& r, PathEstimate* pe) {
+  for (auto& bucket : pe->pct) {
+    for (double& v : bucket) M3_RETURN_IF_ERROR(r.F64(&v));
+  }
+  for (double& c : pe->counts) M3_RETURN_IF_ERROR(r.F64(&c));
+  return Status::Ok();
+}
+
+void EncodeShardReports(Writer& w, const std::vector<ShardReportWire>& shards) {
+  w.U64(shards.size());
+  for (const ShardReportWire& s : shards) {
+    w.Str(s.shard);
+    w.U32(s.slots_assigned);
+    w.U32(s.slots_ok);
+    w.U32(s.slots_fallback);
+    w.U32(s.slots_dropped);
+    w.U32(s.retries);
+    w.U32(s.hedges);
+    w.Bool(s.breaker_open);
+  }
+}
+
+Status DecodeShardReports(Reader& r, std::vector<ShardReportWire>* shards) {
+  std::uint64_t n;
+  M3_RETURN_IF_ERROR(r.U64(&n));
+  // Division form so a hostile 64-bit count cannot wrap past the check.
+  if (n > r.remaining() / kMinShardReportBytes) {
+    return Status::DataLoss("wire: shard report count " + std::to_string(n) +
+                            " exceeds the remaining payload");
+  }
+  shards->resize(static_cast<std::size_t>(n));
+  for (ShardReportWire& s : *shards) {
+    M3_RETURN_IF_ERROR(r.Str(&s.shard));
+    M3_RETURN_IF_ERROR(r.U32(&s.slots_assigned));
+    M3_RETURN_IF_ERROR(r.U32(&s.slots_ok));
+    M3_RETURN_IF_ERROR(r.U32(&s.slots_fallback));
+    M3_RETURN_IF_ERROR(r.U32(&s.slots_dropped));
+    M3_RETURN_IF_ERROR(r.U32(&s.retries));
+    M3_RETURN_IF_ERROR(r.U32(&s.hedges));
+    M3_RETURN_IF_ERROR(r.Bool(&s.breaker_open));
+  }
+  return Status::Ok();
+}
+
 void EncodeStatus(Writer& w, const Status& st) {
   w.I32(static_cast<std::int32_t>(st.code()));
   w.Str(st.message());
@@ -271,6 +347,20 @@ void EncodeStatsBody(Writer& w, const ServerStatsWire& s) {
   w.U64(s.breaker_trips);
   w.Bool(s.breaker_open);
   w.U32(s.quarantined_digests);
+  w.Bool(s.router_mode);
+  w.U64(s.shards.size());
+  for (const ShardHealthWire& sh : s.shards) {
+    w.Str(sh.address);
+    w.Bool(sh.healthy);
+    w.Bool(sh.breaker_open);
+    w.U64(sh.model_version);
+    w.U64(sh.dispatches);
+    w.U64(sh.failures);
+    w.U64(sh.retries);
+    w.U64(sh.hedges);
+    w.U64(sh.slots_fallback);
+    w.U64(sh.slots_dropped);
+  }
 }
 
 Status DecodeStatsBody(Reader& r, ServerStatsWire* s) {
@@ -300,6 +390,26 @@ Status DecodeStatsBody(Reader& r, ServerStatsWire* s) {
   M3_RETURN_IF_ERROR(r.U64(&s->breaker_trips));
   M3_RETURN_IF_ERROR(r.Bool(&s->breaker_open));
   M3_RETURN_IF_ERROR(r.U32(&s->quarantined_digests));
+  M3_RETURN_IF_ERROR(r.Bool(&s->router_mode));
+  std::uint64_t n;
+  M3_RETURN_IF_ERROR(r.U64(&n));
+  if (n > r.remaining() / kMinShardHealthBytes) {
+    return Status::DataLoss("wire: shard health count " + std::to_string(n) +
+                            " exceeds the remaining payload");
+  }
+  s->shards.resize(static_cast<std::size_t>(n));
+  for (ShardHealthWire& sh : s->shards) {
+    M3_RETURN_IF_ERROR(r.Str(&sh.address));
+    M3_RETURN_IF_ERROR(r.Bool(&sh.healthy));
+    M3_RETURN_IF_ERROR(r.Bool(&sh.breaker_open));
+    M3_RETURN_IF_ERROR(r.U64(&sh.model_version));
+    M3_RETURN_IF_ERROR(r.U64(&sh.dispatches));
+    M3_RETURN_IF_ERROR(r.U64(&sh.failures));
+    M3_RETURN_IF_ERROR(r.U64(&sh.retries));
+    M3_RETURN_IF_ERROR(r.U64(&sh.hedges));
+    M3_RETURN_IF_ERROR(r.U64(&sh.slots_fallback));
+    M3_RETURN_IF_ERROR(r.U64(&sh.slots_dropped));
+  }
   return Status::Ok();
 }
 
@@ -309,6 +419,7 @@ std::string EncodeQueryRequest(const QueryRequest& req) {
   Writer w;
   w.U32(kWireVersion);
   w.F64(req.oversub);
+  EncodeTopo(w, req.topo);
   EncodeNetConfig(w, req.cfg);
   w.I32(req.num_paths);
   w.U64(req.seed);
@@ -334,6 +445,7 @@ StatusOr<QueryRequest> DecodeQueryRequest(const std::string& payload) {
   QueryRequest req;
   M3_RETURN_IF_ERROR(CheckVersion(r));
   M3_RETURN_IF_ERROR(r.F64(&req.oversub));
+  M3_RETURN_IF_ERROR(DecodeTopo(r, &req.topo));
   M3_RETURN_IF_ERROR(DecodeNetConfig(r, &req.cfg));
   M3_RETURN_IF_ERROR(r.I32(&req.num_paths));
   M3_RETURN_IF_ERROR(r.U64(&req.seed));
@@ -376,6 +488,7 @@ std::string EncodeQueryResponse(const QueryResponse& resp) {
   w.U64(resp.model_version);
   w.U32(resp.model_crc);
   w.Bool(resp.query_cache_hit);
+  EncodeShardReports(w, resp.shards);
   EncodeStatsBody(w, resp.stats);
   return w.Take();
 }
@@ -393,6 +506,7 @@ StatusOr<QueryResponse> DecodeQueryResponse(const std::string& payload) {
   M3_RETURN_IF_ERROR(r.U64(&resp.model_version));
   M3_RETURN_IF_ERROR(r.U32(&resp.model_crc));
   M3_RETURN_IF_ERROR(r.Bool(&resp.query_cache_hit));
+  M3_RETURN_IF_ERROR(DecodeShardReports(r, &resp.shards));
   M3_RETURN_IF_ERROR(DecodeStatsBody(r, &resp.stats));
   M3_RETURN_IF_ERROR(r.ExpectEnd());
   return resp;
@@ -469,6 +583,9 @@ std::string EncodePingResponse(const PingResponse& resp) {
   w.Bool(resp.worker_mode);
   w.U64(resp.model_version);
   w.U32(resp.workers_alive);
+  w.Bool(resp.router_mode);
+  w.U32(resp.shards_healthy);
+  w.U32(resp.shards_total);
   return w.Take();
 }
 
@@ -480,6 +597,83 @@ StatusOr<PingResponse> DecodePingResponse(const std::string& payload) {
   M3_RETURN_IF_ERROR(r.Bool(&resp.worker_mode));
   M3_RETURN_IF_ERROR(r.U64(&resp.model_version));
   M3_RETURN_IF_ERROR(r.U32(&resp.workers_alive));
+  M3_RETURN_IF_ERROR(r.Bool(&resp.router_mode));
+  M3_RETURN_IF_ERROR(r.U32(&resp.shards_healthy));
+  M3_RETURN_IF_ERROR(r.U32(&resp.shards_total));
+  M3_RETURN_IF_ERROR(r.ExpectEnd());
+  return resp;
+}
+
+std::string EncodeShardQueryRequest(const ShardQueryRequest& req) {
+  Writer w;
+  w.U32(kWireVersion);
+  // The embedded query reuses its own codec (version tag and all) as a
+  // length-prefixed blob, so the two stay in lockstep by construction.
+  w.Str(EncodeQueryRequest(req.query));
+  w.U64(req.slots.size());
+  for (std::uint32_t s : req.slots) w.U32(s);
+  return w.Take();
+}
+
+StatusOr<ShardQueryRequest> DecodeShardQueryRequest(const std::string& payload) {
+  Reader r(payload);
+  ShardQueryRequest req;
+  M3_RETURN_IF_ERROR(CheckVersion(r));
+  std::string query_blob;
+  M3_RETURN_IF_ERROR(r.Str(&query_blob));
+  StatusOr<QueryRequest> q = DecodeQueryRequest(query_blob);
+  if (!q.ok()) return q.status().Annotate("wire: embedded shard query");
+  req.query = std::move(*q);
+  std::uint64_t n;
+  M3_RETURN_IF_ERROR(r.U64(&n));
+  if (n > r.remaining() / 4) {
+    return Status::DataLoss("wire: slot count " + std::to_string(n) +
+                            " exceeds the remaining payload");
+  }
+  req.slots.resize(static_cast<std::size_t>(n));
+  for (std::uint32_t& s : req.slots) M3_RETURN_IF_ERROR(r.U32(&s));
+  M3_RETURN_IF_ERROR(r.ExpectEnd());
+  return req;
+}
+
+std::string EncodeShardQueryResponse(const ShardQueryResponse& resp) {
+  Writer w;
+  w.U32(kWireVersion);
+  EncodeStatus(w, resp.status);
+  EncodeDegradation(w, resp.degradation);
+  w.U64(resp.model_version);
+  w.U32(resp.model_crc);
+  w.F64(resp.wall_seconds);
+  w.U64(resp.estimates.size());
+  for (const SlotEstimateWire& se : resp.estimates) {
+    w.U32(se.slot);
+    EncodePathEstimate(w, se.estimate);
+  }
+  return w.Take();
+}
+
+StatusOr<ShardQueryResponse> DecodeShardQueryResponse(const std::string& payload) {
+  Reader r(payload);
+  ShardQueryResponse resp;
+  M3_RETURN_IF_ERROR(CheckVersion(r));
+  M3_RETURN_IF_ERROR(DecodeStatus(r, &resp.status));
+  M3_RETURN_IF_ERROR(DecodeDegradation(r, &resp.degradation));
+  M3_RETURN_IF_ERROR(r.U64(&resp.model_version));
+  M3_RETURN_IF_ERROR(r.U32(&resp.model_crc));
+  M3_RETURN_IF_ERROR(r.F64(&resp.wall_seconds));
+  std::uint64_t n;
+  M3_RETURN_IF_ERROR(r.U64(&n));
+  // Division form: the record size is fixed, so a hostile count that would
+  // wrap `n * kSlotEstimateBytes` fails here instead of in resize().
+  if (n > r.remaining() / kSlotEstimateBytes) {
+    return Status::DataLoss("wire: estimate count " + std::to_string(n) +
+                            " exceeds the remaining payload");
+  }
+  resp.estimates.resize(static_cast<std::size_t>(n));
+  for (SlotEstimateWire& se : resp.estimates) {
+    M3_RETURN_IF_ERROR(r.U32(&se.slot));
+    M3_RETURN_IF_ERROR(DecodePathEstimate(r, &se.estimate));
+  }
   M3_RETURN_IF_ERROR(r.ExpectEnd());
   return resp;
 }
@@ -490,6 +684,8 @@ Hash128 QueryCacheKey(const QueryRequest& req, const Hash128& model_digest) {
   h.U64(model_digest.hi).U64(model_digest.lo);
   h.Bool(req.use_context);
   h.F64(req.oversub);
+  h.I32(req.topo.pods).I32(req.topo.racks_per_pod).I32(req.topo.hosts_per_rack);
+  h.I32(req.topo.fabric_per_pod).I32(req.topo.spines_per_plane);
   HashNetConfig(h, req.cfg);
   h.I32(req.num_paths);
   h.U64(req.seed);

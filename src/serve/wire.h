@@ -12,7 +12,8 @@
 // the definition lives next to the serialized fields it must cover:
 //
 //   query key = H(schema tag, model digest, use_context, oversub,
-//                 NetConfig (every field), num_paths, sampling seed,
+//                 topology shape, NetConfig (every field), num_paths,
+//                 sampling seed,
 //                 flows (id, src, dst, size, arrival, priority))
 //   path key  = H(schema tag, model digest, use_context,
 //                 NetConfig (every field), path scenario content: chain
@@ -38,8 +39,11 @@
 
 namespace m3::serve {
 
-/// v2: Ping message pair + worker-pool fields in ServerStatsWire.
-constexpr std::uint32_t kWireVersion = 2;
+/// v3: sharded-fleet support — shard query/reply message pair, explicit
+/// topology shape in QueryRequest, per-shard attribution in QueryResponse,
+/// router sections in ServerStatsWire and PingResponse.
+/// (v2 added the Ping pair + worker-pool fields in ServerStatsWire.)
+constexpr std::uint32_t kWireVersion = 3;
 
 /// Frame types (util/socket.h `type` field).
 enum class MsgType : std::uint32_t {
@@ -51,6 +55,9 @@ enum class MsgType : std::uint32_t {
   kReloadResponse = 6,
   kPingRequest = 7,
   kPingResponse = 8,
+  // Fleet-internal scatter-gather (m3d-router <-> shard m3d).
+  kShardQueryRequest = 9,
+  kShardQueryResponse = 10,
 };
 
 /// One flow as it travels on the wire: fat-tree host indices, route
@@ -64,8 +71,33 @@ struct WireFlow {
   std::uint8_t priority = 0;
 };
 
+/// Explicit fat-tree shape (v3). All-zero — the default — means "the
+/// paper's small testbed at the request's oversub", i.e.
+/// FatTreeConfig::Small(oversub), which is what every pre-v3 client meant.
+/// Non-zero pins the full shape (the large `M3_SCALE` topologies travel
+/// this way); `oversub` is then implied by racks_per_pod/spines_per_plane
+/// and the standalone field is ignored for topology construction.
+struct WireTopo {
+  std::int32_t pods = 0;
+  std::int32_t racks_per_pod = 0;
+  std::int32_t hosts_per_rack = 0;
+  std::int32_t fabric_per_pod = 0;
+  std::int32_t spines_per_plane = 0;
+
+  bool IsDefault() const {
+    return pods == 0 && racks_per_pod == 0 && hosts_per_rack == 0 && fabric_per_pod == 0 &&
+           spines_per_plane == 0;
+  }
+  bool operator==(const WireTopo& o) const {
+    return pods == o.pods && racks_per_pod == o.racks_per_pod &&
+           hosts_per_rack == o.hosts_per_rack && fabric_per_pod == o.fabric_per_pod &&
+           spines_per_plane == o.spines_per_plane;
+  }
+};
+
 struct QueryRequest {
   double oversub = 2.0;  // daemon builds FatTreeConfig::Small(oversub)
+  WireTopo topo;         // explicit shape override (v3); default = Small
   std::vector<WireFlow> flows;
   NetConfig cfg;
   // M3Options subset (num_threads stays a server-side policy knob).
@@ -77,6 +109,20 @@ struct QueryRequest {
   std::int32_t max_attempts = 2;
   // Bypass both result caches for this query (still computes + reports).
   bool no_cache = false;
+};
+
+/// Cumulative per-shard counters in router stats (ServerStatsWire::shards).
+struct ShardHealthWire {
+  std::string address;             // endpoint string, e.g. "tcp:10.0.0.2:9000"
+  bool healthy = false;            // last health probe succeeded
+  bool breaker_open = false;
+  std::uint64_t model_version = 0; // from the last successful probe
+  std::uint64_t dispatches = 0;    // sub-requests sent (incl. retries/hedges)
+  std::uint64_t failures = 0;      // sub-requests that did not answer
+  std::uint64_t retries = 0;       // re-dispatches after a failure
+  std::uint64_t hedges = 0;        // duplicate dispatches for stragglers
+  std::uint64_t slots_fallback = 0;  // this shard's slots served by flowSim
+  std::uint64_t slots_dropped = 0;   // this shard's slots reweighted away
 };
 
 /// Serving-side counters returned with every response and by kStatsRequest.
@@ -109,6 +155,24 @@ struct ServerStatsWire {
   std::uint64_t breaker_trips = 0;
   bool breaker_open = false;              // current model version quarantined
   std::uint32_t quarantined_digests = 0;
+  // Router fleet health (router_mode daemons only; empty otherwise).
+  bool router_mode = false;
+  std::vector<ShardHealthWire> shards;
+};
+
+/// Per-shard attribution for one answer assembled by m3d-router (empty when
+/// a single daemon answered). Sums over `slots_*` equal the query's
+/// num_paths; fallback/dropped slots also appear in the merged
+/// DegradationReport as degraded/dropped paths.
+struct ShardReportWire {
+  std::string shard;                // endpoint string
+  std::uint32_t slots_assigned = 0; // sample slots hashed to this shard
+  std::uint32_t slots_ok = 0;       // estimated by the shard (any replica)
+  std::uint32_t slots_fallback = 0; // router-side flowSim fallback
+  std::uint32_t slots_dropped = 0;  // reweighted drop
+  std::uint32_t retries = 0;        // re-dispatches for this query
+  std::uint32_t hedges = 0;         // hedged duplicates for this query
+  bool breaker_open = false;        // breaker state seen at dispatch
 };
 
 struct QueryResponse {
@@ -124,7 +188,36 @@ struct QueryResponse {
   std::uint64_t model_version = 0;
   std::uint32_t model_crc = 0;
   bool query_cache_hit = false;
+  // Per-shard attribution (v3); populated only by m3d-router.
+  std::vector<ShardReportWire> shards;
   ServerStatsWire stats;
+};
+
+/// Scatter unit (v3): the full client query plus the sample slots this
+/// shard owns. The shard re-derives the deterministic path sample from
+/// (topology, flows, seed, num_paths) — identical to what a single host
+/// would compute — and estimates only `slots`
+/// (M3Options::sample_slots), so disjoint slot sets from different shards
+/// merge positionally into one bitwise-reproducible answer.
+struct ShardQueryRequest {
+  QueryRequest query;
+  std::vector<std::uint32_t> slots;
+};
+
+/// One per-slot estimate: the 4x100 percentile grid plus per-bucket
+/// foreground counts (core/aggregate.h PathEstimate).
+struct SlotEstimateWire {
+  std::uint32_t slot = 0;
+  PathEstimate estimate{};
+};
+
+struct ShardQueryResponse {
+  Status status;                  // estimator status for this shard's slots
+  DegradationReport degradation;  // covers only this shard's slots
+  std::uint64_t model_version = 0;
+  std::uint32_t model_crc = 0;
+  double wall_seconds = 0.0;
+  std::vector<SlotEstimateWire> estimates;
 };
 
 struct ReloadRequest {
@@ -138,6 +231,12 @@ struct PingResponse {
   bool worker_mode = false;
   std::uint64_t model_version = 0;
   std::uint32_t workers_alive = 0;
+  // Router fleet readiness (v3; zero on plain daemons). A router is
+  // `ready` when at least one shard is healthy — it can always answer,
+  // via flowSim fallback at worst.
+  bool router_mode = false;
+  std::uint32_t shards_healthy = 0;
+  std::uint32_t shards_total = 0;
 };
 
 struct ReloadResponse {
@@ -168,6 +267,12 @@ Status DecodePingRequest(const std::string& payload);
 
 std::string EncodePingResponse(const PingResponse& resp);
 StatusOr<PingResponse> DecodePingResponse(const std::string& payload);
+
+std::string EncodeShardQueryRequest(const ShardQueryRequest& req);
+StatusOr<ShardQueryRequest> DecodeShardQueryRequest(const std::string& payload);
+
+std::string EncodeShardQueryResponse(const ShardQueryResponse& resp);
+StatusOr<ShardQueryResponse> DecodeShardQueryResponse(const std::string& payload);
 
 // ----- cache keys -----
 

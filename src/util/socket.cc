@@ -1,6 +1,10 @@
 #include "util/socket.h"
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
@@ -11,6 +15,7 @@
 #include <cerrno>
 #include <cmath>
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 
 namespace m3 {
@@ -18,26 +23,6 @@ namespace {
 
 std::string Errno(const std::string& what) {
   return what + ": " + std::strerror(errno);
-}
-
-// EPIPE on a closed peer must surface as a Status, not kill the process;
-// writes use MSG_NOSIGNAL so no global SIGPIPE handler is required.
-ssize_t SendSome(int fd, const void* buf, std::size_t n) {
-  return ::send(fd, buf, n, MSG_NOSIGNAL);
-}
-
-Status WriteFull(int fd, const void* data, std::size_t n) {
-  const char* p = static_cast<const char*>(data);
-  while (n > 0) {
-    const ssize_t w = SendSome(fd, p, n);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return Status::Unavailable(Errno("socket write"));
-    }
-    p += w;
-    n -= static_cast<std::size_t>(w);
-  }
-  return Status::Ok();
 }
 
 // Returns bytes read (0 only at clean end-of-stream on the first byte).
@@ -60,6 +45,55 @@ StatusOr<std::size_t> ReadFull(int fd, void* data, std::size_t n) {
     got += static_cast<std::size_t>(r);
   }
   return got;
+}
+
+// Gathered write of `iovcnt` buffers: retries EINTR, keeps pushing through
+// short writes (routine on TCP), classifies an expired SO_SNDTIMEO as
+// kDeadlineExceeded, and uses MSG_NOSIGNAL so EPIPE on a closed peer
+// surfaces as a Status instead of killing the process. Mutates the iovec
+// array as data drains. One sendmsg per kernel round keeps a small frame in
+// one TCP segment instead of a header packet plus a payload packet.
+Status SendAllVec(int fd, iovec* iov, int iovcnt) {
+  int first = 0;
+  while (first < iovcnt) {
+    msghdr msg{};
+    msg.msg_iov = iov + first;
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt - first);
+    const ssize_t w = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("socket write timed out");
+      }
+      return Status::Unavailable(Errno("socket write"));
+    }
+    std::size_t done = static_cast<std::size_t>(w);
+    while (first < iovcnt && done >= iov[first].iov_len) {
+      done -= iov[first].iov_len;
+      ++first;
+    }
+    if (first < iovcnt && done > 0) {
+      iov[first].iov_base = static_cast<char*>(iov[first].iov_base) + done;
+      iov[first].iov_len -= done;
+    }
+  }
+  return Status::Ok();
+}
+
+// Shared SO_RCVTIMEO / SO_SNDTIMEO plumbing.
+Status SetTimeoutOpt(int fd, int optname, double seconds, const char* what) {
+  timeval tv{};
+  if (seconds > 0) {
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    // Sub-microsecond budgets round to zero, which the kernel reads as
+    // "block forever" — the opposite of what the caller asked for.
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  }
+  if (::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv)) != 0) {
+    return Status::Unavailable(Errno(std::string("setsockopt ") + what));
+  }
+  return Status::Ok();
 }
 
 StatusOr<sockaddr_un> MakeAddr(const std::string& path) {
@@ -117,7 +151,9 @@ StatusOr<UnixFd> AcceptUnix(const UnixFd& listener) {
   for (;;) {
     const int fd = ::accept(listener.get(), nullptr, nullptr);
     if (fd >= 0) return UnixFd(fd);
-    if (errno == EINTR) continue;
+    // EINTR: signal during accept. ECONNABORTED/EPROTO: the pending client
+    // died between connect and accept — its problem, not the listener's.
+    if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) continue;
     return Status::Unavailable(Errno("accept"));
   }
 }
@@ -187,18 +223,179 @@ StatusOr<UnixFd> ConnectUnixTimeout(const std::string& path, double timeout_seco
 }
 
 Status SetRecvTimeout(const UnixFd& fd, double seconds) {
-  timeval tv{};
-  if (seconds > 0) {
-    tv.tv_sec = static_cast<time_t>(seconds);
-    tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
-    // Sub-microsecond budgets round to zero, which the kernel reads as
-    // "block forever" — the opposite of what the caller asked for.
-    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  return SetTimeoutOpt(fd.get(), SO_RCVTIMEO, seconds, "SO_RCVTIMEO");
+}
+
+Status SetSendTimeout(const UnixFd& fd, double seconds) {
+  return SetTimeoutOpt(fd.get(), SO_SNDTIMEO, seconds, "SO_SNDTIMEO");
+}
+
+StatusOr<UnixFd> ListenTcp(const std::string& host, std::uint16_t port, int backlog) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE | AI_NUMERICSERV;
+  const std::string service = std::to_string(port);
+  addrinfo* res = nullptr;
+  if (const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(), service.c_str(),
+                                   &hints, &res);
+      rc != 0) {
+    return Status::InvalidArgument("resolve " + host + ": " + ::gai_strerror(rc));
   }
-  if (::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
-    return Status::Unavailable(Errno("setsockopt SO_RCVTIMEO"));
+  Status last = Status::Unavailable("no usable address for " + host + ":" + service);
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    UnixFd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) {
+      last = Status::Unavailable(Errno("socket"));
+      continue;
+    }
+    // A restarted daemon must be able to rebind while old connections sit
+    // in TIME_WAIT.
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0) {
+      last = Status::Unavailable(Errno("bind " + host + ":" + service));
+      continue;
+    }
+    if (::listen(fd.get(), backlog) != 0) {
+      last = Status::Unavailable(Errno("listen " + host + ":" + service));
+      continue;
+    }
+    ::freeaddrinfo(res);
+    return fd;
   }
-  return Status::Ok();
+  ::freeaddrinfo(res);
+  return last;
+}
+
+StatusOr<UnixFd> ConnectTcpTimeout(const std::string& host, std::uint16_t port,
+                                   double timeout_seconds) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  const std::string service = std::to_string(port);
+  const std::string where = host + ":" + service;
+  addrinfo* res = nullptr;
+  if (const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res); rc != 0) {
+    return Status::InvalidArgument("resolve " + host + ": " + ::gai_strerror(rc));
+  }
+  Status last = Status::Unavailable("no usable address for " + where);
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    UnixFd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) {
+      last = Status::Unavailable(Errno("socket"));
+      continue;
+    }
+    const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) != 0) {
+      last = Status::Unavailable(Errno("fcntl O_NONBLOCK"));
+      continue;
+    }
+    bool ok = ::connect(fd.get(), ai->ai_addr, ai->ai_addrlen) == 0;
+    if (!ok && (errno == EINPROGRESS || errno == EAGAIN)) {
+      pollfd pfd{fd.get(), POLLOUT, 0};
+      const int timeout_ms =
+          timeout_seconds <= 0 ? -1 : static_cast<int>(std::ceil(timeout_seconds * 1000.0));
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, timeout_ms);
+      } while (rc < 0 && errno == EINTR);
+      if (rc < 0) {
+        last = Status::Unavailable(Errno("poll connect " + where));
+        continue;
+      }
+      if (rc == 0) {
+        ::freeaddrinfo(res);
+        return Status::DeadlineExceeded("connect " + where + " timed out after " +
+                                        std::to_string(timeout_seconds) + "s");
+      }
+      int err = 0;
+      socklen_t err_len = sizeof(err);
+      ok = ::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &err_len) == 0 && err == 0;
+      if (!ok && err != 0) errno = err;
+    }
+    if (!ok) {
+      if (errno == ECONNREFUSED) {
+        last = Status::NotFound("no m3d daemon listening at " + where + " (" +
+                                std::strerror(errno) + ")");
+      } else {
+        last = Status::Unavailable(Errno("connect " + where));
+      }
+      continue;
+    }
+    if (::fcntl(fd.get(), F_SETFL, flags) != 0) {
+      last = Status::Unavailable(Errno("fcntl restore flags"));
+      continue;
+    }
+    // Strict request/response protocol: Nagle buys nothing and costs a
+    // delayed-ACK round trip on small frames.
+    const int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+  }
+  ::freeaddrinfo(res);
+  return last;
+}
+
+std::string Endpoint::ToString() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+StatusOr<Endpoint> ParseEndpoint(const std::string& spec) {
+  Endpoint ep;
+  if (spec.rfind("tcp:", 0) == 0) {
+    ep.kind = Endpoint::Kind::kTcp;
+    const std::string rest = spec.substr(4);
+    std::size_t colon;
+    if (!rest.empty() && rest[0] == '[') {
+      // Bracketed IPv6 literal: tcp:[::1]:9000.
+      const std::size_t close = rest.find("]:");
+      if (close == std::string::npos) {
+        return Status::InvalidArgument("endpoint '" + spec + "': expected tcp:[host]:port");
+      }
+      ep.host = rest.substr(1, close - 1);
+      colon = close + 1;
+    } else {
+      colon = rest.rfind(':');
+      if (colon == std::string::npos) {
+        return Status::InvalidArgument("endpoint '" + spec + "': expected tcp:host:port");
+      }
+      ep.host = rest.substr(0, colon);
+    }
+    if (ep.host.empty()) {
+      return Status::InvalidArgument("endpoint '" + spec + "': empty host");
+    }
+    const std::string port_str = rest.substr(colon + 1);
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long port = std::strtoul(port_str.c_str(), &end, 10);
+    if (port_str.empty() || end == nullptr || *end != '\0' || errno != 0 || port == 0 ||
+        port > 65535) {
+      return Status::InvalidArgument("endpoint '" + spec + "': port must be in [1, 65535]");
+    }
+    ep.port = static_cast<std::uint16_t>(port);
+    return ep;
+  }
+  ep.kind = Endpoint::Kind::kUnix;
+  ep.path = spec.rfind("unix:", 0) == 0 ? spec.substr(5) : spec;
+  if (ep.path.empty()) {
+    return Status::InvalidArgument("endpoint '" + spec + "': empty socket path");
+  }
+  return ep;
+}
+
+StatusOr<UnixFd> ConnectEndpoint(const Endpoint& ep, double timeout_seconds) {
+  if (ep.kind == Endpoint::Kind::kTcp) {
+    return ConnectTcpTimeout(ep.host, ep.port, timeout_seconds);
+  }
+  return ConnectUnixTimeout(ep.path, timeout_seconds);
+}
+
+StatusOr<UnixFd> ListenEndpoint(const Endpoint& ep, int backlog) {
+  if (ep.kind == Endpoint::Kind::kTcp) return ListenTcp(ep.host, ep.port, backlog);
+  return ListenUnix(ep.path, backlog);
 }
 
 Status MakeSocketPair(UnixFd* a, UnixFd* b) {
@@ -218,8 +415,9 @@ Status SendFrame(const UnixFd& fd, std::uint32_t type, const std::string& payloa
   std::memcpy(header, &magic, 4);
   std::memcpy(header + 4, &type, 4);
   std::memcpy(header + 8, &len, 8);
-  M3_RETURN_IF_ERROR(WriteFull(fd.get(), header, sizeof(header)));
-  return WriteFull(fd.get(), payload.data(), payload.size());
+  iovec iov[2] = {{header, sizeof(header)},
+                  {const_cast<char*>(payload.data()), payload.size()}};
+  return SendAllVec(fd.get(), iov, payload.empty() ? 1 : 2);
 }
 
 StatusOr<Frame> RecvFrame(const UnixFd& fd) {

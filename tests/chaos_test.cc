@@ -21,6 +21,8 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdint>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -325,6 +327,32 @@ TEST(Supervisor, BackoffScheduleIsDeterministicAndCapped) {
   EXPECT_EQ(WorkerSupervisor::BackoffDelayMs(60, 25, 2000), 2000);  // no overflow
   EXPECT_EQ(WorkerSupervisor::BackoffDelayMs(0, 25, 2000), 25);     // clamped low
   EXPECT_EQ(WorkerSupervisor::BackoffDelayMs(3, 4000, 2000), 2000); // init > max
+}
+
+TEST(Supervisor, JitteredBackoffIsBoundedDeterministicAndPerSlot) {
+  // The jitter factor lives in [0.5, 1.5) of the base delay and is a pure
+  // function of (seed, slot, failure): a respawn storm across slots must not
+  // synchronize, but a fixed seed must replay the exact same schedule.
+  const int base = 1000;
+  for (std::uint64_t slot = 0; slot < 8; ++slot) {
+    for (std::uint64_t failure = 1; failure <= 6; ++failure) {
+      const int d = WorkerSupervisor::JitteredBackoffMs(base, 42, slot, failure);
+      EXPECT_GE(d, base / 2);
+      EXPECT_LT(d, base + base / 2);
+      EXPECT_EQ(d, WorkerSupervisor::JitteredBackoffMs(base, 42, slot, failure));
+    }
+  }
+  // Distinct slots land on distinct points of the factor range (same seed,
+  // same failure count) — that is the whole anti-thundering-herd point.
+  std::set<int> per_slot;
+  for (std::uint64_t slot = 0; slot < 8; ++slot)
+    per_slot.insert(WorkerSupervisor::JitteredBackoffMs(base, 42, slot, 3));
+  EXPECT_GT(per_slot.size(), 6u);
+  // Different seeds produce different schedules for the same slot.
+  EXPECT_NE(WorkerSupervisor::JitteredBackoffMs(base, 1, 0, 3),
+            WorkerSupervisor::JitteredBackoffMs(base, 2, 0, 3));
+  // Tiny base delays never jitter down to zero.
+  EXPECT_GE(WorkerSupervisor::JitteredBackoffMs(1, 42, 0, 1), 1);
 }
 
 TEST(Supervisor, WorkerKilledWhileIdleIsReapedAndRespawned) {

@@ -1,0 +1,718 @@
+// Sharded-fleet tests: the consistent-hash ring and recoverable breaker
+// (serve/shardmap.h), the v3 shard wire messages under the usual hostile
+// treatment, shard-side slot execution determinism (serve/exec.h), and the
+// scatter-gather router end-to-end against a live in-process fleet —
+// including the acceptance property that a fault-free scattered answer is
+// bitwise identical to a single daemon's, and that shard loss degrades
+// answers instead of failing them.
+//
+// Suite names here (HashRing / ShardBreaker / ShardWire / ShardExec /
+// RouterChaos) are deliberately outside the TSan tier's suite regex in
+// tools/check.sh: RouterChaos spins real sockets and whole services, which
+// belongs in the plain and chaos tiers.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/exec.h"
+#include "serve/registry.h"
+#include "serve/router.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "serve/shardmap.h"
+#include "serve/wire.h"
+#include "topo/fat_tree.h"
+#include "workload/generator.h"
+#include "workload/size_dist.h"
+#include "workload/traffic_matrix.h"
+
+namespace m3::serve {
+namespace {
+
+// ------------------------------------------------------------- hash ring --
+
+Hash128 KeyOf(int i) {
+  Hasher h;
+  h.Str("router-test-key").I32(i);
+  return h.Finish();
+}
+
+TEST(HashRing, OwnerIsDeterministicAcrossInstances) {
+  const std::vector<std::string> shards = {"tcp:a:1", "tcp:b:1", "tcp:c:1"};
+  const HashRing r1(shards, 64);
+  const HashRing r2(shards, 64);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(r1.Owner(KeyOf(i)), r2.Owner(KeyOf(i))) << "key " << i;
+  }
+}
+
+TEST(HashRing, KeysSpreadAcrossAllShards) {
+  const HashRing ring({"tcp:a:1", "tcp:b:1", "tcp:c:1"}, 64);
+  std::array<int, 3> counts{};
+  constexpr int kKeys = 3000;
+  for (int i = 0; i < kKeys; ++i) {
+    const int owner = ring.Owner(KeyOf(i));
+    ASSERT_GE(owner, 0);
+    ASSERT_LT(owner, 3);
+    ++counts[static_cast<std::size_t>(owner)];
+  }
+  // With 64 vnodes the split is near-uniform; 15% per shard is a loose
+  // floor that only a broken ring would miss.
+  for (int c : counts) EXPECT_GT(c, kKeys * 15 / 100);
+}
+
+TEST(HashRing, PreferenceIsDistinctOwnerFirstAndCapped) {
+  const HashRing ring({"s0", "s1", "s2", "s3"}, 32);
+  for (int i = 0; i < 200; ++i) {
+    const Hash128 key = KeyOf(i);
+    const std::vector<int> all = ring.Preference(key);
+    ASSERT_EQ(all.size(), 4u);
+    EXPECT_EQ(all[0], ring.Owner(key));
+    std::vector<int> sorted = all;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3}));  // each shard once
+    const std::vector<int> two = ring.Preference(key, 2);
+    ASSERT_EQ(two.size(), 2u);
+    EXPECT_EQ(two[0], all[0]);
+    EXPECT_EQ(two[1], all[1]);
+  }
+}
+
+TEST(HashRing, RemovingOneShardMovesOnlyItsKeys) {
+  const std::vector<std::string> full = {"s0", "s1", "s2"};
+  const std::vector<std::string> less = {"s0", "s1"};  // s2 removed
+  const HashRing before(full, 64);
+  const HashRing after(less, 64);
+  int moved = 0, kept = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const Hash128 key = KeyOf(i);
+    const std::string owner_before = full[static_cast<std::size_t>(before.Owner(key))];
+    const std::string owner_after = less[static_cast<std::size_t>(after.Owner(key))];
+    if (owner_before == "s2") {
+      ++moved;  // orphaned keys must land somewhere
+    } else {
+      // The consistency property: keys not owned by the removed shard
+      // keep their owner (no fleet-wide reshuffle on a shard bounce).
+      EXPECT_EQ(owner_after, owner_before) << "key " << i;
+      ++kept;
+    }
+  }
+  EXPECT_GT(moved, 0);
+  EXPECT_GT(kept, 0);
+}
+
+TEST(HashRing, EmptyRingOwnsNothing) {
+  const HashRing ring({}, 64);
+  EXPECT_EQ(ring.num_shards(), 0u);
+  EXPECT_EQ(ring.Owner(KeyOf(1)), -1);
+  EXPECT_TRUE(ring.Preference(KeyOf(1)).empty());
+}
+
+// --------------------------------------------------------- shard breaker --
+
+ShardBreakerOptions FastBreaker() {
+  ShardBreakerOptions o;
+  o.threshold = 3;
+  o.window_seconds = 10.0;
+  o.cooloff_seconds = 0.05;
+  return o;
+}
+
+TEST(ShardBreaker, TripsAtThresholdAndBlocksDispatch) {
+  ShardBreaker b(FastBreaker());
+  EXPECT_TRUE(b.Allow());
+  b.RecordFailure();
+  b.RecordFailure();
+  EXPECT_FALSE(b.open());
+  EXPECT_TRUE(b.Allow());  // below threshold: still closed
+  b.RecordFailure();
+  EXPECT_TRUE(b.open());
+  EXPECT_EQ(b.trips(), 1u);
+  EXPECT_FALSE(b.Allow());  // freshly open: inside the cooloff
+}
+
+TEST(ShardBreaker, HalfOpenAdmitsExactlyOneProbePerCooloff) {
+  ShardBreaker b(FastBreaker());
+  for (int i = 0; i < 3; ++i) b.RecordFailure();
+  ASSERT_TRUE(b.open());
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(b.Allow());   // the half-open probe
+  EXPECT_FALSE(b.Allow());  // second caller in the same cooloff: no
+  // A successful probe closes the breaker for good.
+  b.RecordSuccess();
+  EXPECT_FALSE(b.open());
+  EXPECT_TRUE(b.Allow());
+  EXPECT_TRUE(b.Allow());
+}
+
+TEST(ShardBreaker, FailedProbeRearmsTheCooloff) {
+  ShardBreaker b(FastBreaker());
+  for (int i = 0; i < 3; ++i) b.RecordFailure();
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  ASSERT_TRUE(b.Allow());
+  b.RecordFailure();        // the probe found the shard still down
+  EXPECT_TRUE(b.open());
+  EXPECT_FALSE(b.Allow());  // back inside a full cooloff
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(b.Allow());   // ...after which one probe goes again
+}
+
+TEST(ShardBreaker, SuccessClearsTheFailureWindow) {
+  ShardBreaker b(FastBreaker());
+  b.RecordFailure();
+  b.RecordFailure();
+  b.RecordSuccess();  // window cleared: the next failures start from zero
+  b.RecordFailure();
+  b.RecordFailure();
+  EXPECT_FALSE(b.open());
+  EXPECT_EQ(b.trips(), 0u);
+}
+
+// ----------------------------------------------------------- wire (v3) ----
+
+QueryRequest SampleShardQuery() {
+  QueryRequest req;
+  req.oversub = 4.0;
+  req.topo.pods = 2;
+  req.topo.racks_per_pod = 2;
+  req.topo.hosts_per_rack = 4;
+  req.topo.fabric_per_pod = 2;
+  req.topo.spines_per_plane = 2;
+  req.num_paths = 5;
+  req.seed = 42;
+  req.strict = true;
+  for (int i = 0; i < 2; ++i) {
+    WireFlow f;
+    f.id = i;
+    f.src_host = i;
+    f.dst_host = 5 + i;
+    f.size = 777 * (i + 1);
+    req.flows.push_back(f);
+  }
+  return req;
+}
+
+TEST(ShardWire, QueryRequestTopoRoundTripsAndChangesTheCacheKey) {
+  const QueryRequest req = SampleShardQuery();
+  const StatusOr<QueryRequest> got = DecodeQueryRequest(EncodeQueryRequest(req));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(got->topo == req.topo);
+  EXPECT_FALSE(got->topo.IsDefault());
+
+  QueryRequest other = req;
+  other.topo.pods = 4;
+  const Hash128 digest = HashBytes("m", 1);
+  EXPECT_NE(QueryCacheKey(req, digest), QueryCacheKey(other, digest));
+}
+
+TEST(ShardWire, ShardQueryRequestRoundTrip) {
+  ShardQueryRequest req;
+  req.query = SampleShardQuery();
+  req.slots = {0, 3, 4};
+  const StatusOr<ShardQueryRequest> got =
+      DecodeShardQueryRequest(EncodeShardQueryRequest(req));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->slots, req.slots);
+  EXPECT_EQ(got->query.num_paths, req.query.num_paths);
+  EXPECT_EQ(got->query.seed, req.query.seed);
+  EXPECT_TRUE(got->query.topo == req.query.topo);
+  ASSERT_EQ(got->query.flows.size(), req.query.flows.size());
+  EXPECT_EQ(got->query.flows[1].size, req.query.flows[1].size);
+  // The embedded query round-trips its cache key (a shard rebuilds the
+  // router's placement keys from exactly these bytes).
+  const Hash128 digest = HashBytes("m", 1);
+  EXPECT_EQ(QueryCacheKey(req.query, digest), QueryCacheKey(got->query, digest));
+}
+
+ShardQueryResponse SampleShardResponse() {
+  ShardQueryResponse resp;
+  resp.status = Status::Degraded("1 slot degraded");
+  resp.degradation.paths_ok = 2;
+  resp.degradation.paths_degraded = 1;
+  resp.degradation.first_error = "slot 3: injected";
+  resp.model_version = 7;
+  resp.model_crc = 0xabcd1234;
+  resp.wall_seconds = 0.25;
+  for (std::uint32_t s : {0u, 3u}) {
+    SlotEstimateWire se;
+    se.slot = s;
+    se.estimate.counts[1] = 4.0 + s;
+    se.estimate.pct[1][50] = 1.5 + s;
+    se.estimate.pct[3][99] = 9.0;
+    resp.estimates.push_back(se);
+  }
+  return resp;
+}
+
+TEST(ShardWire, ShardQueryResponseRoundTrip) {
+  const ShardQueryResponse resp = SampleShardResponse();
+  const StatusOr<ShardQueryResponse> got =
+      DecodeShardQueryResponse(EncodeShardQueryResponse(resp));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->status.code(), StatusCode::kDegraded);
+  EXPECT_EQ(got->degradation.paths_ok, 2);
+  EXPECT_EQ(got->degradation.paths_degraded, 1);
+  EXPECT_EQ(got->degradation.first_error, resp.degradation.first_error);
+  EXPECT_EQ(got->model_version, 7u);
+  EXPECT_EQ(got->model_crc, 0xabcd1234u);
+  ASSERT_EQ(got->estimates.size(), 2u);
+  EXPECT_EQ(got->estimates[1].slot, 3u);
+  EXPECT_EQ(got->estimates[1].estimate.counts[1], 7.0);
+  EXPECT_EQ(got->estimates[1].estimate.pct[1][50], 4.5);
+  EXPECT_EQ(got->estimates[1].estimate.pct[3][99], 9.0);
+}
+
+TEST(ShardWire, EveryTruncationOfShardMessagesIsRejected) {
+  ShardQueryRequest req;
+  req.query = SampleShardQuery();
+  req.slots = {1, 2};
+  const std::string reqp = EncodeShardQueryRequest(req);
+  for (std::size_t len = 0; len < reqp.size(); ++len) {
+    ASSERT_FALSE(DecodeShardQueryRequest(reqp.substr(0, len)).ok())
+        << "request prefix of " << len << " bytes decoded";
+  }
+  EXPECT_TRUE(DecodeShardQueryRequest(reqp).ok());
+
+  const std::string respp = EncodeShardQueryResponse(SampleShardResponse());
+  for (std::size_t len = 0; len < respp.size(); ++len) {
+    ASSERT_FALSE(DecodeShardQueryResponse(respp.substr(0, len)).ok())
+        << "response prefix of " << len << " bytes decoded";
+  }
+  EXPECT_TRUE(DecodeShardQueryResponse(respp).ok());
+}
+
+TEST(ShardWire, TrailingBytesAndBadVersionAreRejected) {
+  ShardQueryRequest req;
+  req.query = SampleShardQuery();
+  const std::string payload = EncodeShardQueryRequest(req);
+  EXPECT_EQ(DecodeShardQueryRequest(payload + "x").status().code(),
+            StatusCode::kInvalidArgument);
+  std::string wrong = payload;
+  wrong[0] = static_cast<char>(kWireVersion + 1);
+  EXPECT_EQ(DecodeShardQueryRequest(wrong).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ShardWire, HostileSlotCountIsRejectedWithoutAllocating) {
+  // The slot-count u64 is the last length field before the trailing slot
+  // words: locate it by encoding the same message with zero slots.
+  ShardQueryRequest none;
+  none.query = SampleShardQuery();
+  ShardQueryRequest some = none;
+  some.slots = {1, 2, 3};
+  std::string payload = EncodeShardQueryRequest(some);
+  const std::size_t count_off = EncodeShardQueryRequest(none).size() - 8;
+  const std::uint64_t hostile = std::uint64_t{1} << 60;
+  std::memcpy(&payload[count_off], &hostile, 8);
+  const StatusOr<ShardQueryRequest> got = DecodeShardQueryRequest(payload);
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss) << got.status().ToString();
+}
+
+TEST(ShardWire, HostileEstimateCountIsRejectedWithoutAllocating) {
+  ShardQueryResponse none = SampleShardResponse();
+  none.estimates.clear();
+  std::string payload = EncodeShardQueryResponse(SampleShardResponse());
+  const std::size_t count_off = EncodeShardQueryResponse(none).size() - 8;
+  const std::uint64_t hostile = std::uint64_t{1} << 60;
+  std::memcpy(&payload[count_off], &hostile, 8);
+  const StatusOr<ShardQueryResponse> got = DecodeShardQueryResponse(payload);
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss) << got.status().ToString();
+}
+
+TEST(ShardWire, QueryResponseShardAttributionRoundTrips) {
+  QueryResponse resp;
+  resp.status = Status::Ok();
+  ShardReportWire row;
+  row.shard = "unix:/tmp/s1.sock";
+  row.slots_assigned = 10;
+  row.slots_ok = 8;
+  row.slots_fallback = 1;
+  row.slots_dropped = 1;
+  row.retries = 2;
+  row.hedges = 1;
+  row.breaker_open = true;
+  resp.shards.push_back(row);
+  const StatusOr<QueryResponse> got = DecodeQueryResponse(EncodeQueryResponse(resp));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got->shards.size(), 1u);
+  EXPECT_EQ(got->shards[0].shard, row.shard);
+  EXPECT_EQ(got->shards[0].slots_assigned, 10u);
+  EXPECT_EQ(got->shards[0].slots_ok, 8u);
+  EXPECT_EQ(got->shards[0].slots_fallback, 1u);
+  EXPECT_EQ(got->shards[0].slots_dropped, 1u);
+  EXPECT_EQ(got->shards[0].retries, 2u);
+  EXPECT_EQ(got->shards[0].hedges, 1u);
+  EXPECT_TRUE(got->shards[0].breaker_open);
+}
+
+TEST(ShardWire, RouterStatsAndPingFieldsRoundTrip) {
+  ServerStatsWire s;
+  s.router_mode = true;
+  ShardHealthWire sh;
+  sh.address = "tcp:10.0.0.2:9000";
+  sh.healthy = true;
+  sh.breaker_open = false;
+  sh.model_version = 3;
+  sh.dispatches = 100;
+  sh.failures = 4;
+  sh.retries = 3;
+  sh.hedges = 2;
+  sh.slots_fallback = 7;
+  sh.slots_dropped = 1;
+  s.shards.push_back(sh);
+  const StatusOr<ServerStatsWire> gs = DecodeStats(EncodeStats(s));
+  ASSERT_TRUE(gs.ok()) << gs.status().ToString();
+  ASSERT_TRUE(gs->router_mode);
+  ASSERT_EQ(gs->shards.size(), 1u);
+  EXPECT_EQ(gs->shards[0].address, sh.address);
+  EXPECT_TRUE(gs->shards[0].healthy);
+  EXPECT_EQ(gs->shards[0].model_version, 3u);
+  EXPECT_EQ(gs->shards[0].dispatches, 100u);
+  EXPECT_EQ(gs->shards[0].failures, 4u);
+  EXPECT_EQ(gs->shards[0].retries, 3u);
+  EXPECT_EQ(gs->shards[0].hedges, 2u);
+  EXPECT_EQ(gs->shards[0].slots_fallback, 7u);
+  EXPECT_EQ(gs->shards[0].slots_dropped, 1u);
+
+  PingResponse p;
+  p.ready = true;
+  p.router_mode = true;
+  p.shards_healthy = 2;
+  p.shards_total = 3;
+  p.model_version = 5;
+  const StatusOr<PingResponse> gp = DecodePingResponse(EncodePingResponse(p));
+  ASSERT_TRUE(gp.ok());
+  EXPECT_TRUE(gp->ready);
+  EXPECT_TRUE(gp->router_mode);
+  EXPECT_EQ(gp->shards_healthy, 2u);
+  EXPECT_EQ(gp->shards_total, 3u);
+  EXPECT_EQ(gp->model_version, 5u);
+}
+
+// ----------------------------------------------------------------- fixture --
+
+M3ModelConfig TinyModel() {
+  M3ModelConfig mcfg;
+  mcfg.d_model = 32;
+  mcfg.num_layers = 1;
+  mcfg.ff_dim = 64;
+  mcfg.mlp_hidden = 64;
+  return mcfg;
+}
+
+std::string TinyCheckpoint() {
+  static const std::string path = [] {
+    // Per-process path: ctest runs each test in its own process, and a
+    // shared name races the save's tmp+rename under a parallel run.
+    const std::string p = ::testing::TempDir() + "/router_tiny_model." +
+                          std::to_string(static_cast<long>(::getpid())) + ".ckpt";
+    M3Model model(TinyModel());
+    model.Save(p);
+    return p;
+  }();
+  return path;
+}
+
+QueryRequest FleetQuery(int num_paths = 6, std::uint64_t wl_seed = 3) {
+  const FatTree ft(FatTreeConfig::Small(2.0));
+  const auto tm = TrafficMatrix::MatrixB(ft.num_racks(), ft.config().racks_per_pod);
+  const auto sizes = MakeWebServer();
+  WorkloadSpec wspec;
+  wspec.num_flows = 300;
+  wspec.seed = wl_seed;
+  const std::vector<Flow> flows = GenerateWorkload(ft, tm, *sizes, wspec).flows;
+  QueryRequest req;
+  req.oversub = 2.0;
+  req.num_paths = num_paths;
+  req.flows.reserve(flows.size());
+  for (const Flow& f : flows) {
+    WireFlow wf;
+    wf.id = f.id;
+    wf.src_host = ft.HostIndexOf(f.src);
+    wf.dst_host = ft.HostIndexOf(f.dst);
+    wf.size = f.size;
+    wf.arrival = f.arrival;
+    wf.priority = f.priority;
+    req.flows.push_back(wf);
+  }
+  return req;
+}
+
+void ExpectBitwiseEqual(const QueryResponse& a, const QueryResponse& b) {
+  EXPECT_EQ(a.bucket_pct, b.bucket_pct);
+  EXPECT_EQ(a.total_counts, b.total_counts);
+  EXPECT_EQ(a.combined_pct, b.combined_pct);
+}
+
+// -------------------------------------------------- shard-side execution --
+
+TEST(ShardExec, SlotEstimatesAreIdenticalAcrossGroupings) {
+  ModelRegistry reg(TinyModel());
+  ASSERT_TRUE(reg.Reload(TinyCheckpoint()).ok());
+  const std::shared_ptr<const ModelSnapshot> snap = reg.Current();
+  ASSERT_NE(snap, nullptr);
+  TopoMemo topos;
+  ExecContext ctx;
+  ctx.topos = &topos;
+
+  ShardQueryRequest whole;
+  whole.query = FleetQuery(6);
+  whole.query.no_cache = true;
+  for (std::uint32_t s = 0; s < 6; ++s) whole.slots.push_back(s);
+  const ShardQueryResponse all = ExecuteShardOnSnapshot(whole, *snap, ctx);
+  ASSERT_TRUE(all.status.ok()) << all.status.ToString();
+  ASSERT_EQ(all.estimates.size(), 6u);
+
+  // Scatter the same slots across three disjoint "shards": the union of
+  // the partial replies must cover every slot with bitwise-identical
+  // estimates — the property the router's positional merge relies on.
+  std::map<std::uint32_t, PathEstimate> merged;
+  for (int part = 0; part < 3; ++part) {
+    ShardQueryRequest sub;
+    sub.query = whole.query;
+    for (std::uint32_t s = 0; s < 6; ++s) {
+      if (static_cast<int>(s) % 3 == part) sub.slots.push_back(s);
+    }
+    const ShardQueryResponse got = ExecuteShardOnSnapshot(sub, *snap, ctx);
+    ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+    ASSERT_EQ(got.estimates.size(), sub.slots.size());
+    for (const SlotEstimateWire& se : got.estimates) {
+      EXPECT_TRUE(merged.emplace(se.slot, se.estimate).second)
+          << "slot " << se.slot << " estimated twice";
+    }
+  }
+  ASSERT_EQ(merged.size(), 6u);
+  for (const SlotEstimateWire& se : all.estimates) {
+    const PathEstimate& m = merged.at(se.slot);
+    EXPECT_EQ(se.estimate.pct, m.pct) << "slot " << se.slot;
+    EXPECT_EQ(se.estimate.counts, m.counts) << "slot " << se.slot;
+  }
+}
+
+TEST(ShardExec, OutOfRangeSlotsAreRejected) {
+  ModelRegistry reg(TinyModel());
+  ASSERT_TRUE(reg.Reload(TinyCheckpoint()).ok());
+  TopoMemo topos;
+  ExecContext ctx;
+  ctx.topos = &topos;
+  ShardQueryRequest req;
+  req.query = FleetQuery(4);
+  req.slots = {0, 99};  // 99 >= num_paths
+  const ShardQueryResponse resp = ExecuteShardOnSnapshot(req, *reg.Current(), ctx);
+  EXPECT_EQ(resp.status.code(), StatusCode::kInvalidArgument)
+      << resp.status.ToString();
+}
+
+// --------------------------------------------------- live fleet (chaos) ----
+
+struct TestShard {
+  std::unique_ptr<EstimationService> service;
+  std::unique_ptr<SocketServer> server;
+  std::string path;
+
+  void Start(const std::string& socket_path) {
+    path = socket_path;
+    ServiceOptions so;
+    so.model_config = TinyModel();
+    so.num_workers = 2;
+    so.threads_per_query = 1;
+    service = std::make_unique<EstimationService>(so);
+    ASSERT_TRUE(service->ReloadModel(TinyCheckpoint()).ok());
+    ASSERT_TRUE(service->Start().ok());
+    server = std::make_unique<SocketServer>(*service);
+    ASSERT_TRUE(server->Start(socket_path).ok());
+  }
+
+  void Kill() {  // connection-refused from the router's point of view
+    if (server) server->Stop();
+  }
+
+  ~TestShard() {
+    if (server) server->Stop();
+    if (service) service->Stop();
+  }
+};
+
+RouterOptions FastRouterOptions(const std::vector<std::string>& shards) {
+  RouterOptions ro;
+  ro.shards = shards;
+  ro.replicas = 2;
+  ro.connect_timeout_seconds = 1.0;
+  ro.shard_timeout_seconds = 20.0;
+  ro.retry_backoff_ms = 5.0;
+  ro.health_interval_seconds = 0.1;
+  ro.breaker.threshold = 3;
+  ro.breaker.cooloff_seconds = 0.2;
+  ro.fallback_threads = 2;
+  return ro;
+}
+
+std::vector<std::string> FleetPaths(const char* tag, int n) {
+  std::vector<std::string> paths;
+  for (int i = 0; i < n; ++i) {
+    paths.push_back(::testing::TempDir() + "/" + tag + std::to_string(i) + ".sock");
+  }
+  return paths;
+}
+
+TEST(RouterChaos, FaultFreeScatterIsBitwiseIdenticalToSingleDaemon) {
+  const std::vector<std::string> paths = FleetPaths("rc_id", 3);
+  TestShard shards[3];
+  for (int i = 0; i < 3; ++i) shards[i].Start(paths[i]);
+
+  Router router(FastRouterOptions(paths));
+  ASSERT_TRUE(router.Start().ok());
+
+  const QueryRequest req = FleetQuery(6);
+  const QueryResponse routed = router.Query(req);
+  ASSERT_TRUE(routed.status.ok()) << routed.status.ToString();
+
+  // Reference: the same query on one standalone service.
+  ServiceOptions so;
+  so.model_config = TinyModel();
+  EstimationService single(so);
+  ASSERT_TRUE(single.ReloadModel(TinyCheckpoint()).ok());
+  const QueryResponse direct = single.ExecuteInline(req);
+  ASSERT_TRUE(direct.status.ok()) << direct.status.ToString();
+
+  ExpectBitwiseEqual(routed, direct);
+  EXPECT_EQ(routed.degradation.paths_ok, 6);
+  EXPECT_EQ(routed.degradation.paths_degraded, 0);
+  EXPECT_EQ(routed.degradation.paths_dropped, 0);
+
+  // Attribution covers every slot exactly once across the fleet.
+  ASSERT_EQ(routed.shards.size(), 3u);
+  std::uint32_t assigned = 0, ok = 0;
+  for (const ShardReportWire& row : routed.shards) {
+    assigned += row.slots_assigned;
+    ok += row.slots_ok;
+    EXPECT_EQ(row.slots_fallback, 0u);
+    EXPECT_EQ(row.slots_dropped, 0u);
+  }
+  EXPECT_EQ(assigned, 6u);
+  EXPECT_EQ(ok, 6u);
+}
+
+TEST(RouterChaos, ShardLossReroutesToReplicasWithoutDegradation) {
+  const std::vector<std::string> paths = FleetPaths("rc_loss", 3);
+  TestShard shards[3];
+  for (int i = 0; i < 3; ++i) shards[i].Start(paths[i]);
+
+  Router router(FastRouterOptions(paths));
+  ASSERT_TRUE(router.Start().ok());
+  const QueryRequest req = FleetQuery(6);
+  const QueryResponse before = router.Query(req);
+  ASSERT_TRUE(before.status.ok()) << before.status.ToString();
+
+  shards[1].Kill();
+  // Immediately after the kill (prober may not have noticed): the dispatch
+  // fails, the slots reroute to their next ring replica, and the answer is
+  // still full-quality — identical to the pre-kill answer.
+  const QueryResponse after = router.Query(req);
+  ASSERT_TRUE(after.status.ok()) << after.status.ToString();
+  ExpectBitwiseEqual(before, after);
+  EXPECT_EQ(after.degradation.paths_degraded, 0);
+  EXPECT_EQ(after.degradation.paths_dropped, 0);
+  std::uint32_t ok = 0;
+  for (const ShardReportWire& row : after.shards) ok += row.slots_ok;
+  EXPECT_EQ(ok, 6u);
+}
+
+TEST(RouterChaos, WholeFleetDownDegradesEveryPathNeverFails) {
+  const std::vector<std::string> paths = FleetPaths("rc_down", 3);
+  {
+    TestShard shards[3];
+    for (int i = 0; i < 3; ++i) shards[i].Start(paths[i]);
+    // Shards die before the router ever probes them.
+  }
+
+  Router router(FastRouterOptions(paths));
+  ASSERT_TRUE(router.Start().ok());  // a dead fleet is not a startup error
+  const PingResponse ping = router.Ping();
+  EXPECT_TRUE(ping.router_mode);
+  EXPECT_EQ(ping.shards_healthy, 0u);
+  EXPECT_EQ(ping.shards_total, 3u);
+
+  const QueryRequest req = FleetQuery(5);
+  const QueryResponse resp = router.Query(req);
+  // Degraded, never failed: every slot served by the router-side flowSim
+  // fallback, attributed to its owning shard.
+  EXPECT_EQ(resp.status.code(), StatusCode::kDegraded) << resp.status.ToString();
+  EXPECT_EQ(resp.degradation.paths_degraded, 5);
+  EXPECT_EQ(resp.degradation.paths_dropped, 0);
+  EXPECT_FALSE(resp.combined_pct.empty());
+  std::uint32_t fallback = 0;
+  for (const ShardReportWire& row : resp.shards) fallback += row.slots_fallback;
+  EXPECT_EQ(fallback, 5u);
+
+  // Strict mode refuses fallbacks: slots drop and the answer reweights.
+  QueryRequest strict = req;
+  strict.strict = true;
+  const QueryResponse sresp = router.Query(strict);
+  EXPECT_EQ(sresp.degradation.paths_degraded, 0);
+  EXPECT_EQ(sresp.degradation.paths_dropped, 5);
+}
+
+TEST(RouterChaos, FleetRecoveryReclosesBreakersAndRestoresFullQuality) {
+  const std::vector<std::string> paths = FleetPaths("rc_rec", 3);
+  TestShard shards[3];
+  for (int i = 0; i < 3; ++i) shards[i].Start(paths[i]);
+
+  Router router(FastRouterOptions(paths));
+  ASSERT_TRUE(router.Start().ok());
+  const QueryRequest req = FleetQuery(6);
+  const QueryResponse before = router.Query(req);
+  ASSERT_TRUE(before.status.ok());
+
+  // Take the whole fleet down and let the prober open every breaker.
+  for (TestShard& s : shards) s.Kill();
+  const auto opened = [&router] {
+    const ServerStatsWire s = router.Stats();
+    std::size_t n = 0;
+    for (const ShardHealthWire& sh : s.shards) n += sh.healthy ? 0 : 1;
+    return n == s.shards.size();
+  };
+  for (int i = 0; i < 100 && !opened(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(opened());
+  EXPECT_EQ(router.Query(req).status.code(), StatusCode::kDegraded);
+
+  // Bring the fleet back on the same addresses: the health prober's
+  // successful pings re-close the breakers (recoverable, unlike the
+  // supervisor's digest quarantine) and answers return to full quality.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(shards[i].server->Start(paths[i]).ok());
+  }
+  const auto healthy = [&router] { return router.Ping().shards_healthy == 3u; };
+  for (int i = 0; i < 200 && !healthy(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(healthy());
+
+  const QueryResponse after = router.Query(req);
+  ASSERT_TRUE(after.status.ok()) << after.status.ToString();
+  ExpectBitwiseEqual(before, after);
+  const ServerStatsWire stats = router.Stats();
+  for (const ShardHealthWire& sh : stats.shards) {
+    EXPECT_TRUE(sh.healthy) << sh.address;
+    EXPECT_FALSE(sh.breaker_open) << sh.address;
+  }
+}
+
+TEST(RouterChaos, RouterStartRequiresShards) {
+  Router router(RouterOptions{});
+  EXPECT_EQ(router.Start().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace m3::serve

@@ -968,6 +968,119 @@ TEST(SocketServer, MalformedQueryGetsErrorResponseUnknownTypeHangsUp) {
   EXPECT_EQ(ConnectUnix(sock).status().code(), StatusCode::kNotFound);
 }
 
+TEST(SocketServer, ServesUnixAndTcpListenersSimultaneously) {
+  // m3d --listen-tcp: one server, two listeners, identical answers on both
+  // transports (the framing layer is transport-agnostic by design).
+  EstimationService service(SmallServiceOptions());
+  ASSERT_TRUE(service.ReloadModel(SmallCheckpoint()).ok());
+  SocketServer server(service);
+  const std::string sock = ::testing::TempDir() + "/serve_test_dual.sock";
+  ASSERT_TRUE(server.Start(sock).ok());
+  Endpoint tcp;
+  tcp.kind = Endpoint::Kind::kTcp;
+  tcp.host = "127.0.0.1";
+  tcp.port = 0;  // kernel-assigned would be ideal; probe a few fixed ports
+  Status tcp_start = Status::Unavailable("no port tried");
+  for (std::uint16_t port = 39451; port < 39481; ++port) {
+    tcp.port = port;
+    tcp_start = server.Start(tcp);
+    if (tcp_start.ok()) break;
+  }
+  ASSERT_TRUE(tcp_start.ok()) << tcp_start.ToString();
+
+  const auto ping_via = [](StatusOr<UnixFd> fd) {
+    ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+    ASSERT_TRUE(SendFrame(*fd, static_cast<std::uint32_t>(MsgType::kPingRequest),
+                          EncodePingRequest())
+                    .ok());
+    StatusOr<Frame> frame = RecvFrame(*fd);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    ASSERT_EQ(frame->type, static_cast<std::uint32_t>(MsgType::kPingResponse));
+    const StatusOr<PingResponse> resp = DecodePingResponse(frame->payload);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_TRUE(resp->ready);
+    EXPECT_EQ(resp->model_version, 1u);
+  };
+  ping_via(ConnectUnix(sock));
+  ping_via(ConnectTcpTimeout("127.0.0.1", tcp.port, 2.0));
+
+  server.Stop();
+  // Both listeners are down after one Stop.
+  EXPECT_EQ(ConnectUnix(sock).status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(ConnectTcpTimeout("127.0.0.1", tcp.port, 0.5).ok());
+}
+
+TEST(SocketServer, EmptyHooksAnswerUnavailableNotCrash) {
+  // A router exposes no reload and a plain shard no shard-query handler;
+  // both must answer a clean typed kUnavailable instead of hanging up.
+  SocketServer server(ServerHooks{});  // every hook empty
+  const std::string sock = ::testing::TempDir() + "/serve_test_hookless.sock";
+  ASSERT_TRUE(server.Start(sock).ok());
+  StatusOr<UnixFd> fd = ConnectUnix(sock);
+  ASSERT_TRUE(fd.ok());
+
+  ReloadRequest rr;
+  rr.checkpoint_path = "x.ckpt";
+  ASSERT_TRUE(SendFrame(*fd, static_cast<std::uint32_t>(MsgType::kReloadRequest),
+                        EncodeReloadRequest(rr))
+                  .ok());
+  StatusOr<Frame> frame = RecvFrame(*fd);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_EQ(frame->type, static_cast<std::uint32_t>(MsgType::kReloadResponse));
+  const StatusOr<ReloadResponse> rresp = DecodeReloadResponse(frame->payload);
+  ASSERT_TRUE(rresp.ok());
+  EXPECT_EQ(rresp->status.code(), StatusCode::kUnavailable);
+
+  ShardQueryRequest sq;
+  sq.query = SmallQuery();
+  ASSERT_TRUE(SendFrame(*fd, static_cast<std::uint32_t>(MsgType::kShardQueryRequest),
+                        EncodeShardQueryRequest(sq))
+                  .ok());
+  frame = RecvFrame(*fd);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_EQ(frame->type, static_cast<std::uint32_t>(MsgType::kShardQueryResponse));
+  const StatusOr<ShardQueryResponse> sresp = DecodeShardQueryResponse(frame->payload);
+  ASSERT_TRUE(sresp.ok());
+  EXPECT_EQ(sresp->status.code(), StatusCode::kUnavailable);
+  server.Stop();
+}
+
+TEST(SocketServer, ShardQueryOverSocketMatchesInProcessExecution) {
+  EstimationService service(SmallServiceOptions());
+  ASSERT_TRUE(service.ReloadModel(SmallCheckpoint()).ok());
+  SocketServer server(service);
+  const std::string sock = ::testing::TempDir() + "/serve_test_shardq.sock";
+  ASSERT_TRUE(server.Start(sock).ok());
+
+  ShardQueryRequest sq;
+  sq.query = SmallQuery();
+  sq.query.no_cache = true;
+  sq.slots = {0, 2};
+  StatusOr<UnixFd> fd = ConnectUnix(sock);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(SendFrame(*fd, static_cast<std::uint32_t>(MsgType::kShardQueryRequest),
+                        EncodeShardQueryRequest(sq))
+                  .ok());
+  StatusOr<Frame> frame = RecvFrame(*fd);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_EQ(frame->type, static_cast<std::uint32_t>(MsgType::kShardQueryResponse));
+  const StatusOr<ShardQueryResponse> wire_resp = DecodeShardQueryResponse(frame->payload);
+  ASSERT_TRUE(wire_resp.ok()) << wire_resp.status().ToString();
+  ASSERT_TRUE(wire_resp->status.ok()) << wire_resp->status.ToString();
+
+  const ShardQueryResponse direct = service.ExecuteShard(sq);
+  ASSERT_TRUE(direct.status.ok());
+  ASSERT_EQ(wire_resp->estimates.size(), direct.estimates.size());
+  for (std::size_t i = 0; i < direct.estimates.size(); ++i) {
+    EXPECT_EQ(wire_resp->estimates[i].slot, direct.estimates[i].slot);
+    EXPECT_EQ(wire_resp->estimates[i].estimate.pct, direct.estimates[i].estimate.pct);
+    EXPECT_EQ(wire_resp->estimates[i].estimate.counts,
+              direct.estimates[i].estimate.counts);
+  }
+  server.Stop();
+  service.Stop();
+}
+
 TEST(SocketServer, FinishedConnectionThreadsAreReaped) {
   // A long-running daemon serving short-lived connections must join exited
   // handler threads as it goes (a joinable thread keeps its stack until

@@ -12,7 +12,11 @@
 # supervised workers serving m3_client load-gen while every worker is
 # SIGKILLed over and over; every query must answer and no zombies may
 # survive shutdown. The chaos suites are kept out of the TSan tier on
-# purpose: fork() and ThreadSanitizer do not mix.
+# purpose: fork() and ThreadSanitizer do not mix. Last, the distributed
+# tier: a real m3d_router over three real m3d shards serving load-gen while
+# one shard is SIGKILLed mid-load — every query must come back answered
+# (ok or degraded, never failed) and the whole fleet must shut down without
+# orphans.
 #
 # Usage: tools/check.sh [extra cmake args...]
 set -euo pipefail
@@ -59,9 +63,9 @@ cmake --build build-tsan -j"$JOBS" --target m3_tests
 ctest --test-dir build-tsan --output-on-failure -j"$JOBS" \
   -R 'Service|SocketServer|ModelRegistry|LruCache|ThreadPool'
 
-echo "== chaos: supervised-worker suites under ASan =="
+echo "== chaos: supervised-worker + router fleet suites under ASan =="
 ctest --test-dir build-asan --output-on-failure -j"$JOBS" \
-  -R 'WorkerPool|Supervisor|ChaosSoak|SocketTimeout'
+  -R 'WorkerPool|Supervisor|ChaosSoak|SocketTimeout|HashRing|ShardBreaker|ShardWire|ShardExec|RouterChaos'
 
 echo "== chaos: live kill-storm mini-soak (m3d + load-gen vs SIGKILL) =="
 cmake --build build -j"$JOBS" --target m3d m3_client train_m3
@@ -116,6 +120,88 @@ M3D_PID=""
 if pgrep -f "$SOAK_SOCK" > /dev/null 2>&1; then
   echo "chaos soak: leaked worker processes:" >&2
   pgrep -af "$SOAK_SOCK" >&2
+  exit 1
+fi
+
+echo "== distributed: router + 3-shard fleet vs shard SIGKILL =="
+cmake --build build -j"$JOBS" --target m3d m3d_router m3_client train_m3
+DIST_DIR="$(mktemp -d)"
+DIST_PIDS=""
+cleanup_dist() {
+  for p in $DIST_PIDS; do kill -KILL "$p" 2>/dev/null || true; done
+  rm -rf "$DIST_DIR"
+}
+trap 'cleanup_soak; cleanup_dist' EXIT
+
+./build/tools/train_m3 2 10 1 "$DIST_DIR/model.ckpt" > /dev/null
+SHARD_PIDS=""
+for i in 0 1 2; do
+  ./build/tools/m3d --socket "$DIST_DIR/shard$i.sock" \
+    --model "$DIST_DIR/model.ckpt" --workers 2 \
+    > "$DIST_DIR/shard$i.log" 2>&1 &
+  SHARD_PIDS="$SHARD_PIDS $!"
+done
+DIST_PIDS="$SHARD_PIDS"
+for i in 0 1 2; do
+  for _ in $(seq 1 100); do
+    ./build/tools/m3_client --socket "$DIST_DIR/shard$i.sock" --ping \
+      > /dev/null 2>&1 && break
+    sleep 0.2
+  done
+done
+./build/tools/m3d_router --listen "$DIST_DIR/router.sock" \
+  --shard "$DIST_DIR/shard0.sock" --shard "$DIST_DIR/shard1.sock" \
+  --shard "$DIST_DIR/shard2.sock" \
+  --health-interval 0.2 --breaker-cooloff 1 --backoff-ms 10 \
+  > "$DIST_DIR/router.log" 2>&1 &
+ROUTER_PID=$!
+DIST_PIDS="$DIST_PIDS $ROUTER_PID"
+for _ in $(seq 1 100); do
+  ./build/tools/m3_client --socket "$DIST_DIR/router.sock" --ping \
+    > /dev/null 2>&1 && break
+  sleep 0.2
+done
+
+# SIGKILL one shard by its exact pid one second into the load (never
+# pkill -f here: the router's argv contains every shard's socket path).
+VICTIM_PID="$(echo "$SHARD_PIDS" | awk '{print $2}')"
+( sleep 1; kill -KILL "$VICTIM_PID" 2>/dev/null || true ) &
+KILLER_PID=$!
+
+# The distributed contract: with a shard dying mid-load, every query is
+# still answered — rerouted to a replica or flowSim-degraded, never failed.
+DIST_JSON="$(./build/tools/m3_client --socket "$DIST_DIR/router.sock" \
+  --flows 4000 --paths 32 --no-cache --concurrency 4 --repeat 25 \
+  --retries 6 --json)"
+echo "$DIST_JSON"
+wait "$KILLER_PID" 2>/dev/null || true
+dist_total="$(echo "$DIST_JSON" | sed -E 's/.*"total": ([0-9]+).*/\1/')"
+dist_answered="$(echo "$DIST_JSON" | sed -E 's/.*"answered": ([0-9]+).*/\1/')"
+dist_failed="$(echo "$DIST_JSON" | sed -E 's/.*"failed": ([0-9]+).*/\1/')"
+if [ "$dist_failed" != 0 ] || [ "$dist_total" != "$dist_answered" ]; then
+  echo "distributed: $dist_failed failed, $dist_answered/$dist_total answered" >&2
+  exit 1
+fi
+
+# The router stays up and reports fleet health after the loss.
+./build/tools/m3_client --socket "$DIST_DIR/router.sock" --ping
+./build/tools/m3_client --socket "$DIST_DIR/router.sock" --stats > /dev/null
+
+kill -TERM "$ROUTER_PID"
+wait "$ROUTER_PID"
+for p in $SHARD_PIDS; do
+  [ "$p" = "$VICTIM_PID" ] && continue
+  kill -TERM "$p" 2>/dev/null || true
+done
+for p in $SHARD_PIDS; do
+  wait "$p" 2>/dev/null || true
+done
+DIST_PIDS=""
+# Nothing may still reference the fleet directory: shard workers share
+# m3d's argv (fork without exec), so a leak shows up here.
+if pgrep -f "$DIST_DIR" > /dev/null 2>&1; then
+  echo "distributed: leaked fleet processes:" >&2
+  pgrep -af "$DIST_DIR" >&2
   exit 1
 fi
 

@@ -55,7 +55,8 @@ constexpr const char* kUsage =
     "Usage: m3_client [options]\n"
     "\n"
     "Connection:\n"
-    "  --socket PATH            m3d socket                  (/tmp/m3d.sock)\n"
+    "  --socket SPEC            m3d / m3d-router endpoint   (/tmp/m3d.sock)\n"
+    "                           (unix:/path, tcp:host:port, or a bare path)\n"
     "\n"
     "Admin:\n"
     "  --stats                  print daemon counters and exit\n"
@@ -92,6 +93,9 @@ constexpr const char* kUsage =
     "Load generation:\n"
     "  --concurrency N          parallel connections, >= 1         (1)\n"
     "  --repeat N               queries per connection, >= 1       (1)\n"
+    "  --json                   print the load-gen summary as one JSON line\n"
+    "                           (answered/degraded/failed counts, latency\n"
+    "                           percentiles — for harnesses and check.sh)\n"
     "  --help                   show this message\n";
 
 [[noreturn]] void UsageError(const std::string& msg) {
@@ -147,6 +151,7 @@ struct Args {
   double connect_timeout = 5.0;
   int concurrency = 1;
   int repeat = 1;
+  bool json = false;
 };
 
 Args Parse(int argc, char** argv) {
@@ -162,6 +167,7 @@ Args Parse(int argc, char** argv) {
     if (key == "--no-cache") { a.no_cache = true; ++i; continue; }
     if (key == "--stats") { a.stats = true; ++i; continue; }
     if (key == "--ping") { a.ping = true; ++i; continue; }
+    if (key == "--json") { a.json = true; ++i; continue; }
     if (key.rfind("--", 0) != 0) UsageError("unexpected argument '" + key + "'");
     if (i + 1 >= argc) UsageError("missing value for " + key);
     const char* v = argv[i + 1];
@@ -208,7 +214,9 @@ int ExitCodeFor(StatusCode code) {
 }
 
 StatusOr<UnixFd> Connect(const Args& a) {
-  StatusOr<UnixFd> fd = ConnectUnixTimeout(a.socket_path, a.connect_timeout);
+  StatusOr<Endpoint> ep = ParseEndpoint(a.socket_path);
+  if (!ep.ok()) return ep.status().Annotate("parsing --socket");
+  StatusOr<UnixFd> fd = ConnectEndpoint(*ep, a.connect_timeout);
   if (!fd.ok()) {
     if (fd.status().code() == StatusCode::kNotFound) {
       return fd.status().Annotate("is m3d running? start it with: m3d --socket " +
@@ -328,12 +336,36 @@ void PrintStats(const ServerStatsWire& s) {
                 s.quarantined_digests, s.breaker_open ? " [OPEN]" : "",
                 static_cast<unsigned long long>(s.crash_retried_queries));
   }
+  if (s.router_mode) {
+    std::printf("router: %zu shard(s)\n", s.shards.size());
+    for (const ShardHealthWire& sh : s.shards) {
+      std::printf("  %s — %s%s, model v%llu; %llu dispatches, %llu failures, "
+                  "%llu retries, %llu hedges, %llu fallback slots, "
+                  "%llu dropped slots\n",
+                  sh.address.c_str(), sh.healthy ? "healthy" : "unhealthy",
+                  sh.breaker_open ? " [breaker open]" : "",
+                  static_cast<unsigned long long>(sh.model_version),
+                  static_cast<unsigned long long>(sh.dispatches),
+                  static_cast<unsigned long long>(sh.failures),
+                  static_cast<unsigned long long>(sh.retries),
+                  static_cast<unsigned long long>(sh.hedges),
+                  static_cast<unsigned long long>(sh.slots_fallback),
+                  static_cast<unsigned long long>(sh.slots_dropped));
+    }
+  }
 }
 
 struct WorkerResult {
   std::vector<double> latencies_ms;
+  // Answered queries by class (ok + degraded + deadline == latencies size).
+  long ok = 0;
+  long degraded = 0;
+  long deadline = 0;
   int failed = 0;
   std::uint64_t retries = 0;
+  // Summed DegradationReport path classes over answered queries.
+  long long paths_degraded = 0;
+  long long paths_dropped = 0;
   Status first_failure;
 };
 
@@ -357,7 +389,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "m3_client: %s\n", resp.status().ToString().c_str());
       return ExitCodeFor(resp.status().code());
     }
-    if (resp->worker_mode) {
+    if (resp->router_mode) {
+      std::printf("m3d-router: %s — %u/%u shards healthy, fleet model v%llu\n",
+                  resp->ready ? "ready" : "not ready", resp->shards_healthy,
+                  resp->shards_total,
+                  static_cast<unsigned long long>(resp->model_version));
+    } else if (resp->worker_mode) {
       std::printf("m3d: %s — model v%llu, %u worker processes alive\n",
                   resp->ready ? "ready" : "not ready",
                   static_cast<unsigned long long>(resp->model_version),
@@ -489,6 +526,11 @@ int main(int argc, char** argv) {
             if (r.first_failure.ok()) r.first_failure = st;
             continue;
           }
+          if (code == StatusCode::kOk) ++r.ok;
+          else if (code == StatusCode::kDegraded) ++r.degraded;
+          else ++r.deadline;
+          r.paths_degraded += resp->degradation.paths_degraded;
+          r.paths_dropped += resp->degradation.paths_dropped;
           r.latencies_ms.push_back(
               std::chrono::duration<double, std::milli>(q1 - q0).count());
         }
@@ -499,11 +541,18 @@ int main(int argc, char** argv) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
     std::vector<double> lat;
+    long ok = 0, degraded = 0, deadline = 0;
+    long long paths_degraded = 0, paths_dropped = 0;
     int failed = 0;
     std::uint64_t total_retries = 0;
     Status first_failure;
     for (const WorkerResult& r : results) {
       lat.insert(lat.end(), r.latencies_ms.begin(), r.latencies_ms.end());
+      ok += r.ok;
+      degraded += r.degraded;
+      deadline += r.deadline;
+      paths_degraded += r.paths_degraded;
+      paths_dropped += r.paths_dropped;
       failed += r.failed;
       total_retries += r.retries;
       if (first_failure.ok() && !r.first_failure.ok()) first_failure = r.first_failure;
@@ -517,14 +566,37 @@ int main(int argc, char** argv) {
       return lat[idx];
     };
     const long total = static_cast<long>(a.concurrency) * a.repeat;
-    std::printf("load: %d conns x %d queries = %ld total, %zu ok, %d failed\n",
-                a.concurrency, a.repeat, total, lat.size(), failed);
-    std::printf("wall: %.2fs  throughput: %.1f q/s\n", wall,
-                lat.empty() ? 0.0 : static_cast<double>(lat.size()) / wall);
-    std::printf("latency: p50 %.2fms  p99 %.2fms  max %.2fms\n", pct(50), pct(99),
-                lat.empty() ? 0.0 : lat.back());
-    std::printf("retries: %llu transient failures retried with backoff\n",
-                static_cast<unsigned long long>(total_retries));
+    if (a.json) {
+      // One line, stable keys: the contract for check.sh and the chaos
+      // harness (answered = ok + degraded + deadline; answered + failed
+      // = total).
+      std::printf("{\"total\": %ld, \"answered\": %zu, \"ok\": %ld, "
+                  "\"degraded\": %ld, \"deadline\": %ld, \"failed\": %d, "
+                  "\"retries\": %llu, \"paths_degraded\": %lld, "
+                  "\"paths_dropped\": %lld, \"wall_s\": %.3f, "
+                  "\"throughput_qps\": %.2f, \"p50_ms\": %.3f, "
+                  "\"p99_ms\": %.3f, \"max_ms\": %.3f}\n",
+                  total, lat.size(), ok, degraded, deadline, failed,
+                  static_cast<unsigned long long>(total_retries),
+                  paths_degraded, paths_dropped, wall,
+                  lat.empty() ? 0.0 : static_cast<double>(lat.size()) / wall,
+                  pct(50), pct(99), lat.empty() ? 0.0 : lat.back());
+    } else {
+      std::printf("load: %d conns x %d queries = %ld total, %ld ok, %ld degraded, "
+                  "%ld deadline, %d failed\n",
+                  a.concurrency, a.repeat, total, ok, degraded, deadline, failed);
+      std::printf("wall: %.2fs  throughput: %.1f q/s\n", wall,
+                  lat.empty() ? 0.0 : static_cast<double>(lat.size()) / wall);
+      std::printf("latency: p50 %.2fms  p99 %.2fms  max %.2fms\n", pct(50), pct(99),
+                  lat.empty() ? 0.0 : lat.back());
+      std::printf("retries: %llu transient failures retried with backoff\n",
+                  static_cast<unsigned long long>(total_retries));
+      if (paths_degraded > 0 || paths_dropped > 0) {
+        std::printf("degradation: %lld paths fell back to flowSim, %lld dropped "
+                    "across answered queries\n",
+                    paths_degraded, paths_dropped);
+      }
+    }
     if (failed > 0) {
       std::fprintf(stderr, "m3_client: %d queries failed; first: %s\n", failed,
                    first_failure.ToString().c_str());
@@ -579,6 +651,17 @@ int main(int argc, char** argv) {
   }
   if (est.degradation.Degraded() || est.degradation.paths_retried > 0) {
     std::printf("degradation: %s\n", est.degradation.ToString().c_str());
+  }
+  if (!est.shards.empty()) {
+    // Routed answer: per-shard attribution assembled by m3d-router.
+    std::printf("shards:\n");
+    for (const ShardReportWire& sh : est.shards) {
+      std::printf("  %s — %u assigned, %u ok, %u fallback, %u dropped, "
+                  "%u retries, %u hedges%s\n",
+                  sh.shard.c_str(), sh.slots_assigned, sh.slots_ok,
+                  sh.slots_fallback, sh.slots_dropped, sh.retries, sh.hedges,
+                  sh.breaker_open ? " [breaker open]" : "");
+    }
   }
   return ExitCodeFor(est.status.code());
 }

@@ -31,6 +31,9 @@ constexpr const char* kUsage =
     "Usage: m3d [options]\n"
     "\n"
     "  --socket PATH       Unix-domain socket to serve on   (/tmp/m3d.sock)\n"
+    "  --listen-tcp SPEC   also serve TCP on PORT or HOST:PORT (off)\n"
+    "                      (a bare PORT binds all interfaces; this is how a\n"
+    "                      daemon joins an m3d-router shard fleet)\n"
     "  --model PATH        checkpoint to serve              (models/m3_default.ckpt)\n"
     "  --workers N         supervised worker subprocesses   (2; 0 = in-process)\n"
     "  --queue N           request queue capacity, >= 1     (64)\n"
@@ -96,6 +99,7 @@ int ExitCodeFor(StatusCode code) {
 
 int main(int argc, char** argv) {
   std::string socket_path = "/tmp/m3d.sock";
+  std::string listen_tcp;
   std::string model_path = "models/m3_default.ckpt";
   ServiceOptions opts;
   opts.worker_processes = 2;  // daemon default: crash-isolated workers
@@ -110,6 +114,7 @@ int main(int argc, char** argv) {
     if (i + 1 >= argc) UsageError("missing value for " + key);
     const char* v = argv[i + 1];
     if (key == "--socket") socket_path = v;
+    else if (key == "--listen-tcp") listen_tcp = v;
     else if (key == "--model") model_path = v;
     else if (key == "--workers") opts.worker_processes = static_cast<int>(ParseInt(key, v, 0, 256));
     else if (key == "--queue") opts.queue_capacity = static_cast<std::size_t>(ParseInt(key, v, 1, 1 << 20));
@@ -124,6 +129,18 @@ int main(int argc, char** argv) {
   // One scheduler thread per worker subprocess keeps the pool saturated
   // without queueing inside the supervisor's lease wait.
   opts.num_workers = std::max(1, opts.worker_processes);
+
+  // --listen-tcp accepts a bare port (bind all interfaces) or HOST:PORT.
+  Endpoint tcp_ep;
+  if (!listen_tcp.empty()) {
+    tcp_ep.kind = Endpoint::Kind::kTcp;
+    const std::size_t colon = listen_tcp.rfind(':');
+    const std::string port_str =
+        colon == std::string::npos ? listen_tcp : listen_tcp.substr(colon + 1);
+    if (colon != std::string::npos) tcp_ep.host = listen_tcp.substr(0, colon);
+    tcp_ep.port = static_cast<std::uint16_t>(
+        ParseInt("--listen-tcp", port_str.c_str(), 1, 65535));
+  }
 
   EstimationService service(opts);
   if (Status st = service.ReloadModel(model_path); !st.ok()) {
@@ -146,6 +163,14 @@ int main(int argc, char** argv) {
     service.Stop();
     return ExitCodeFor(st.code());
   }
+  if (!listen_tcp.empty()) {
+    if (Status st = server.Start(tcp_ep); !st.ok()) {
+      std::fprintf(stderr, "m3d: %s\n", st.ToString().c_str());
+      server.Stop();
+      service.Stop();
+      return ExitCodeFor(st.code());
+    }
+  }
 
   struct sigaction sa{};
   sa.sa_handler = OnSignal;
@@ -164,6 +189,9 @@ int main(int argc, char** argv) {
                 model_path.c_str(), static_cast<unsigned long long>(boot.model_version),
                 boot.model_crc, socket_path.c_str(), opts.num_workers, opts.queue_capacity,
                 opts.query_cache_entries, opts.path_cache_entries);
+  }
+  if (!listen_tcp.empty()) {
+    std::printf("m3d: also listening on %s\n", tcp_ep.ToString().c_str());
   }
   std::fflush(stdout);
 
