@@ -268,6 +268,10 @@ std::string DegradationReport::ToString() const {
                   std::to_string(errors_nonfinite) + " non-finite, " +
                   std::to_string(errors_deadline) + " deadline); " +
                   std::to_string(clamped_values) + " values clamped";
+  if (brownout_level > 0 || paths_brownout > 0) {
+    s += "; brownout level " + std::to_string(brownout_level) + " (" +
+         std::to_string(paths_brownout) + " paths reduced)";
+  }
   return s;
 }
 

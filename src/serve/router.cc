@@ -334,6 +334,21 @@ QueryResponse Router::Query(const QueryRequest& req) {
     return has_deadline ? req.deadline_seconds - Elapsed(t0) : kInfSeconds;
   };
 
+  // Router-level shed: if validation + placement already consumed the whole
+  // deadline budget, dispatching would only burn shard capacity on answers
+  // nobody can use. Answer typed immediately (ShedReason kRouterBudget)
+  // without touching the fleet.
+  if (has_deadline && remaining() <= 0.0) {
+    resp.status = Status::DeadlineExceeded(
+        "router shed: deadline of " + std::to_string(req.deadline_seconds) +
+        "s expired before dispatch");
+    resp.shed_reason = static_cast<std::uint8_t>(ShedReason::kRouterBudget);
+    resp.wall_seconds = Elapsed(t0);
+    queries_shed_.fetch_add(1, std::memory_order_relaxed);
+    resp.stats = Stats();
+    return resp;
+  }
+
   // ---- scatter rounds: dispatch, then re-dispatch failures replica-wise ----
   int round = 0;
   int retry_rounds = 0;
@@ -355,13 +370,23 @@ QueryResponse Router::Query(const QueryRequest& req) {
     {
       std::vector<std::thread> th;
       th.reserve(queue.size());
+      // Deadline propagation: each sub-request carries what is *left* of
+      // the client's budget at dispatch time — the elapsed scatter time
+      // (placement, earlier rounds, backoff sleeps) is already spent, and
+      // a shard that inherited the full deadline would happily compute
+      // past the moment the router has to answer.
+      const double shard_budget = has_deadline ? std::max(rem, 1e-9) : 0.0;
       for (std::size_t d = 0; d < queue.size(); ++d) {
         th.emplace_back([&, d] {
           ShardQueryRequest sub;
           sub.query = req;
+          if (has_deadline) sub.query.deadline_seconds = shard_budget;
           sub.slots = queue[d].slots;
+          // Encoded at the client's own wire version: a v3 client routed
+          // across a mixed v3/v4 fleet keeps working.
           results[d] = CallShard(*shards_[static_cast<std::size_t>(queue[d].shard)],
-                                 EncodeShardQueryRequest(sub), recv_timeout);
+                                 EncodeShardQueryRequest(sub, req.wire_version),
+                                 recv_timeout);
         });
       }
       for (auto& t : th) t.join();
@@ -403,6 +428,11 @@ QueryResponse Router::Query(const QueryRequest& req) {
           rep.errors_deadline += r.degradation.errors_deadline;
           rep.errors_validation += r.degradation.errors_validation;
           rep.clamped_values += r.degradation.clamped_values;
+          // Brownout attribution survives the scatter: the merged answer
+          // reports the worst level any shard served at, and the total
+          // paths served at reduced quality.
+          rep.brownout_level = std::max(rep.brownout_level, r.degradation.brownout_level);
+          rep.paths_brownout += r.degradation.paths_brownout;
           if (rep.first_error.empty() && !r.degradation.first_error.empty()) {
             rep.first_error = r.degradation.first_error;
           }
@@ -561,12 +591,21 @@ QueryResponse Router::Query(const QueryRequest& req) {
   } else if (deadline_hit) {
     resp.status = Status::DeadlineExceeded("deadline of " + std::to_string(req.deadline_seconds) +
                                            "s expired; " + rep.ToString());
+    if (rep.paths_ok == 0 && rep.paths_cached == 0 && rep.paths_degraded == 0) {
+      // Nothing was served before the budget ran out: this is a router
+      // shed (typed, attributed), not a partially-degraded answer.
+      resp.shed_reason = static_cast<std::uint8_t>(ShedReason::kRouterBudget);
+    }
   } else if (rep.Degraded()) {
     resp.status = Status::Degraded(rep.ToString());
   }
   resp.wall_seconds = Elapsed(t0);
-  (IsAnsweredCode(resp.status.code()) ? queries_ok_ : queries_failed_)
-      .fetch_add(1, std::memory_order_relaxed);
+  if (resp.shed_reason == static_cast<std::uint8_t>(ShedReason::kRouterBudget)) {
+    queries_shed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    (IsAnsweredCode(resp.status.code()) ? queries_ok_ : queries_failed_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
   resp.stats = Stats();
   return resp;
 }
@@ -592,6 +631,9 @@ ServerStatsWire Router::Stats() const {
   st.queries_received = queries_received_.load(std::memory_order_relaxed);
   st.queries_ok = queries_ok_.load(std::memory_order_relaxed);
   st.queries_failed = queries_failed_.load(std::memory_order_relaxed);
+  st.queries_shed = queries_shed_.load(std::memory_order_relaxed);
+  st.shed_by_reason[static_cast<std::size_t>(ShedReason::kRouterBudget)] =
+      st.queries_shed;
   st.router_mode = true;
   std::uint64_t mv = 0;
   st.shards.reserve(shards_.size());

@@ -159,6 +159,9 @@ class Router {
   std::atomic<std::uint64_t> queries_received_{0};
   std::atomic<std::uint64_t> queries_ok_{0};
   std::atomic<std::uint64_t> queries_failed_{0};
+  // Queries the router shed because the deadline budget could not cover a
+  // dispatch (ShedReason kRouterBudget); disjoint from ok/failed.
+  std::atomic<std::uint64_t> queries_shed_{0};
 };
 
 }  // namespace m3::serve

@@ -141,6 +141,11 @@ void SocketServer::ServeConnection(UnixFd fd, std::list<Conn>::iterator self) {
       switch (static_cast<MsgType>(frame->type)) {
         case MsgType::kQueryRequest: {
           StatusOr<QueryRequest> req = DecodeQueryRequest(frame->payload);
+          // Responses speak the version the request spoke: a v3 client on a
+          // v4 daemon gets byte-identical v3 replies. Decode failures echo
+          // the claimed version when recognizable, else the floor.
+          const std::uint32_t v =
+              req.ok() ? req->wire_version : PeekWireVersion(frame->payload);
           QueryResponse resp;
           if (!req.ok()) {
             resp.status = req.status().Annotate("decoding query request");
@@ -151,7 +156,7 @@ void SocketServer::ServeConnection(UnixFd fd, std::list<Conn>::iterator self) {
             resp = hooks_.query(*req);
           }
           send = SendFrame(fd, static_cast<std::uint32_t>(MsgType::kQueryResponse),
-                           EncodeQueryResponse(resp));
+                           EncodeQueryResponse(resp, v));
           break;
         }
         case MsgType::kPingRequest: {
@@ -160,18 +165,22 @@ void SocketServer::ServeConnection(UnixFd fd, std::list<Conn>::iterator self) {
           PingResponse resp;
           if (hooks_.ping) resp = hooks_.ping();
           send = SendFrame(fd, static_cast<std::uint32_t>(MsgType::kPingResponse),
-                           EncodePingResponse(resp));
+                           EncodePingResponse(resp, PeekWireVersion(frame->payload)));
           break;
         }
         case MsgType::kStatsRequest: {
+          // Pre-v4 clients send an empty stats payload; PeekWireVersion
+          // maps that to the floor so they get the v3 body they expect.
           ServerStatsWire stats;
           if (hooks_.stats) stats = hooks_.stats();
           send = SendFrame(fd, static_cast<std::uint32_t>(MsgType::kStatsResponse),
-                           EncodeStats(stats));
+                           EncodeStats(stats, PeekWireVersion(frame->payload)));
           break;
         }
         case MsgType::kReloadRequest: {
           StatusOr<ReloadRequest> req = DecodeReloadRequest(frame->payload);
+          const std::uint32_t v =
+              req.ok() ? req->wire_version : PeekWireVersion(frame->payload);
           ReloadResponse resp;
           if (!req.ok()) {
             resp.status = req.status().Annotate("decoding reload request");
@@ -181,11 +190,13 @@ void SocketServer::ServeConnection(UnixFd fd, std::list<Conn>::iterator self) {
             resp = hooks_.reload(*req);
           }
           send = SendFrame(fd, static_cast<std::uint32_t>(MsgType::kReloadResponse),
-                           EncodeReloadResponse(resp));
+                           EncodeReloadResponse(resp, v));
           break;
         }
         case MsgType::kShardQueryRequest: {
           StatusOr<ShardQueryRequest> req = DecodeShardQueryRequest(frame->payload);
+          const std::uint32_t v = req.ok() ? req->query.wire_version
+                                           : PeekWireVersion(frame->payload);
           ShardQueryResponse resp;
           if (!req.ok()) {
             resp.status = req.status().Annotate("decoding shard query");
@@ -195,7 +206,7 @@ void SocketServer::ServeConnection(UnixFd fd, std::list<Conn>::iterator self) {
             resp = hooks_.shard_query(*req);
           }
           send = SendFrame(fd, static_cast<std::uint32_t>(MsgType::kShardQueryResponse),
-                           EncodeShardQueryResponse(resp));
+                           EncodeShardQueryResponse(resp, v));
           break;
         }
         default:

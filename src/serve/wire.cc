@@ -136,15 +136,26 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
-Status CheckVersion(Reader& r) {
+// Reads the leading version tag, accepting any version this build can
+// decode. v4-only fields are gated on `*out >= 4` at each use site.
+Status ReadVersion(Reader& r, std::uint32_t* out) {
   std::uint32_t v;
   M3_RETURN_IF_ERROR(r.U32(&v));
-  if (v != kWireVersion) {
+  if (v < kMinWireVersion || v > kWireVersion) {
     return Status::InvalidArgument("wire: protocol version " + std::to_string(v) +
-                                   " (this build speaks " + std::to_string(kWireVersion) +
-                                   ")");
+                                   " (this build speaks " + std::to_string(kMinWireVersion) +
+                                   ".." + std::to_string(kWireVersion) + ")");
   }
+  *out = v;
   return Status::Ok();
+}
+
+// Encoders clamp the requested version into the supported band so a caller
+// echoing a sniffed version can never emit something undecodable.
+std::uint32_t ClampVersion(std::uint32_t v) {
+  if (v < kMinWireVersion) return kMinWireVersion;
+  if (v > kWireVersion) return kWireVersion;
+  return v;
 }
 
 void EncodeNetConfig(Writer& w, const NetConfig& cfg) {
@@ -289,7 +300,7 @@ Status DecodeStatus(Reader& r, Status* st) {
   return Status::Ok();
 }
 
-void EncodeDegradation(Writer& w, const DegradationReport& d) {
+void EncodeDegradation(Writer& w, const DegradationReport& d, std::uint32_t v) {
   w.I32(d.paths_ok);
   w.I32(d.paths_cached);
   w.I32(d.paths_retried);
@@ -301,9 +312,13 @@ void EncodeDegradation(Writer& w, const DegradationReport& d) {
   w.I32(d.errors_validation);
   w.I64(d.clamped_values);
   w.Str(d.first_error);
+  if (v >= 4) {
+    w.I32(d.brownout_level);
+    w.I32(d.paths_brownout);
+  }
 }
 
-Status DecodeDegradation(Reader& r, DegradationReport* d) {
+Status DecodeDegradation(Reader& r, DegradationReport* d, std::uint32_t v) {
   M3_RETURN_IF_ERROR(r.I32(&d->paths_ok));
   M3_RETURN_IF_ERROR(r.I32(&d->paths_cached));
   M3_RETURN_IF_ERROR(r.I32(&d->paths_retried));
@@ -317,10 +332,14 @@ Status DecodeDegradation(Reader& r, DegradationReport* d) {
   M3_RETURN_IF_ERROR(r.I64(&clamped));
   d->clamped_values = clamped;
   M3_RETURN_IF_ERROR(r.Str(&d->first_error));
+  if (v >= 4) {
+    M3_RETURN_IF_ERROR(r.I32(&d->brownout_level));
+    M3_RETURN_IF_ERROR(r.I32(&d->paths_brownout));
+  }
   return Status::Ok();
 }
 
-void EncodeStatsBody(Writer& w, const ServerStatsWire& s) {
+void EncodeStatsBody(Writer& w, const ServerStatsWire& s, std::uint32_t v) {
   w.U64(s.queries_received);
   w.U64(s.queries_ok);
   w.U64(s.queries_rejected);
@@ -361,9 +380,17 @@ void EncodeStatsBody(Writer& w, const ServerStatsWire& s) {
     w.U64(sh.slots_fallback);
     w.U64(sh.slots_dropped);
   }
+  if (v >= 4) {
+    w.U64(s.queries_shed);
+    for (std::uint64_t c : s.shed_by_reason) w.U64(c);
+    w.U64(s.brownout_queries);
+    w.U32(s.brownout_level);
+    w.F64(s.in_flight_cost);
+    w.F64(s.cost_budget);
+  }
 }
 
-Status DecodeStatsBody(Reader& r, ServerStatsWire* s) {
+Status DecodeStatsBody(Reader& r, ServerStatsWire* s, std::uint32_t v) {
   M3_RETURN_IF_ERROR(r.U64(&s->queries_received));
   M3_RETURN_IF_ERROR(r.U64(&s->queries_ok));
   M3_RETURN_IF_ERROR(r.U64(&s->queries_rejected));
@@ -410,14 +437,30 @@ Status DecodeStatsBody(Reader& r, ServerStatsWire* s) {
     M3_RETURN_IF_ERROR(r.U64(&sh.slots_fallback));
     M3_RETURN_IF_ERROR(r.U64(&sh.slots_dropped));
   }
+  if (v >= 4) {
+    M3_RETURN_IF_ERROR(r.U64(&s->queries_shed));
+    for (std::uint64_t& c : s->shed_by_reason) M3_RETURN_IF_ERROR(r.U64(&c));
+    M3_RETURN_IF_ERROR(r.U64(&s->brownout_queries));
+    M3_RETURN_IF_ERROR(r.U32(&s->brownout_level));
+    M3_RETURN_IF_ERROR(r.F64(&s->in_flight_cost));
+    M3_RETURN_IF_ERROR(r.F64(&s->cost_budget));
+  }
   return Status::Ok();
 }
 
 }  // namespace
 
-std::string EncodeQueryRequest(const QueryRequest& req) {
+std::uint32_t PeekWireVersion(const std::string& payload) {
+  if (payload.size() < 4) return kMinWireVersion;
+  std::uint32_t v;
+  std::memcpy(&v, payload.data(), 4);
+  return (v >= kMinWireVersion && v <= kWireVersion) ? v : kMinWireVersion;
+}
+
+std::string EncodeQueryRequest(const QueryRequest& req, std::uint32_t version) {
+  const std::uint32_t v = ClampVersion(version);
   Writer w;
-  w.U32(kWireVersion);
+  w.U32(v);
   w.F64(req.oversub);
   EncodeTopo(w, req.topo);
   EncodeNetConfig(w, req.cfg);
@@ -428,6 +471,10 @@ std::string EncodeQueryRequest(const QueryRequest& req) {
   w.F64(req.deadline_seconds);
   w.I32(req.max_attempts);
   w.Bool(req.no_cache);
+  if (v >= 4) {
+    w.U8(req.priority);
+    w.U8(req.brownout);
+  }
   w.U64(req.flows.size());
   for (const WireFlow& f : req.flows) {
     w.I32(f.id);
@@ -443,7 +490,7 @@ std::string EncodeQueryRequest(const QueryRequest& req) {
 StatusOr<QueryRequest> DecodeQueryRequest(const std::string& payload) {
   Reader r(payload);
   QueryRequest req;
-  M3_RETURN_IF_ERROR(CheckVersion(r));
+  M3_RETURN_IF_ERROR(ReadVersion(r, &req.wire_version));
   M3_RETURN_IF_ERROR(r.F64(&req.oversub));
   M3_RETURN_IF_ERROR(DecodeTopo(r, &req.topo));
   M3_RETURN_IF_ERROR(DecodeNetConfig(r, &req.cfg));
@@ -454,6 +501,18 @@ StatusOr<QueryRequest> DecodeQueryRequest(const std::string& payload) {
   M3_RETURN_IF_ERROR(r.F64(&req.deadline_seconds));
   M3_RETURN_IF_ERROR(r.I32(&req.max_attempts));
   M3_RETURN_IF_ERROR(r.Bool(&req.no_cache));
+  if (req.wire_version >= 4) {
+    M3_RETURN_IF_ERROR(r.U8(&req.priority));
+    if (req.priority >= kNumPriorityClasses) {
+      return Status::InvalidArgument("wire: priority class " +
+                                     std::to_string(req.priority));
+    }
+    M3_RETURN_IF_ERROR(r.U8(&req.brownout));
+    if (req.brownout > 2) {
+      return Status::InvalidArgument("wire: brownout level " +
+                                     std::to_string(req.brownout));
+    }
+  }
   std::uint64_t n;
   M3_RETURN_IF_ERROR(r.U64(&n));
   // Division form: `n * kWireFlowBytes` can wrap for a hostile 64-bit count
@@ -476,61 +535,79 @@ StatusOr<QueryRequest> DecodeQueryRequest(const std::string& payload) {
   return req;
 }
 
-std::string EncodeQueryResponse(const QueryResponse& resp) {
+std::string EncodeQueryResponse(const QueryResponse& resp, std::uint32_t version) {
+  const std::uint32_t v = ClampVersion(version);
   Writer w;
-  w.U32(kWireVersion);
+  w.U32(v);
   EncodeStatus(w, resp.status);
   for (const auto& pct : resp.bucket_pct) w.VecF64(pct);
   for (double c : resp.total_counts) w.F64(c);
   w.VecF64(resp.combined_pct);
   w.F64(resp.wall_seconds);
-  EncodeDegradation(w, resp.degradation);
+  EncodeDegradation(w, resp.degradation, v);
   w.U64(resp.model_version);
   w.U32(resp.model_crc);
   w.Bool(resp.query_cache_hit);
+  if (v >= 4) w.U8(resp.shed_reason);
   EncodeShardReports(w, resp.shards);
-  EncodeStatsBody(w, resp.stats);
+  EncodeStatsBody(w, resp.stats, v);
   return w.Take();
 }
 
 StatusOr<QueryResponse> DecodeQueryResponse(const std::string& payload) {
   Reader r(payload);
   QueryResponse resp;
-  M3_RETURN_IF_ERROR(CheckVersion(r));
+  std::uint32_t v;
+  M3_RETURN_IF_ERROR(ReadVersion(r, &v));
   M3_RETURN_IF_ERROR(DecodeStatus(r, &resp.status));
   for (auto& pct : resp.bucket_pct) M3_RETURN_IF_ERROR(r.VecF64(&pct));
   for (double& c : resp.total_counts) M3_RETURN_IF_ERROR(r.F64(&c));
   M3_RETURN_IF_ERROR(r.VecF64(&resp.combined_pct));
   M3_RETURN_IF_ERROR(r.F64(&resp.wall_seconds));
-  M3_RETURN_IF_ERROR(DecodeDegradation(r, &resp.degradation));
+  M3_RETURN_IF_ERROR(DecodeDegradation(r, &resp.degradation, v));
   M3_RETURN_IF_ERROR(r.U64(&resp.model_version));
   M3_RETURN_IF_ERROR(r.U32(&resp.model_crc));
   M3_RETURN_IF_ERROR(r.Bool(&resp.query_cache_hit));
+  if (v >= 4) {
+    M3_RETURN_IF_ERROR(r.U8(&resp.shed_reason));
+    if (resp.shed_reason >= kNumShedReasons) {
+      return Status::InvalidArgument("wire: shed reason " +
+                                     std::to_string(resp.shed_reason));
+    }
+  }
   M3_RETURN_IF_ERROR(DecodeShardReports(r, &resp.shards));
-  M3_RETURN_IF_ERROR(DecodeStatsBody(r, &resp.stats));
+  M3_RETURN_IF_ERROR(DecodeStatsBody(r, &resp.stats, v));
   M3_RETURN_IF_ERROR(r.ExpectEnd());
   return resp;
 }
 
-std::string EncodeStats(const ServerStatsWire& stats) {
+std::string EncodeStatsRequest(std::uint32_t version) {
   Writer w;
-  w.U32(kWireVersion);
-  EncodeStatsBody(w, stats);
+  w.U32(ClampVersion(version));
+  return w.Take();
+}
+
+std::string EncodeStats(const ServerStatsWire& stats, std::uint32_t version) {
+  const std::uint32_t v = ClampVersion(version);
+  Writer w;
+  w.U32(v);
+  EncodeStatsBody(w, stats, v);
   return w.Take();
 }
 
 StatusOr<ServerStatsWire> DecodeStats(const std::string& payload) {
   Reader r(payload);
   ServerStatsWire s;
-  M3_RETURN_IF_ERROR(CheckVersion(r));
-  M3_RETURN_IF_ERROR(DecodeStatsBody(r, &s));
+  std::uint32_t v;
+  M3_RETURN_IF_ERROR(ReadVersion(r, &v));
+  M3_RETURN_IF_ERROR(DecodeStatsBody(r, &s, v));
   M3_RETURN_IF_ERROR(r.ExpectEnd());
   return s;
 }
 
-std::string EncodeReloadRequest(const ReloadRequest& req) {
+std::string EncodeReloadRequest(const ReloadRequest& req, std::uint32_t version) {
   Writer w;
-  w.U32(kWireVersion);
+  w.U32(ClampVersion(version));
   w.Str(req.checkpoint_path);
   return w.Take();
 }
@@ -538,15 +615,15 @@ std::string EncodeReloadRequest(const ReloadRequest& req) {
 StatusOr<ReloadRequest> DecodeReloadRequest(const std::string& payload) {
   Reader r(payload);
   ReloadRequest req;
-  M3_RETURN_IF_ERROR(CheckVersion(r));
+  M3_RETURN_IF_ERROR(ReadVersion(r, &req.wire_version));
   M3_RETURN_IF_ERROR(r.Str(&req.checkpoint_path));
   M3_RETURN_IF_ERROR(r.ExpectEnd());
   return req;
 }
 
-std::string EncodeReloadResponse(const ReloadResponse& resp) {
+std::string EncodeReloadResponse(const ReloadResponse& resp, std::uint32_t version) {
   Writer w;
-  w.U32(kWireVersion);
+  w.U32(ClampVersion(version));
   EncodeStatus(w, resp.status);
   w.U64(resp.model_version);
   w.U32(resp.model_crc);
@@ -556,7 +633,8 @@ std::string EncodeReloadResponse(const ReloadResponse& resp) {
 StatusOr<ReloadResponse> DecodeReloadResponse(const std::string& payload) {
   Reader r(payload);
   ReloadResponse resp;
-  M3_RETURN_IF_ERROR(CheckVersion(r));
+  std::uint32_t v;
+  M3_RETURN_IF_ERROR(ReadVersion(r, &v));
   M3_RETURN_IF_ERROR(DecodeStatus(r, &resp.status));
   M3_RETURN_IF_ERROR(r.U64(&resp.model_version));
   M3_RETURN_IF_ERROR(r.U32(&resp.model_crc));
@@ -564,21 +642,22 @@ StatusOr<ReloadResponse> DecodeReloadResponse(const std::string& payload) {
   return resp;
 }
 
-std::string EncodePingRequest() {
+std::string EncodePingRequest(std::uint32_t version) {
   Writer w;
-  w.U32(kWireVersion);
+  w.U32(ClampVersion(version));
   return w.Take();
 }
 
 Status DecodePingRequest(const std::string& payload) {
   Reader r(payload);
-  M3_RETURN_IF_ERROR(CheckVersion(r));
+  std::uint32_t v;
+  M3_RETURN_IF_ERROR(ReadVersion(r, &v));
   return r.ExpectEnd();
 }
 
-std::string EncodePingResponse(const PingResponse& resp) {
+std::string EncodePingResponse(const PingResponse& resp, std::uint32_t version) {
   Writer w;
-  w.U32(kWireVersion);
+  w.U32(ClampVersion(version));
   w.Bool(resp.ready);
   w.Bool(resp.worker_mode);
   w.U64(resp.model_version);
@@ -592,7 +671,8 @@ std::string EncodePingResponse(const PingResponse& resp) {
 StatusOr<PingResponse> DecodePingResponse(const std::string& payload) {
   Reader r(payload);
   PingResponse resp;
-  M3_RETURN_IF_ERROR(CheckVersion(r));
+  std::uint32_t v;
+  M3_RETURN_IF_ERROR(ReadVersion(r, &v));
   M3_RETURN_IF_ERROR(r.Bool(&resp.ready));
   M3_RETURN_IF_ERROR(r.Bool(&resp.worker_mode));
   M3_RETURN_IF_ERROR(r.U64(&resp.model_version));
@@ -604,12 +684,13 @@ StatusOr<PingResponse> DecodePingResponse(const std::string& payload) {
   return resp;
 }
 
-std::string EncodeShardQueryRequest(const ShardQueryRequest& req) {
+std::string EncodeShardQueryRequest(const ShardQueryRequest& req, std::uint32_t version) {
+  const std::uint32_t v = ClampVersion(version);
   Writer w;
-  w.U32(kWireVersion);
+  w.U32(v);
   // The embedded query reuses its own codec (version tag and all) as a
   // length-prefixed blob, so the two stay in lockstep by construction.
-  w.Str(EncodeQueryRequest(req.query));
+  w.Str(EncodeQueryRequest(req.query, v));
   w.U64(req.slots.size());
   for (std::uint32_t s : req.slots) w.U32(s);
   return w.Take();
@@ -618,7 +699,8 @@ std::string EncodeShardQueryRequest(const ShardQueryRequest& req) {
 StatusOr<ShardQueryRequest> DecodeShardQueryRequest(const std::string& payload) {
   Reader r(payload);
   ShardQueryRequest req;
-  M3_RETURN_IF_ERROR(CheckVersion(r));
+  std::uint32_t v;
+  M3_RETURN_IF_ERROR(ReadVersion(r, &v));
   std::string query_blob;
   M3_RETURN_IF_ERROR(r.Str(&query_blob));
   StatusOr<QueryRequest> q = DecodeQueryRequest(query_blob);
@@ -636,11 +718,13 @@ StatusOr<ShardQueryRequest> DecodeShardQueryRequest(const std::string& payload) 
   return req;
 }
 
-std::string EncodeShardQueryResponse(const ShardQueryResponse& resp) {
+std::string EncodeShardQueryResponse(const ShardQueryResponse& resp,
+                                     std::uint32_t version) {
+  const std::uint32_t v = ClampVersion(version);
   Writer w;
-  w.U32(kWireVersion);
+  w.U32(v);
   EncodeStatus(w, resp.status);
-  EncodeDegradation(w, resp.degradation);
+  EncodeDegradation(w, resp.degradation, v);
   w.U64(resp.model_version);
   w.U32(resp.model_crc);
   w.F64(resp.wall_seconds);
@@ -655,9 +739,10 @@ std::string EncodeShardQueryResponse(const ShardQueryResponse& resp) {
 StatusOr<ShardQueryResponse> DecodeShardQueryResponse(const std::string& payload) {
   Reader r(payload);
   ShardQueryResponse resp;
-  M3_RETURN_IF_ERROR(CheckVersion(r));
+  std::uint32_t v;
+  M3_RETURN_IF_ERROR(ReadVersion(r, &v));
   M3_RETURN_IF_ERROR(DecodeStatus(r, &resp.status));
-  M3_RETURN_IF_ERROR(DecodeDegradation(r, &resp.degradation));
+  M3_RETURN_IF_ERROR(DecodeDegradation(r, &resp.degradation, v));
   M3_RETURN_IF_ERROR(r.U64(&resp.model_version));
   M3_RETURN_IF_ERROR(r.U32(&resp.model_crc));
   M3_RETURN_IF_ERROR(r.F64(&resp.wall_seconds));

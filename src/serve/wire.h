@@ -23,7 +23,9 @@
 //
 // Deliberately *excluded* from both keys: strict, deadline_seconds,
 // max_attempts (they shape fault handling, not the fault-free answer — and
-// only full-quality kOk answers are ever cached), and the no_cache flag.
+// only full-quality kOk answers are ever cached), the no_cache flag, and
+// the v4 overload fields (priority, brownout): they are serving policy, and
+// a browned-out answer is never kOk, so it can never poison the cache.
 // The model digest term means a hot-reload implicitly invalidates every
 // cached result; stale entries age out via LRU.
 #pragma once
@@ -39,11 +41,16 @@
 
 namespace m3::serve {
 
-/// v3: sharded-fleet support — shard query/reply message pair, explicit
-/// topology shape in QueryRequest, per-shard attribution in QueryResponse,
-/// router sections in ServerStatsWire and PingResponse.
-/// (v2 added the Ping pair + worker-pool fields in ServerStatsWire.)
-constexpr std::uint32_t kWireVersion = 3;
+/// v4: overload control — priority class + brownout level in QueryRequest,
+/// shed_reason in QueryResponse, brownout attribution in DegradationReport,
+/// shed/brownout/cost counters in ServerStatsWire. Back-compatible: every
+/// decoder also accepts v3 payloads (new fields take their defaults), and
+/// encoders can emit v3 so a response echoes the version the request spoke
+/// — an un-upgraded m3_client keeps working against a v4 daemon.
+/// (v3 added the sharded-fleet messages; v2 the Ping pair + worker fields.)
+constexpr std::uint32_t kWireVersion = 4;
+/// Oldest version this build still decodes and can echo back.
+constexpr std::uint32_t kMinWireVersion = 3;
 
 /// Frame types (util/socket.h `type` field).
 enum class MsgType : std::uint32_t {
@@ -95,6 +102,32 @@ struct WireTopo {
   }
 };
 
+/// Request priority classes (v4). Under overload the service sheds lower
+/// classes first; kCritical is never displaced and never browned out.
+enum class Priority : std::uint8_t {
+  kBackground = 0,
+  kNormal = 1,      // the default (and what every v3 client means)
+  kInteractive = 2,
+  kCritical = 3,
+};
+constexpr std::uint8_t kNumPriorityClasses = 4;
+
+/// Why a query was shed instead of computed (v4, QueryResponse). kNone on
+/// every computed answer. Shed answers always carry a non-OK status too
+/// (kResourceExhausted or kDeadlineExceeded); the reason says which rung of
+/// the overload ladder fired, so load generators and dashboards can tell a
+/// full queue from a priority eviction from an expired wait.
+enum class ShedReason : std::uint8_t {
+  kNone = 0,
+  kQueueFull = 1,     // admission: queue full, no lower-class victim
+  kPriority = 2,      // admitted, then displaced by a higher class
+  kExpired = 3,       // deadline expired while queued; reaped unexecuted
+  kSojourn = 4,       // CoDel-style: queue sojourn over threshold at admit
+  kCostBudget = 5,    // admission: in-flight cost budget exhausted
+  kRouterBudget = 6,  // router: deadline budget spent before dispatch
+};
+constexpr std::uint8_t kNumShedReasons = 7;
+
 struct QueryRequest {
   double oversub = 2.0;  // daemon builds FatTreeConfig::Small(oversub)
   WireTopo topo;         // explicit shape override (v3); default = Small
@@ -109,6 +142,16 @@ struct QueryRequest {
   std::int32_t max_attempts = 2;
   // Bypass both result caches for this query (still computes + reports).
   bool no_cache = false;
+  // Priority class (v4); see Priority. v3 payloads decode as kNormal.
+  std::uint8_t priority = static_cast<std::uint8_t>(Priority::kNormal);
+  // Brownout level this query executes at (v4): 0 full quality, 1 reduced
+  // path sample, 2 flowSim substitute. Stamped by the *service* under
+  // sustained pressure — clients send 0; a non-zero value in a client
+  // request is honored (useful for tests) but never required.
+  std::uint8_t brownout = 0;
+  // Not on the wire: the version the decoded payload spoke, so responses
+  // can echo it (kWireVersion when built in-process).
+  std::uint32_t wire_version = kWireVersion;
 };
 
 /// Cumulative per-shard counters in router stats (ServerStatsWire::shards).
@@ -158,6 +201,14 @@ struct ServerStatsWire {
   // Router fleet health (router_mode daemons only; empty otherwise).
   bool router_mode = false;
   std::vector<ShardHealthWire> shards;
+  // Overload control (v4; zero when decoded from a v3 peer).
+  std::uint64_t queries_shed = 0;     // admitted, then shed (priority/expiry)
+  // Sheds by ShedReason (gate rejections and evictions both attributed).
+  std::uint64_t shed_by_reason[kNumShedReasons] = {0};
+  std::uint64_t brownout_queries = 0;  // executed at brownout level >= 1
+  std::uint32_t brownout_level = 0;    // current gauge (0 = full quality)
+  double in_flight_cost = 0.0;         // admitted-but-unanswered cost units
+  double cost_budget = 0.0;            // admission budget (0 = derived)
 };
 
 /// Per-shard attribution for one answer assembled by m3d-router (empty when
@@ -188,6 +239,8 @@ struct QueryResponse {
   std::uint64_t model_version = 0;
   std::uint32_t model_crc = 0;
   bool query_cache_hit = false;
+  // Why this query was shed (v4); kNone on computed answers. See ShedReason.
+  std::uint8_t shed_reason = static_cast<std::uint8_t>(ShedReason::kNone);
   // Per-shard attribution (v3); populated only by m3d-router.
   std::vector<ShardReportWire> shards;
   ServerStatsWire stats;
@@ -222,6 +275,8 @@ struct ShardQueryResponse {
 
 struct ReloadRequest {
   std::string checkpoint_path;
+  // Not on the wire: the version the decoded payload spoke (echoed back).
+  std::uint32_t wire_version = kWireVersion;
 };
 
 /// Liveness/readiness probe (`m3_client --ping`). The request has no body
@@ -246,32 +301,57 @@ struct ReloadResponse {
 };
 
 // ----- serialization (payload <-> struct) -----
+//
+// Every encoder takes the wire version to emit (default: this build's
+// kWireVersion); versions below kMinWireVersion are clamped up. Decoders
+// accept [kMinWireVersion, kWireVersion] — v4-only fields keep their
+// defaults when the payload spoke v3. A server answers in the version the
+// request spoke (QueryRequest::wire_version / PeekWireVersion), so old
+// clients never see fields they cannot parse.
 
-std::string EncodeQueryRequest(const QueryRequest& req);
+/// Best-effort version sniff for request bodies a handler does not decode
+/// (ping, stats): the leading u32 when it is a known version, else
+/// kMinWireVersion (covers the empty legacy stats-request body).
+std::uint32_t PeekWireVersion(const std::string& payload);
+
+std::string EncodeQueryRequest(const QueryRequest& req,
+                               std::uint32_t version = kWireVersion);
 StatusOr<QueryRequest> DecodeQueryRequest(const std::string& payload);
 
-std::string EncodeQueryResponse(const QueryResponse& resp);
+std::string EncodeQueryResponse(const QueryResponse& resp,
+                                std::uint32_t version = kWireVersion);
 StatusOr<QueryResponse> DecodeQueryResponse(const std::string& payload);
 
-std::string EncodeStats(const ServerStatsWire& stats);
+/// The stats *request* body (v4 clients; previously an empty payload).
+/// Servers ignore unknown bytes here, so this is safe to send to old
+/// daemons; it exists so a v4 server knows which version to answer in.
+std::string EncodeStatsRequest(std::uint32_t version = kWireVersion);
+
+std::string EncodeStats(const ServerStatsWire& stats,
+                        std::uint32_t version = kWireVersion);
 StatusOr<ServerStatsWire> DecodeStats(const std::string& payload);
 
-std::string EncodeReloadRequest(const ReloadRequest& req);
+std::string EncodeReloadRequest(const ReloadRequest& req,
+                                std::uint32_t version = kWireVersion);
 StatusOr<ReloadRequest> DecodeReloadRequest(const std::string& payload);
 
-std::string EncodeReloadResponse(const ReloadResponse& resp);
+std::string EncodeReloadResponse(const ReloadResponse& resp,
+                                 std::uint32_t version = kWireVersion);
 StatusOr<ReloadResponse> DecodeReloadResponse(const std::string& payload);
 
-std::string EncodePingRequest();
+std::string EncodePingRequest(std::uint32_t version = kWireVersion);
 Status DecodePingRequest(const std::string& payload);
 
-std::string EncodePingResponse(const PingResponse& resp);
+std::string EncodePingResponse(const PingResponse& resp,
+                               std::uint32_t version = kWireVersion);
 StatusOr<PingResponse> DecodePingResponse(const std::string& payload);
 
-std::string EncodeShardQueryRequest(const ShardQueryRequest& req);
+std::string EncodeShardQueryRequest(const ShardQueryRequest& req,
+                                    std::uint32_t version = kWireVersion);
 StatusOr<ShardQueryRequest> DecodeShardQueryRequest(const std::string& payload);
 
-std::string EncodeShardQueryResponse(const ShardQueryResponse& resp);
+std::string EncodeShardQueryResponse(const ShardQueryResponse& resp,
+                                     std::uint32_t version = kWireVersion);
 StatusOr<ShardQueryResponse> DecodeShardQueryResponse(const std::string& payload);
 
 // ----- cache keys -----

@@ -16,7 +16,11 @@
 # tier: a real m3d_router over three real m3d shards serving load-gen while
 # one shard is SIGKILLed mid-load — every query must come back answered
 # (ok or degraded, never failed) and the whole fleet must shut down without
-# orphans.
+# orphans. Finally the overload tier: a deliberately undersized m3d driven
+# at ~4x its capacity with per-query deadlines — every query must resolve
+# (answered or shed with a typed status, zero failed, zero silent
+# timeouts), the p99 of admitted queries must stay under the deadline, and
+# once the burst stops the daemon must recover to shedding nothing.
 #
 # Usage: tools/check.sh [extra cmake args...]
 set -euo pipefail
@@ -202,6 +206,84 @@ DIST_PIDS=""
 if pgrep -f "$DIST_DIR" > /dev/null 2>&1; then
   echo "distributed: leaked fleet processes:" >&2
   pgrep -af "$DIST_DIR" >&2
+  exit 1
+fi
+
+echo "== overload: undersized m3d vs 4x over-capacity deadline load =="
+cmake --build build -j"$JOBS" --target m3d m3_client train_m3
+OVL_DIR="$(mktemp -d)"
+OVL_SOCK="$OVL_DIR/m3d.sock"
+OVL_PID=""
+cleanup_ovl() {
+  [ -n "$OVL_PID" ] && kill -KILL "$OVL_PID" 2>/dev/null || true
+  rm -rf "$OVL_DIR"
+}
+trap 'cleanup_soak; cleanup_dist; cleanup_ovl' EXIT
+
+./build/tools/train_m3 2 10 1 "$OVL_DIR/model.ckpt" > /dev/null
+# Deliberately undersized: 2 workers, an 8-deep queue, a 0.5s sojourn shed
+# gate, and brownout on — the shape overload control is built for.
+./build/tools/m3d --socket "$OVL_SOCK" --model "$OVL_DIR/model.ckpt" \
+  --workers 2 --queue 8 --shed-sojourn 0.5 --brownout on \
+  > "$OVL_DIR/m3d.log" 2>&1 &
+OVL_PID=$!
+for _ in $(seq 1 100); do
+  ./build/tools/m3_client --socket "$OVL_SOCK" --ping > /dev/null 2>&1 && break
+  sleep 0.2
+done
+
+# ~4x over capacity: 16 concurrent streams against 2 workers + 8 queue
+# slots. retries 0 so every shed stays visible instead of being retried
+# away; a 10s deadline every admitted query can comfortably make.
+OVL_DEADLINE_MS=10000
+OVL_JSON="$(./build/tools/m3_client --socket "$OVL_SOCK" \
+  --flows 2000 --paths 16 --no-cache --concurrency 16 --repeat 8 \
+  --deadline 10 --retries 0 --json)"
+echo "$OVL_JSON"
+ovl_total="$(echo "$OVL_JSON" | sed -E 's/.*"total": ([0-9]+).*/\1/')"
+ovl_answered="$(echo "$OVL_JSON" | sed -E 's/.*"answered": ([0-9]+).*/\1/')"
+ovl_shed="$(echo "$OVL_JSON" | sed -E 's/.*"shed": ([0-9]+).*/\1/')"
+ovl_failed="$(echo "$OVL_JSON" | sed -E 's/.*"failed": ([0-9]+).*/\1/')"
+ovl_p99="$(echo "$OVL_JSON" | sed -E 's/.*"p99_ms": ([0-9.]+).*/\1/')"
+# The overload contract: every query resolves with a typed outcome
+# (answered + shed = total, zero failed), overload actually sheds instead
+# of silently timing out, and admitted queries still meet their deadline.
+if [ "$ovl_failed" != 0 ] || [ $((ovl_answered + ovl_shed)) != "$ovl_total" ]; then
+  echo "overload: $ovl_failed failed, $ovl_answered answered + $ovl_shed shed != $ovl_total total" >&2
+  exit 1
+fi
+if [ "$ovl_shed" = 0 ]; then
+  echo "overload: 4x over-capacity load shed nothing — admission gate inert" >&2
+  exit 1
+fi
+if ! awk -v p99="$ovl_p99" -v lim="$OVL_DEADLINE_MS" 'BEGIN { exit !(p99 < lim) }'; then
+  echo "overload: admitted p99 ${ovl_p99}ms breaches the ${OVL_DEADLINE_MS}ms deadline" >&2
+  exit 1
+fi
+
+# Recovery: within 5s of the burst ending, a polite load sheds nothing and
+# serves at full quality (3s waits out the 2s default brownout hold).
+sleep 3
+OVL_CALM="$(./build/tools/m3_client --socket "$OVL_SOCK" \
+  --flows 2000 --paths 16 --no-cache --concurrency 1 --repeat 4 \
+  --deadline 10 --retries 0 --json)"
+echo "$OVL_CALM"
+calm_total="$(echo "$OVL_CALM" | sed -E 's/.*"total": ([0-9]+).*/\1/')"
+calm_answered="$(echo "$OVL_CALM" | sed -E 's/.*"answered": ([0-9]+).*/\1/')"
+calm_shed="$(echo "$OVL_CALM" | sed -E 's/.*"shed": ([0-9]+).*/\1/')"
+calm_brownout="$(echo "$OVL_CALM" | sed -E 's/.*"brownout": ([0-9]+).*/\1/')"
+if [ "$calm_shed" != 0 ] || [ "$calm_brownout" != 0 ] || [ "$calm_total" != "$calm_answered" ]; then
+  echo "overload: no recovery after burst: $calm_shed shed, $calm_brownout browned out, $calm_answered/$calm_total answered" >&2
+  exit 1
+fi
+./build/tools/m3_client --socket "$OVL_SOCK" --stats
+
+kill -TERM "$OVL_PID"
+wait "$OVL_PID"
+OVL_PID=""
+if pgrep -f "$OVL_SOCK" > /dev/null 2>&1; then
+  echo "overload: leaked worker processes:" >&2
+  pgrep -af "$OVL_SOCK" >&2
   exit 1
 fi
 

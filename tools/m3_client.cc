@@ -82,6 +82,8 @@ constexpr const char* kUsage =
     "  --percentile P           reported percentile, [1, 100]      (99)\n"
     "  --strict                 fail on the first path fault\n"
     "  --deadline SECONDS       daemon-side wall-clock budget\n"
+    "  --priority CLASS         background|normal|interactive|critical or 0-3\n"
+    "                           (normal; admission sheds lower classes first)\n"
     "  --no-cache               bypass the daemon's result caches\n"
     "\n"
     "Resilience:\n"
@@ -94,8 +96,9 @@ constexpr const char* kUsage =
     "  --concurrency N          parallel connections, >= 1         (1)\n"
     "  --repeat N               queries per connection, >= 1       (1)\n"
     "  --json                   print the load-gen summary as one JSON line\n"
-    "                           (answered/degraded/failed counts, latency\n"
-    "                           percentiles — for harnesses and check.sh)\n"
+    "                           (answered/degraded/shed/rejected/failed\n"
+    "                           counts, latency percentiles — for harnesses\n"
+    "                           and check.sh; answered + shed + failed = total)\n"
     "  --help                   show this message\n";
 
 [[noreturn]] void UsageError(const std::string& msg) {
@@ -146,6 +149,7 @@ struct Args {
   double percentile = 99.0;
   bool strict = false;
   double deadline = 0.0;
+  int priority = static_cast<int>(Priority::kNormal);
   bool no_cache = false;
   int retries = 4;
   double connect_timeout = 5.0;
@@ -188,6 +192,15 @@ Args Parse(int argc, char** argv) {
     else if (key == "--seed") a.seed = ParseInt(key, v, 0, 1'000'000'000);
     else if (key == "--percentile") a.percentile = ParseDouble(key, v, 1.0, 100.0);
     else if (key == "--deadline") a.deadline = ParseDouble(key, v, 0.0, 1e9);
+    else if (key == "--priority") {
+      const std::string pv = v;
+      if (pv == "background" || pv == "0") a.priority = 0;
+      else if (pv == "normal" || pv == "1") a.priority = 1;
+      else if (pv == "interactive" || pv == "2") a.priority = 2;
+      else if (pv == "critical" || pv == "3") a.priority = 3;
+      else UsageError("invalid --priority '" + pv +
+                      "' (expected background|normal|interactive|critical or 0-3)");
+    }
     else if (key == "--retries") a.retries = static_cast<int>(ParseInt(key, v, 0, 100));
     else if (key == "--connect-timeout") a.connect_timeout = ParseDouble(key, v, 0.0, 86400.0);
     else if (key == "--concurrency") a.concurrency = static_cast<int>(ParseInt(key, v, 1, 4096));
@@ -303,13 +316,30 @@ void PrintStats(const ServerStatsWire& s) {
               static_cast<unsigned long long>(s.model_version), s.model_crc,
               static_cast<unsigned long long>(s.reloads_ok),
               static_cast<unsigned long long>(s.reloads_failed));
-  std::printf("queries: %llu received, %llu ok, %llu rejected, %llu failed; "
-              "queue %u/%u, %u workers\n",
+  std::printf("queries: %llu received, %llu ok, %llu rejected, %llu shed, "
+              "%llu failed; queue %u/%u, %u workers\n",
               static_cast<unsigned long long>(s.queries_received),
               static_cast<unsigned long long>(s.queries_ok),
               static_cast<unsigned long long>(s.queries_rejected),
+              static_cast<unsigned long long>(s.queries_shed),
               static_cast<unsigned long long>(s.queries_failed),
               s.queue_depth, s.queue_capacity, s.workers);
+  if (s.queries_rejected > 0 || s.queries_shed > 0 || s.brownout_queries > 0 ||
+      s.brownout_level > 0) {
+    std::printf("overload: shed by reason — %llu queue-full, %llu priority, "
+                "%llu expired, %llu sojourn, %llu cost-budget, %llu router-budget\n",
+                static_cast<unsigned long long>(s.shed_by_reason[1]),
+                static_cast<unsigned long long>(s.shed_by_reason[2]),
+                static_cast<unsigned long long>(s.shed_by_reason[3]),
+                static_cast<unsigned long long>(s.shed_by_reason[4]),
+                static_cast<unsigned long long>(s.shed_by_reason[5]),
+                static_cast<unsigned long long>(s.shed_by_reason[6]));
+    std::printf("overload: brownout level %u, %llu browned-out queries; "
+                "in-flight cost %.1f / %.1f budget\n",
+                s.brownout_level,
+                static_cast<unsigned long long>(s.brownout_queries),
+                s.in_flight_cost, s.cost_budget);
+  }
   const auto line = [](const char* name, const std::uint64_t c[5]) {
     std::printf("%s cache: %llu hits / %llu misses, %llu inserts, %llu evictions, "
                 "%llu entries\n",
@@ -361,6 +391,14 @@ struct WorkerResult {
   long ok = 0;
   long degraded = 0;
   long deadline = 0;
+  // Typed sheds (response carried a ShedReason): displaced, expired, or
+  // admission-gated. Broken out so overload control is visible instead of
+  // being folded into `failed`. rejected/expired are subsets of shed.
+  long shed = 0;
+  long rejected = 0;  // gate sheds: queue-full / sojourn / cost-budget
+  long expired = 0;   // deadline expired while queued (never executed)
+  // Answered queries served under brownout (subset of degraded/deadline).
+  long brownout = 0;
   int failed = 0;
   std::uint64_t retries = 0;
   // Summed DegradationReport path classes over answered queries.
@@ -368,6 +406,12 @@ struct WorkerResult {
   long long paths_dropped = 0;
   Status first_failure;
 };
+
+bool IsGateShed(std::uint8_t reason) {
+  return reason == static_cast<std::uint8_t>(ShedReason::kQueueFull) ||
+         reason == static_cast<std::uint8_t>(ShedReason::kSojourn) ||
+         reason == static_cast<std::uint8_t>(ShedReason::kCostBudget);
+}
 
 }  // namespace
 
@@ -413,8 +457,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "m3_client: %s\n", fd.status().ToString().c_str());
       return ExitCodeFor(fd.status().code());
     }
-    StatusOr<std::string> payload =
-        RoundTrip(*fd, MsgType::kStatsRequest, std::string(), MsgType::kStatsResponse);
+    StatusOr<std::string> payload = RoundTrip(*fd, MsgType::kStatsRequest,
+                                              EncodeStatsRequest(),
+                                              MsgType::kStatsResponse);
     StatusOr<ServerStatsWire> stats =
         payload.ok() ? DecodeStats(*payload) : payload.status();
     if (!stats.ok()) {
@@ -496,6 +541,7 @@ int main(int argc, char** argv) {
   req.seed = static_cast<std::uint64_t>(a.seed);
   req.strict = a.strict;
   req.deadline_seconds = a.deadline;
+  req.priority = static_cast<std::uint8_t>(a.priority);
   req.no_cache = a.no_cache;
   const std::string payload = EncodeQueryRequest(req);
 
@@ -518,6 +564,20 @@ int main(int argc, char** argv) {
           const auto q1 = std::chrono::steady_clock::now();
           const Status st = resp.ok() ? resp->status : resp.status();
           const StatusCode code = st.code();
+          // A response carrying a ShedReason is a typed shed — overload
+          // control answered instead of computing. Not a failure, not an
+          // answer: its own family (answered + shed + failed = total).
+          const std::uint8_t shed_reason =
+              resp.ok() ? resp->shed_reason
+                        : static_cast<std::uint8_t>(ShedReason::kNone);
+          if (shed_reason != static_cast<std::uint8_t>(ShedReason::kNone)) {
+            ++r.shed;
+            if (IsGateShed(shed_reason)) ++r.rejected;
+            if (shed_reason == static_cast<std::uint8_t>(ShedReason::kExpired)) {
+              ++r.expired;
+            }
+            continue;
+          }
           const bool answered = code == StatusCode::kOk ||
                                 code == StatusCode::kDegraded ||
                                 code == StatusCode::kDeadlineExceeded;
@@ -529,6 +589,7 @@ int main(int argc, char** argv) {
           if (code == StatusCode::kOk) ++r.ok;
           else if (code == StatusCode::kDegraded) ++r.degraded;
           else ++r.deadline;
+          if (resp->degradation.brownout_level > 0) ++r.brownout;
           r.paths_degraded += resp->degradation.paths_degraded;
           r.paths_dropped += resp->degradation.paths_dropped;
           r.latencies_ms.push_back(
@@ -542,6 +603,7 @@ int main(int argc, char** argv) {
 
     std::vector<double> lat;
     long ok = 0, degraded = 0, deadline = 0;
+    long shed = 0, rejected = 0, expired = 0, brownout = 0;
     long long paths_degraded = 0, paths_dropped = 0;
     int failed = 0;
     std::uint64_t total_retries = 0;
@@ -551,6 +613,10 @@ int main(int argc, char** argv) {
       ok += r.ok;
       degraded += r.degraded;
       deadline += r.deadline;
+      shed += r.shed;
+      rejected += r.rejected;
+      expired += r.expired;
+      brownout += r.brownout;
       paths_degraded += r.paths_degraded;
       paths_dropped += r.paths_dropped;
       failed += r.failed;
@@ -568,23 +634,37 @@ int main(int argc, char** argv) {
     const long total = static_cast<long>(a.concurrency) * a.repeat;
     if (a.json) {
       // One line, stable keys: the contract for check.sh and the chaos
-      // harness (answered = ok + degraded + deadline; answered + failed
-      // = total).
+      // harness (answered = ok + degraded + deadline; answered + shed +
+      // failed = total; rejected/expired are subsets of shed; latency
+      // percentiles cover *answered* queries only — admitted goodput).
       std::printf("{\"total\": %ld, \"answered\": %zu, \"ok\": %ld, "
-                  "\"degraded\": %ld, \"deadline\": %ld, \"failed\": %d, "
+                  "\"degraded\": %ld, \"deadline\": %ld, \"shed\": %ld, "
+                  "\"rejected\": %ld, \"expired\": %ld, "
+                  "\"brownout\": %ld, \"failed\": %d, "
                   "\"retries\": %llu, \"paths_degraded\": %lld, "
                   "\"paths_dropped\": %lld, \"wall_s\": %.3f, "
                   "\"throughput_qps\": %.2f, \"p50_ms\": %.3f, "
                   "\"p99_ms\": %.3f, \"max_ms\": %.3f}\n",
-                  total, lat.size(), ok, degraded, deadline, failed,
+                  total, lat.size(), ok, degraded, deadline, shed,
+                  rejected, expired, brownout, failed,
                   static_cast<unsigned long long>(total_retries),
                   paths_degraded, paths_dropped, wall,
                   lat.empty() ? 0.0 : static_cast<double>(lat.size()) / wall,
                   pct(50), pct(99), lat.empty() ? 0.0 : lat.back());
     } else {
       std::printf("load: %d conns x %d queries = %ld total, %ld ok, %ld degraded, "
-                  "%ld deadline, %d failed\n",
-                  a.concurrency, a.repeat, total, ok, degraded, deadline, failed);
+                  "%ld deadline, %ld shed, %d failed\n",
+                  a.concurrency, a.repeat, total, ok, degraded, deadline, shed,
+                  failed);
+      if (shed > 0) {
+        std::printf("shed: %ld admission-rejected (queue/sojourn/cost), "
+                    "%ld expired in queue, %ld displaced/router\n",
+                    rejected, expired, shed - rejected - expired);
+      }
+      if (brownout > 0) {
+        std::printf("brownout: %ld answered queries served at reduced quality\n",
+                    brownout);
+      }
       std::printf("wall: %.2fs  throughput: %.1f q/s\n", wall,
                   lat.empty() ? 0.0 : static_cast<double>(lat.size()) / wall);
       std::printf("latency: p50 %.2fms  p99 %.2fms  max %.2fms\n", pct(50), pct(99),
@@ -614,6 +694,15 @@ int main(int argc, char** argv) {
     return ExitCodeFor(got.status().code());
   }
   const QueryResponse& est = *got;
+  if (est.shed_reason != static_cast<std::uint8_t>(ShedReason::kNone)) {
+    static const char* kShedNames[kNumShedReasons] = {
+        "none",    "queue-full", "priority-displaced", "expired-in-queue",
+        "sojourn", "cost-budget", "router-budget"};
+    std::fprintf(stderr, "m3_client: shed by overload control (%s): %s\n",
+                 kShedNames[est.shed_reason % kNumShedReasons],
+                 est.status.ToString().c_str());
+    return ExitCodeFor(est.status.code());
+  }
   if (!est.status.ok() && est.status.code() != StatusCode::kDegraded &&
       est.status.code() != StatusCode::kDeadlineExceeded) {
     std::fprintf(stderr, "m3_client: %s\n", est.status.ToString().c_str());

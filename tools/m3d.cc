@@ -42,6 +42,12 @@ constexpr const char* kUsage =
     "  --threads-per-query N   pool threads per query, >= 0 (1; 0 = full pool)\n"
     "  --watchdog SECS     watchdog for deadline-less queries, > 0 (120)\n"
     "  --grace SECS        kill grace past a query deadline, > 0   (2)\n"
+    "  --cost-budget C     in-flight admission cost budget, > 0\n"
+    "                      (0 = default: (queue + workers) * 128)\n"
+    "  --shed-sojourn SECS shed non-critical arrivals once queued work has\n"
+    "                      waited this long (CoDel-style; 0 = off)\n"
+    "  --brownout MODE     on|off: reduce quality (fewer paths, then\n"
+    "                      flowSim) under sustained pressure (on)\n"
     "  --help              show this message\n"
     "\n"
     "With --workers N > 0 queries execute in forked worker subprocesses: a\n"
@@ -123,6 +129,21 @@ int main(int argc, char** argv) {
     else if (key == "--threads-per-query") opts.threads_per_query = static_cast<unsigned>(ParseInt(key, v, 0, 1024));
     else if (key == "--watchdog") opts.supervisor.default_watchdog_seconds = ParseSeconds(key, v);
     else if (key == "--grace") opts.supervisor.grace_seconds = ParseSeconds(key, v);
+    else if (key == "--cost-budget") {
+      char* end = nullptr;
+      errno = 0;
+      const double b = std::strtod(v, &end);
+      if (end == v || *end != '\0' || errno == ERANGE || b < 0) {
+        UsageError("invalid --cost-budget '" + std::string(v) + "' (expected >= 0)");
+      }
+      opts.cost_budget = b;
+    } else if (key == "--shed-sojourn") {
+      opts.shed_sojourn_seconds = std::strcmp(v, "0") == 0 ? 0.0 : ParseSeconds(key, v);
+    } else if (key == "--brownout") {
+      if (std::strcmp(v, "on") == 0) opts.brownout_enabled = true;
+      else if (std::strcmp(v, "off") == 0) opts.brownout_enabled = false;
+      else UsageError("invalid --brownout '" + std::string(v) + "' (expected on|off)");
+    }
     else UsageError("unknown flag '" + key + "'");
     i += 2;
   }
@@ -204,16 +225,28 @@ int main(int argc, char** argv) {
   server.Stop();
   service.Stop();
   const ServerStatsWire s = service.Stats();
-  std::printf("m3d: served %llu queries (%llu ok, %llu rejected, %llu failed); "
-              "query cache %llu/%llu hit, path cache %llu/%llu hit\n",
+  std::printf("m3d: served %llu queries (%llu ok, %llu rejected, %llu shed, "
+              "%llu failed); query cache %llu/%llu hit, path cache %llu/%llu hit\n",
               static_cast<unsigned long long>(s.queries_received),
               static_cast<unsigned long long>(s.queries_ok),
               static_cast<unsigned long long>(s.queries_rejected),
+              static_cast<unsigned long long>(s.queries_shed),
               static_cast<unsigned long long>(s.queries_failed),
               static_cast<unsigned long long>(s.query_cache[0]),
               static_cast<unsigned long long>(s.query_cache[0] + s.query_cache[1]),
               static_cast<unsigned long long>(s.path_cache[0]),
               static_cast<unsigned long long>(s.path_cache[0] + s.path_cache[1]));
+  if (s.queries_shed > 0 || s.queries_rejected > 0 || s.brownout_queries > 0) {
+    std::printf("m3d: overload control: shed by reason — %llu queue-full, "
+                "%llu priority, %llu expired, %llu sojourn, %llu cost-budget; "
+                "%llu browned-out queries\n",
+                static_cast<unsigned long long>(s.shed_by_reason[1]),
+                static_cast<unsigned long long>(s.shed_by_reason[2]),
+                static_cast<unsigned long long>(s.shed_by_reason[3]),
+                static_cast<unsigned long long>(s.shed_by_reason[4]),
+                static_cast<unsigned long long>(s.shed_by_reason[5]),
+                static_cast<unsigned long long>(s.brownout_queries));
+  }
   if (s.worker_mode) {
     std::printf("m3d: worker pool: %llu spawns, %llu restarts, %llu crashes, "
                 "%llu watchdog kills, %llu garbage replies, %llu retried queries, "
