@@ -220,7 +220,10 @@ QueryResponse ExecuteQueryOnSnapshot(const QueryRequest& req, const ModelSnapsho
       // flowSim-substitute estimates must never be cached under the
       // model-digest key (a later full-quality query would replay them).
       hooks.insert = [&ctx, &req, &snap](const PathScenario& sc, const PathEstimate& pe) {
-        ctx.path_cache->Insert(PathCacheKey(sc, req.cfg, req.use_context, snap.digest), pe);
+        const Hash128 key = PathCacheKey(sc, req.cfg, req.use_context, snap.digest);
+        if (ctx.path_cache->Insert(key, pe) && ctx.persist_path) {
+          ctx.persist_path(key, snap.digest, pe);
+        }
       };
     }
     p.mopts.path_cache = &hooks;
@@ -284,8 +287,11 @@ ShardQueryResponse ExecuteShardOnSnapshot(const ShardQueryRequest& req,
       // As in ExecuteQueryOnSnapshot: never cache flowSim substitutes
       // under the model-digest key.
       hooks.insert = [&ctx, &req, &snap](const PathScenario& sc, const PathEstimate& pe) {
-        ctx.path_cache->Insert(
-            PathCacheKey(sc, req.query.cfg, req.query.use_context, snap.digest), pe);
+        const Hash128 key =
+            PathCacheKey(sc, req.query.cfg, req.query.use_context, snap.digest);
+        if (ctx.path_cache->Insert(key, pe) && ctx.persist_path) {
+          ctx.persist_path(key, snap.digest, pe);
+        }
       };
     }
     p.mopts.path_cache = &hooks;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <utility>
@@ -59,6 +60,11 @@ struct ExecContext {
   TopoMemo* topos = nullptr;                     // required
   LruCache<PathEstimate>* path_cache = nullptr;  // nullptr = no path reuse
   unsigned threads_per_query = 1;                // M3Options::num_threads
+  // Invoked once per *newly inserted* path-cache entry with (cache key,
+  // model digest, estimate) — the durable-cache spill hook (serve/persist.h).
+  // Refreshes and recovered entries never re-fire it, which is what bounds
+  // write amplification to the fresh-compute rate.
+  std::function<void(const Hash128&, const Hash128&, const PathEstimate&)> persist_path;
 };
 
 /// Runs one query against one model snapshot on the calling thread:

@@ -1,0 +1,522 @@
+#include "serve/persist.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#endif
+
+#include "ml/checkpoint.h"  // Crc32
+#include "util/fault.h"
+
+namespace m3::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// On-disk framing. All integers little-endian (the project targets x86-64;
+// wire.cc makes the same choice explicitly).
+constexpr std::uint32_t kSegmentMagic = 0x4d334353u;  // "SC3M" on disk
+constexpr std::uint32_t kRecordMagic = 0x4d335243u;   // "CR3M" on disk
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kSegmentHeaderSize = 8;   // magic + version
+constexpr std::size_t kRecordHeaderSize = 12;   // magic + len + crc
+// kind(1) + digest(16) + key(16) + value-hash(16)
+constexpr std::size_t kPayloadPrefixSize = 49;
+constexpr std::size_t kMaxPayloadBytes = 16u << 20;
+
+template <typename T>
+void Put(std::string& out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+template <typename T>
+T Get(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+std::string SegmentName(std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%08llu.m3c",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+/// Parses a segment sequence number out of "seg-%08llu.m3c"; returns false
+/// for anything else (LOCK, temp files, stray data).
+bool ParseSegmentName(const std::string& name, std::uint64_t* seq) {
+  if (name.size() < 9 || name.rfind("seg-", 0) != 0) return false;
+  if (name.size() < 4 + 4 || name.substr(name.size() - 4) != ".m3c") return false;
+  const std::string digits = name.substr(4, name.size() - 8);
+  if (digits.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *seq = v;
+  return true;
+}
+
+#ifdef __unix__
+// Best-effort flush to stable storage (same discipline as checkpoint.cc);
+// a failure here does not invalidate the logical write.
+void FsyncPath(const std::string& path, bool directory) {
+  const int fd = ::open(path.c_str(), directory ? O_RDONLY | O_DIRECTORY : O_WRONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+#endif
+
+}  // namespace
+
+CacheDirLock& CacheDirLock::operator=(CacheDirLock&& o) noexcept {
+  if (this != &o) {
+    Release();
+    fd_ = o.fd_;
+    path_ = std::move(o.path_);
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void CacheDirLock::Release() {
+#ifdef __unix__
+  if (fd_ >= 0) {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+  }
+#endif
+  fd_ = -1;
+  path_.clear();
+}
+
+Status AcquireCacheDir(const std::string& dir, CacheDirLock* lock) {
+  if (dir.empty()) return Status::InvalidArgument("cache dir: empty path");
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Unavailable("cache dir: cannot create " + dir + ": " +
+                               ec.message());
+  }
+#ifdef __unix__
+  const long pid = static_cast<long>(::getpid());
+  // Writability probe: the failure mode we want to report at startup, not
+  // at the first background flush.
+  const std::string probe = dir + "/.probe." + std::to_string(pid);
+  {
+    std::ofstream os(probe, std::ios::binary | std::ios::trunc);
+    os << 'w';
+    os.flush();
+    if (!os) {
+      fs::remove(probe, ec);
+      return Status::Unavailable("cache dir: not writable: " + dir);
+    }
+  }
+  fs::remove(probe, ec);
+
+  const std::string lock_path = dir + "/LOCK";
+  const int fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Unavailable("cache dir: cannot open " + lock_path + ": " +
+                               std::strerror(errno));
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    char buf[32] = {0};
+    const ssize_t n = ::pread(fd, buf, sizeof(buf) - 1, 0);
+    ::close(fd);
+    std::string holder = n > 0 ? std::string(buf) : "unknown";
+    while (!holder.empty() && (holder.back() == '\n' || holder.back() == ' ')) {
+      holder.pop_back();
+    }
+    return Status::Unavailable("cache dir: " + dir + " locked by pid " + holder +
+                               " (refusing to share a cache dir between daemons)");
+  }
+  const std::string stamp = std::to_string(pid) + "\n";
+  if (::ftruncate(fd, 0) != 0 ||
+      ::pwrite(fd, stamp.data(), stamp.size(), 0) < 0) {
+    // Lock is held regardless; the stamp is diagnostics only.
+  }
+  lock->Release();
+  lock->fd_ = fd;
+  lock->path_ = lock_path;
+#else
+  (void)lock;
+#endif
+  return Status::Ok();
+}
+
+CachePersister::CachePersister(PersistOptions opts) : opts_(std::move(opts)) {}
+
+CachePersister::~CachePersister() { Stop(); }
+
+Status CachePersister::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return Status::Ok();
+    // Continue the segment sequence past anything already on disk so a
+    // restart never overwrites segments it is about to recover from.
+    std::error_code ec;
+    std::uint64_t max_seq = 0;
+    bool any = false;
+    for (const auto& entry : fs::directory_iterator(opts_.dir, ec)) {
+      std::uint64_t seq = 0;
+      if (ParseSegmentName(entry.path().filename().string(), &seq)) {
+        max_seq = std::max(max_seq, seq);
+        any = true;
+      }
+    }
+    if (ec) {
+      return Status::Unavailable("persist: cannot scan " + opts_.dir + ": " +
+                                 ec.message());
+    }
+    next_seq_ = any ? max_seq + 1 : 0;
+    running_ = true;
+    stop_ = false;
+  }
+  flusher_ = std::thread([this] { FlusherLoop(); });
+  return Status::Ok();
+}
+
+void CachePersister::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  // Final drain so a clean shutdown persists everything it computed.
+  FlushNow();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+void CachePersister::Enqueue(CacheKind kind, const Hash128& digest,
+                             const Hash128& key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!running_) return;
+  pending_.push_back(Pending{kind, digest, key, std::move(value)});
+  // Bounded backlog: these are cache entries, so dropping the oldest
+  // un-flushed one loses warmth, never correctness.
+  while (pending_.size() > opts_.max_pending) pending_.pop_front();
+}
+
+Status CachePersister::FlushNow() {
+  std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  return FlushLocked();
+}
+
+Status CachePersister::FlushLocked() {
+  std::deque<Pending> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_.empty()) return Status::Ok();
+    batch.swap(pending_);
+  }
+  try {
+    M3_FAULT_POINT(kPersistFlushFaultSite);
+  } catch (const FaultInjected&) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.flush_failures;
+    // Retain the batch (newest-first insert keeps original order).
+    for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+      pending_.push_front(std::move(*it));
+    }
+    while (pending_.size() > opts_.max_pending) pending_.pop_front();
+    return Status::Unavailable("persist: flush fault injected");
+  }
+
+  // Serialize the batch into one or more segment bodies, splitting at
+  // max_segment_bytes so no single write grows unbounded.
+  Status result = Status::Ok();
+  std::size_t done = 0;  // records durably written so far
+  std::string body;
+  std::size_t body_records = 0;
+  auto write_body = [&]() -> bool {
+    std::uint64_t seq;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      seq = next_seq_++;
+    }
+    Status st = WriteSegment(body, seq);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!st.ok()) {
+      ++stats_.flush_failures;
+      result = st;
+      return false;
+    }
+    stats_.entries_flushed += body_records;
+    ++stats_.flush_rounds;
+    done += body_records;
+    body.clear();
+    body_records = 0;
+    return true;
+  };
+
+  for (const Pending& p : batch) {
+    std::string payload;
+    payload.reserve(kPayloadPrefixSize + p.value.size());
+    Put<std::uint8_t>(payload, static_cast<std::uint8_t>(p.kind));
+    Put<std::uint64_t>(payload, p.digest.hi);
+    Put<std::uint64_t>(payload, p.digest.lo);
+    Put<std::uint64_t>(payload, p.key.hi);
+    Put<std::uint64_t>(payload, p.key.lo);
+    const Hash128 vhash = HashBytes(p.value.data(), p.value.size());
+    Put<std::uint64_t>(payload, vhash.hi);
+    Put<std::uint64_t>(payload, vhash.lo);
+    payload.append(p.value);
+    if (payload.size() > kMaxPayloadBytes) continue;  // oversized: never framed
+    Put<std::uint32_t>(body, kRecordMagic);
+    Put<std::uint32_t>(body, static_cast<std::uint32_t>(payload.size()));
+    Put<std::uint32_t>(body, ml::Crc32(payload.data(), payload.size()));
+    body.append(payload);
+    ++body_records;
+    if (body.size() >= opts_.max_segment_bytes && !write_body()) break;
+  }
+  if (result.ok() && body_records > 0) write_body();
+
+  if (!result.ok()) {
+    // Re-queue the records that never reached disk, ahead of anything
+    // enqueued meanwhile, preserving order.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = batch.size(); i > done;) {
+      --i;
+      pending_.push_front(std::move(batch[i]));
+    }
+    while (pending_.size() > opts_.max_pending) pending_.pop_front();
+    return result;
+  }
+  EnforceRetention();
+  return Status::Ok();
+}
+
+Status CachePersister::WriteSegment(const std::string& body, std::uint64_t seq) {
+  try {
+    M3_FAULT_POINT(kPersistWriteFaultSite);
+  } catch (const FaultInjected&) {
+    return Status::Unavailable("persist: segment_write fault injected");
+  }
+  const std::string path = opts_.dir + "/" + SegmentName(seq);
+#ifdef __unix__
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+#else
+  const std::string tmp = path + ".tmp";
+#endif
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return Status::Unavailable("persist: cannot open " + tmp);
+    std::string header;
+    Put<std::uint32_t>(header, kSegmentMagic);
+    Put<std::uint32_t>(header, kFormatVersion);
+    os.write(header.data(), static_cast<std::streamsize>(header.size()));
+    os.write(body.data(), static_cast<std::streamsize>(body.size()));
+    os.flush();
+    if (!os) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return Status::Unavailable("persist: write failed for " + tmp);
+    }
+  }
+#ifdef __unix__
+  FsyncPath(tmp, /*directory=*/false);
+#endif
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return Status::Unavailable("persist: cannot rename " + tmp + " to " + path);
+  }
+#ifdef __unix__
+  FsyncPath(opts_.dir, /*directory=*/true);
+#endif
+  return Status::Ok();
+}
+
+void CachePersister::EnforceRetention() {
+  std::error_code ec;
+  std::vector<std::uint64_t> seqs;
+  for (const auto& entry : fs::directory_iterator(opts_.dir, ec)) {
+    std::uint64_t seq = 0;
+    if (ParseSegmentName(entry.path().filename().string(), &seq)) {
+      seqs.push_back(seq);
+    }
+  }
+  if (ec || seqs.size() <= opts_.max_segments) return;
+  std::sort(seqs.begin(), seqs.end());
+  const std::size_t excess = seqs.size() - opts_.max_segments;
+  for (std::size_t i = 0; i < excess; ++i) {
+    fs::remove(opts_.dir + "/" + SegmentName(seqs[i]), ec);
+  }
+}
+
+void CachePersister::FlusherLoop() {
+  const auto interval = std::chrono::duration<double>(
+      opts_.flush_interval_seconds > 0 ? opts_.flush_interval_seconds : 2.0);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, interval, [this] { return stop_; });
+      if (stop_) return;
+      if (pending_.empty()) continue;
+    }
+    std::lock_guard<std::mutex> flush_lock(flush_mu_);
+    FlushLocked();  // failures counted in stats; retried next round
+  }
+}
+
+void CachePersister::Recover(const RecoverFn& fn) {
+  // Snapshot the segment list up front: anything the concurrent flusher
+  // writes afterwards was enqueued by this process and is already warm.
+  std::vector<std::uint64_t> seqs;
+  {
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(opts_.dir, ec)) {
+      std::uint64_t seq = 0;
+      if (ParseSegmentName(entry.path().filename().string(), &seq)) {
+        seqs.push_back(seq);
+      }
+    }
+  }
+  std::sort(seqs.begin(), seqs.end());
+
+  const char magic_bytes[4] = {
+      static_cast<char>(kRecordMagic & 0xFF),
+      static_cast<char>((kRecordMagic >> 8) & 0xFF),
+      static_cast<char>((kRecordMagic >> 16) & 0xFF),
+      static_cast<char>((kRecordMagic >> 24) & 0xFF)};
+  const std::string magic_str(magic_bytes, 4);
+
+  for (std::uint64_t seq : seqs) {
+    const std::string path = opts_.dir + "/" + SegmentName(seq);
+    std::string file;
+    try {
+      M3_FAULT_POINT(kPersistReadFaultSite);
+      std::ifstream is(path, std::ios::binary | std::ios::ate);
+      if (!is) throw std::runtime_error("open failed");
+      const std::streamoff size = is.tellg();
+      if (size < 0) throw std::runtime_error("stat failed");
+      file.resize(static_cast<std::size_t>(size));
+      is.seekg(0);
+      is.read(file.data(), size);
+      if (!is) throw std::runtime_error("short read");
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.records_corrupt;
+      continue;
+    }
+
+    // Recovery ladder, per record:
+    //   bad segment header            -> count, skip segment
+    //   bad record magic / wild len   -> count, resync-scan for next magic
+    //   len past end of file          -> count, stop (truncated tail)
+    //   CRC / value-hash / kind fail  -> count, skip to claimed boundary
+    if (file.size() < kSegmentHeaderSize ||
+        Get<std::uint32_t>(file.data()) != kSegmentMagic ||
+        Get<std::uint32_t>(file.data() + 4) != kFormatVersion) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.records_corrupt;
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.segments_loaded;
+    }
+
+    std::size_t pos = kSegmentHeaderSize;
+    while (pos < file.size()) {
+      if (file.size() - pos < kRecordHeaderSize) {  // truncated frame header
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.records_corrupt;
+        break;
+      }
+      const std::uint32_t magic = Get<std::uint32_t>(file.data() + pos);
+      const std::uint32_t len = Get<std::uint32_t>(file.data() + pos + 4);
+      const std::uint32_t crc = Get<std::uint32_t>(file.data() + pos + 8);
+      if (magic != kRecordMagic || len < kPayloadPrefixSize ||
+          len > kMaxPayloadBytes) {
+        // Hostile or damaged framing: resync by scanning for the next
+        // record magic so one bad header costs one record, not the tail.
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.records_corrupt;
+        }
+        const std::size_t next = file.find(magic_str, pos + 1);
+        if (next == std::string::npos) break;
+        pos = next;
+        continue;
+      }
+      if (len > file.size() - pos - kRecordHeaderSize) {  // truncated tail
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.records_corrupt;
+        break;
+      }
+      const char* payload = file.data() + pos + kRecordHeaderSize;
+      const std::size_t next_pos = pos + kRecordHeaderSize + len;
+      if (ml::Crc32(payload, len) != crc) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.records_corrupt;
+        pos = next_pos;
+        continue;
+      }
+      const auto kind_raw = static_cast<std::uint8_t>(payload[0]);
+      Hash128 digest{Get<std::uint64_t>(payload + 1), Get<std::uint64_t>(payload + 9)};
+      Hash128 key{Get<std::uint64_t>(payload + 17), Get<std::uint64_t>(payload + 25)};
+      Hash128 vhash{Get<std::uint64_t>(payload + 33), Get<std::uint64_t>(payload + 41)};
+      const std::string value(payload + kPayloadPrefixSize,
+                              len - kPayloadPrefixSize);
+      // Second integrity gate past CRC32: the value's own 128-bit content
+      // hash, recomputed here. A record passes both or serves nothing.
+      const Hash128 vcheck = HashBytes(value.data(), value.size());
+      if (kind_raw < 1 || kind_raw > 3 || vcheck.hi != vhash.hi ||
+          vcheck.lo != vhash.lo) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.records_corrupt;
+        pos = next_pos;
+        continue;
+      }
+      Recovered outcome = Recovered::kCorrupt;
+      try {
+        outcome = fn(static_cast<CacheKind>(kind_raw), digest, key, value);
+      } catch (...) {
+        outcome = Recovered::kCorrupt;  // recovery must never throw upward
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        switch (outcome) {
+          case Recovered::kLoaded: ++stats_.entries_loaded; break;
+          case Recovered::kDigestMismatch: ++stats_.digest_dropped; break;
+          case Recovered::kCorrupt: ++stats_.records_corrupt; break;
+        }
+      }
+      pos = next_pos;
+    }
+  }
+}
+
+PersistStats CachePersister::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PersistStats s = stats_;
+  s.flush_backlog = pending_.size();
+  return s;
+}
+
+}  // namespace m3::serve

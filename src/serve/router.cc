@@ -20,6 +20,11 @@ using Clock = std::chrono::steady_clock;
 
 constexpr double kInfSeconds = std::numeric_limits<double>::infinity();
 
+// Same injection site as the service's caches: an armed "serve/cache_lookup"
+// fault makes router cache lookups fail, and the query must fall through to
+// a plain scatter (same answer, no reuse).
+constexpr const char* kCacheFaultSite = "serve/cache_lookup";
+
 double Elapsed(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
@@ -33,7 +38,10 @@ bool HasWeight(const PathEstimate& pe) {
 
 }  // namespace
 
-Router::Router(const RouterOptions& opts) : opts_(opts), topos_(opts.topo_memo_entries) {}
+Router::Router(const RouterOptions& opts)
+    : opts_(opts),
+      topos_(opts.topo_memo_entries),
+      path_cache_(opts.path_cache_entries, kCacheFaultSite) {}
 
 Router::~Router() { Stop(); }
 
@@ -59,6 +67,25 @@ Status Router::Start() {
   }
   shards_ = std::move(shards);
   ring_ = std::make_unique<HashRing>(names, opts_.vnodes);
+  // Durable router cache: validate + lock the directory before probing so a
+  // bad --cache-dir fails Start with a clear status.
+  bool first_persist_start = false;
+  if (!opts_.cache_dir.empty() && opts_.path_cache_entries > 0) {
+    if (!dir_lock_.held()) {
+      M3_RETURN_IF_ERROR(AcquireCacheDir(opts_.cache_dir, &dir_lock_));
+    }
+    if (persister_ == nullptr) {
+      PersistOptions popts;
+      popts.dir = opts_.cache_dir;
+      popts.flush_interval_seconds = opts_.cache_flush_interval_seconds;
+      persister_ = std::make_unique<CachePersister>(popts);
+      first_persist_start = true;
+    }
+    if (Status st = persister_->Start(); !st.ok()) {
+      if (first_persist_start) persister_.reset();
+      return st.Annotate("cache persistence");
+    }
+  }
   // Synchronous first probe round (parallel: a down shard costs one connect
   // timeout, not one per shard): a query issued right after Start() must
   // see the shards that are already up, not wait out a health interval.
@@ -74,7 +101,59 @@ Status Router::Start() {
     stopping_ = false;
   }
   prober_ = std::thread([this] { HealthLoop(); });
+  // Recovery runs after the synchronous probe round (the fleet's model CRC
+  // is the validity guard) and concurrently with serving: readiness never
+  // waits on disk. Only the first Start replays.
+  if (first_persist_start) {
+    std::lock_guard<std::mutex> lock(recovery_mu_);
+    recovery_ = std::thread([this] { RecoverPersistedCache(); });
+  }
   return Status::Ok();
+}
+
+Status Router::FlushPersistNow() {
+  if (persister_ == nullptr) return Status::Ok();
+  return persister_->FlushNow();
+}
+
+void Router::WaitForPersistRecovery() {
+  std::lock_guard<std::mutex> lock(recovery_mu_);
+  if (recovery_.joinable()) recovery_.join();
+}
+
+std::pair<std::uint64_t, std::uint32_t> Router::FleetModel() const {
+  std::uint64_t mv = 0;
+  std::uint32_t crc = 0;
+  for (const auto& s : shards_) {
+    if (!s->healthy.load(std::memory_order_relaxed)) continue;
+    const std::uint64_t v = s->model_version.load(std::memory_order_relaxed);
+    const std::uint32_t c = s->model_crc.load(std::memory_order_relaxed);
+    // Highest version wins; with equal versions any healthy shard's CRC
+    // serves (a converged fleet agrees on it).
+    if (v > mv || (crc == 0 && c != 0)) {
+      mv = std::max(mv, v);
+      crc = c;
+    }
+  }
+  return {mv, crc};
+}
+
+void Router::RecoverPersistedCache() {
+  const std::uint32_t fleet_crc = FleetModel().second;
+  persister_->Recover([this, fleet_crc](CacheKind kind, const Hash128& /*digest*/,
+                                        const Hash128& key, const std::string& value)
+                          -> CachePersister::Recovered {
+    if (kind != CacheKind::kRouterPath) return CachePersister::Recovered::kCorrupt;
+    StatusOr<RouterPathValue> rv = DecodeRouterPathValue(value);
+    if (!rv.ok()) return CachePersister::Recovered::kCorrupt;
+    // No healthy shard at boot (crc 0) or a model swap across the restart:
+    // the entry cannot be validated against the live fleet — drop it.
+    if (fleet_crc == 0 || rv->model_crc != fleet_crc) {
+      return CachePersister::Recovered::kDigestMismatch;
+    }
+    path_cache_.Insert(key, std::move(*rv));
+    return CachePersister::Recovered::kLoaded;
+  });
 }
 
 void Router::Stop() {
@@ -89,6 +168,9 @@ void Router::Stop() {
     std::lock_guard<std::mutex> lock(s->pool_mu);
     s->pool.clear();
   }
+  WaitForPersistRecovery();
+  // Final drain flush so a clean shutdown persists everything it gathered.
+  if (persister_ != nullptr) persister_->Stop();
   std::lock_guard<std::mutex> lock(mu_);
   started_ = false;
   stopping_ = false;
@@ -125,6 +207,9 @@ void Router::ProbeShard(Shard& s) {
         if (StatusOr<PingResponse> p = DecodePingResponse(f->payload); p.ok()) {
           ready = p->ready;
           s.model_version.store(p->model_version, std::memory_order_relaxed);
+          if (p->model_crc != 0) {
+            s.model_crc.store(p->model_crc, std::memory_order_relaxed);
+          }
         }
       }
     }
@@ -297,6 +382,30 @@ QueryResponse Router::Query(const QueryRequest& req) {
     }
   };
 
+  // ---- router result cache, consulted before scatter ----
+  // A slot answered here never touches the fleet, so freshly restarted
+  // shards are not re-colded by the full working set. Entries are only
+  // valid while their model *content CRC* matches the live fleet's (the
+  // registry version is per-process and cannot survive a shard restart).
+  std::uint64_t router_cache_hits = 0;
+  const std::pair<std::uint64_t, std::uint32_t> fleet_model = FleetModel();
+  const std::uint32_t fleet_crc = fleet_model.second;
+  const bool cache_on = !req.no_cache && path_cache_.capacity() > 0 && fleet_crc != 0;
+  if (cache_on) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::optional<RouterPathValue> hit;
+      try {
+        hit = path_cache_.Lookup(keys[i]);
+      } catch (const FaultInjected&) {
+        break;  // injected cache outage: serve this query by plain scatter
+      }
+      if (hit && hit->model_crc == fleet_crc) {
+        got[i] = hit->estimate;
+        ++router_cache_hits;
+      }
+    }
+  }
+
   struct Dispatch {
     int shard = -1;
     std::vector<std::uint32_t> slots;
@@ -306,6 +415,12 @@ QueryResponse Router::Query(const QueryRequest& req) {
     std::map<int, std::vector<std::uint32_t>> groups;
     for (std::size_t i = 0; i < n; ++i) {
       report[static_cast<std::size_t>(pref[i][0])].slots_assigned++;
+      if (got[i]) {
+        // Served from the router cache; attribute the slot to its primary
+        // ring owner so sums over slots_* still equal num_paths.
+        report[static_cast<std::size_t>(pref[i][0])].slots_ok++;
+        continue;
+      }
       int c = -1;
       for (std::size_t k = 0; k < pref[i].size(); ++k) {
         if (avail[static_cast<std::size_t>(pref[i][k])]) {
@@ -324,11 +439,19 @@ QueryResponse Router::Query(const QueryRequest& req) {
   }
 
   DegradationReport rep;
+  rep.paths_cached += router_cache_hits;
   std::string shard_error;  // first transport/infra failure, for annotation
   Status strict_abort;      // strict mode: a shard's own error aborts the query
   bool deadline_hit = false;
   std::uint64_t model_version = 0;
   std::uint32_t model_crc = 0;
+  if (router_cache_hits > 0) {
+    // Cache-served slots carry the fleet's model identity; without this a
+    // fully-cached answer would report model v0, breaking bitwise identity
+    // with the recomputed response's metadata.
+    model_version = fleet_model.first;
+    model_crc = fleet_model.second;
+  }
   const bool has_deadline = req.deadline_seconds > 0.0;
   const auto remaining = [&]() -> double {
     return has_deadline ? req.deadline_seconds - Elapsed(t0) : kInfSeconds;
@@ -410,10 +533,28 @@ QueryResponse Router::Query(const QueryRequest& req) {
           }
           std::vector<char> in_group(n, 0);
           for (std::uint32_t slot : disp.slots) in_group[slot] = 1;
+          // Only a *strictly* kOk sub-answer may populate the router cache:
+          // degraded/browned-out shard answers would otherwise be replayed
+          // as full-quality hits for the cache's lifetime.
+          const bool cacheable = cache_on && r.status.ok() && r.model_crc != 0;
           for (const SlotEstimateWire& e : r.estimates) {
             if (e.slot < n && in_group[e.slot] && !got[e.slot]) {
               got[e.slot] = e.estimate;
               report[static_cast<std::size_t>(disp.shard)].slots_ok++;
+              if (cacheable) {
+                RouterPathValue rv;
+                rv.model_version = r.model_version;
+                rv.model_crc = r.model_crc;
+                rv.estimate = e.estimate;
+                std::string blob;
+                if (persister_ != nullptr) blob = EncodeRouterPathValue(rv);
+                if (path_cache_.Insert(keys[e.slot], std::move(rv)) && persister_ != nullptr) {
+                  // Zero digest term, matching the placement key; validity
+                  // is carried by the CRC inside the value.
+                  persister_->Enqueue(CacheKind::kRouterPath, Hash128{}, keys[e.slot],
+                                      std::move(blob));
+                }
+              }
             }
           }
           // Merge the shard's ladder accounting. Its *dropped* slots are
@@ -622,6 +763,7 @@ PingResponse Router::Ping() const {
     }
   }
   p.model_version = mv;
+  p.model_crc = FleetModel().second;
   p.ready = p.shards_healthy > 0;
   return p;
 }
@@ -653,6 +795,25 @@ ServerStatsWire Router::Stats() const {
     st.shards.push_back(std::move(h));
   }
   st.model_version = mv;
+  st.model_crc = FleetModel().second;
+  {
+    const CacheStats c = path_cache_.stats();
+    st.path_cache[0] = c.hits;
+    st.path_cache[1] = c.misses;
+    st.path_cache[2] = c.inserts;
+    st.path_cache[3] = c.evictions;
+    st.path_cache[4] = c.entries;
+  }
+  if (persister_ != nullptr) {
+    const PersistStats p = persister_->stats();
+    st.persist_enabled = true;
+    st.persist_segments_loaded = p.segments_loaded;
+    st.persist_entries_loaded = p.entries_loaded;
+    st.persist_entries_flushed = p.entries_flushed;
+    st.persist_records_corrupt = p.records_corrupt;
+    st.persist_digest_dropped = p.digest_dropped;
+    st.persist_flush_backlog = p.flush_backlog;
+  }
   return st;
 }
 

@@ -48,7 +48,9 @@
 #include <thread>
 #include <vector>
 
+#include "serve/cache.h"
 #include "serve/exec.h"
+#include "serve/persist.h"
 #include "serve/shardmap.h"
 #include "serve/wire.h"
 #include "util/socket.h"
@@ -77,6 +79,15 @@ struct RouterOptions {
   std::size_t topo_memo_entries = 8;
   // Idle connections kept per shard between queries.
   std::size_t pool_per_shard = 4;
+  // Router-side per-path result cache: merged slot estimates keyed by the
+  // same zero-digest PathCacheKey used for ring placement, consulted
+  // before scatter so shard restarts don't re-cold the fleet. Entries are
+  // validated by model *content CRC* (learned from shard pings), which
+  // survives restarts. 0 disables it.
+  std::size_t path_cache_entries = 4096;
+  // Durable-cache directory (serve/persist.h). Empty disables persistence.
+  std::string cache_dir;
+  double cache_flush_interval_seconds = 2.0;
 };
 
 class Router {
@@ -109,6 +120,13 @@ class Router {
 
   std::size_t num_shards() const { return shards_.size(); }
 
+  /// Synchronously spills everything queued for persistence (no-op without
+  /// cache_dir). Test/shutdown hook.
+  Status FlushPersistNow();
+  /// Blocks until boot-time cache recovery has finished (no-op without
+  /// cache_dir). Test hook.
+  void WaitForPersistRecovery();
+
  private:
   struct Shard {
     Endpoint ep;
@@ -116,6 +134,7 @@ class Router {
     ShardBreaker breaker;
     std::atomic<bool> healthy{false};
     std::atomic<std::uint64_t> model_version{0};
+    std::atomic<std::uint32_t> model_crc{0};  // content CRC from v4 pings
     // Cumulative counters (ShardHealthWire).
     std::atomic<std::uint64_t> dispatches{0};
     std::atomic<std::uint64_t> failures{0};
@@ -145,10 +164,27 @@ class Router {
   void ProbeShard(Shard& s);
   void HealthLoop();
 
+  /// The fleet's current model identity: (version, param CRC) of the
+  /// highest-versioned healthy shard; (0, 0) when none is healthy.
+  std::pair<std::uint64_t, std::uint32_t> FleetModel() const;
+
+  /// Boot-time durable-cache replay (recovery_ thread, concurrent with
+  /// serving): entries whose model CRC differs from the live fleet's are
+  /// dropped; runs after Start's synchronous probe round so the CRC is
+  /// known.
+  void RecoverPersistedCache();
+
   const RouterOptions opts_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<HashRing> ring_;
   mutable TopoMemo topos_;
+
+  // Router-side per-path result cache + its durable spill.
+  mutable LruCache<RouterPathValue> path_cache_;
+  std::unique_ptr<CachePersister> persister_;
+  CacheDirLock dir_lock_;
+  std::mutex recovery_mu_;
+  std::thread recovery_;
 
   std::thread prober_;
   mutable std::mutex mu_;  // started_/stopping_ + prober wakeup

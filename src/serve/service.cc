@@ -99,14 +99,48 @@ Status EstimationService::Start() {
     // returns the same kInvalidArgument the scheduler check would.
     M3_RETURN_IF_ERROR(supervisor_->Start());
   }
-  std::lock_guard<std::mutex> lock(queue_mu_);
-  if (running_) return Status::InvalidArgument("service already running");
-  running_ = true;
-  stopping_ = false;
-  const int n = std::max(1, opts_.num_workers);
-  workers_.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+  // Durable caches: validate + lock the directory and start the flusher
+  // before any worker can compute (so the first fresh entry can spill).
+  // A bad --cache-dir fails Start with a clear status instead of failing
+  // the first background flush.
+  bool first_persist_start = false;
+  if (!opts_.cache_dir.empty()) {
+    if (!dir_lock_.held()) {
+      if (Status st = AcquireCacheDir(opts_.cache_dir, &dir_lock_); !st.ok()) {
+        if (supervisor_ != nullptr) supervisor_->Stop();
+        return st;
+      }
+    }
+    if (persister_ == nullptr) {
+      PersistOptions popts;
+      popts.dir = opts_.cache_dir;
+      popts.flush_interval_seconds = opts_.cache_flush_interval_seconds;
+      persister_ = std::make_unique<CachePersister>(popts);
+      first_persist_start = true;
+    }
+    if (Status st = persister_->Start(); !st.ok()) {
+      if (first_persist_start) persister_.reset();
+      if (supervisor_ != nullptr) supervisor_->Stop();
+      return st.Annotate("cache persistence");
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (running_) return Status::InvalidArgument("service already running");
+    running_ = true;
+    stopping_ = false;
+    const int n = std::max(1, opts_.num_workers);
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+  // Recovery replays surviving segments *concurrently with serving*:
+  // readiness never waits on disk. Only the first Start replays — a
+  // Stop/Start cycle keeps its in-memory caches.
+  if (first_persist_start) {
+    std::lock_guard<std::mutex> lock(recovery_mu_);
+    recovery_ = std::thread([this] { RecoverPersistedCaches(); });
   }
   return Status::Ok();
 }
@@ -131,6 +165,55 @@ void EstimationService::Stop() {
   // The scheduler is drained (every accepted query answered), so no
   // Execute() is in flight on the pool.
   if (supervisor_ != nullptr) supervisor_->Stop();
+  WaitForPersistRecovery();
+  // Final drain flush so a clean shutdown persists everything it computed.
+  if (persister_ != nullptr) persister_->Stop();
+}
+
+Status EstimationService::FlushPersistNow() {
+  if (persister_ == nullptr) return Status::Ok();
+  return persister_->FlushNow();
+}
+
+void EstimationService::WaitForPersistRecovery() {
+  std::lock_guard<std::mutex> lock(recovery_mu_);
+  if (recovery_.joinable()) recovery_.join();
+}
+
+void EstimationService::RecoverPersistedCaches() {
+  // The snapshot is pinned once for the whole replay: recovered entries
+  // must match the model this process serves, not whatever it may reload
+  // into later (a reload changes the digest, so stale keys simply miss).
+  const std::shared_ptr<const ModelSnapshot> snap = registry_.Current();
+  persister_->Recover([this, &snap](CacheKind kind, const Hash128& digest,
+                                    const Hash128& key, const std::string& value)
+                          -> CachePersister::Recovered {
+    if (snap == nullptr || !(digest == snap->digest)) {
+      return CachePersister::Recovered::kDigestMismatch;
+    }
+    switch (kind) {
+      case CacheKind::kQuery: {
+        StatusOr<QueryResponse> qr = DecodeQueryResponse(value);
+        // Only full-quality kOk answers were ever written; anything else
+        // surviving the framing checks is still not servable.
+        if (!qr.ok() || !qr->status.ok()) return CachePersister::Recovered::kCorrupt;
+        qr->model_version = snap->version;
+        qr->model_crc = snap->param_crc;
+        query_cache_.Insert(key, std::move(*qr));
+        return CachePersister::Recovered::kLoaded;
+      }
+      case CacheKind::kPath: {
+        StatusOr<PathEstimate> pe = DecodePathEstimateValue(value);
+        if (!pe.ok()) return CachePersister::Recovered::kCorrupt;
+        path_cache_.Insert(key, std::move(*pe));
+        return CachePersister::Recovered::kLoaded;
+      }
+      default:
+        // kRouterPath (or an unknown kind) does not belong to a daemon's
+        // directory; directory locking should make this unreachable.
+        return CachePersister::Recovered::kCorrupt;
+    }
+  });
 }
 
 std::size_t EstimationService::QueueDepthLocked() const {
@@ -419,6 +502,12 @@ ShardQueryResponse EstimationService::ExecuteShard(const ShardQueryRequest& req)
   ctx.topos = &topos_;
   ctx.path_cache = opts_.path_cache_entries > 0 ? &path_cache_ : nullptr;
   ctx.threads_per_query = opts_.threads_per_query;
+  if (persister_ != nullptr) {
+    ctx.persist_path = [this](const Hash128& key, const Hash128& digest,
+                              const PathEstimate& pe) {
+      persister_->Enqueue(CacheKind::kPath, digest, key, EncodePathEstimateValue(pe));
+    };
+  }
   resp = ExecuteShardOnSnapshot(req, *snap, ctx);
   (IsAnsweredCode(resp.status.code()) ? queries_ok_ : queries_failed_)
       .fetch_add(1, std::memory_order_relaxed);
@@ -458,12 +547,21 @@ QueryResponse EstimationService::Execute(const QueryRequest& req) {
   }
 
   if (supervisor_ != nullptr) {
+    // Worker subprocesses keep private path caches that die with them;
+    // only the daemon-level query cache (below) persists in this mode.
     resp = supervisor_->Execute(req);
   } else {
     ExecContext ctx;
     ctx.topos = &topos_;
     ctx.path_cache = opts_.path_cache_entries > 0 ? &path_cache_ : nullptr;
     ctx.threads_per_query = opts_.threads_per_query;
+    if (persister_ != nullptr) {
+      ctx.persist_path = [this](const Hash128& key, const Hash128& digest,
+                                const PathEstimate& pe) {
+        persister_->Enqueue(CacheKind::kPath, digest, key,
+                            EncodePathEstimateValue(pe));
+      };
+    }
     resp = ExecuteQueryOnSnapshot(req, *snap, ctx);
   }
 
@@ -477,7 +575,15 @@ QueryResponse EstimationService::Execute(const QueryRequest& req) {
   // cached under the new digest's key.
   if (resp.status.ok() && !req.no_cache && resp.model_version == snap->version) {
     QueryResponse cached = resp;  // stats/hit-flag fields stay default
-    query_cache_.Insert(query_key, std::move(cached));
+    // Encode before the move; Insert's return gates the spill so refreshes
+    // (and recovered entries) are never written twice.
+    std::string blob;
+    if (persister_ != nullptr) blob = EncodeQueryResponse(cached);
+    if (query_cache_.Insert(query_key, std::move(cached)) &&
+        persister_ != nullptr) {
+      persister_->Enqueue(CacheKind::kQuery, snap->digest, query_key,
+                          std::move(blob));
+    }
   }
   resp.stats = Stats();
   return resp;
@@ -527,13 +633,26 @@ ServerStatsWire EstimationService::Stats() const {
     s.breaker_open = w.breaker_open;
     s.quarantined_digests = w.quarantined_digests;
   }
+  if (persister_ != nullptr) {
+    const PersistStats p = persister_->stats();
+    s.persist_enabled = true;
+    s.persist_segments_loaded = p.segments_loaded;
+    s.persist_entries_loaded = p.entries_loaded;
+    s.persist_entries_flushed = p.entries_flushed;
+    s.persist_records_corrupt = p.records_corrupt;
+    s.persist_digest_dropped = p.digest_dropped;
+    s.persist_flush_backlog = p.flush_backlog;
+  }
   return s;
 }
 
 PingResponse EstimationService::Ping() const {
   PingResponse p;
   const auto snap = registry_.Current();
-  if (snap != nullptr) p.model_version = snap->version;
+  if (snap != nullptr) {
+    p.model_version = snap->version;
+    p.model_crc = snap->param_crc;
+  }
   if (supervisor_ != nullptr) {
     p.worker_mode = true;
     p.workers_alive = supervisor_->stats().alive;

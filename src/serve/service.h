@@ -40,6 +40,7 @@
 
 #include "serve/cache.h"
 #include "serve/exec.h"
+#include "serve/persist.h"
 #include "serve/registry.h"
 #include "serve/supervisor.h"
 #include "serve/wire.h"
@@ -94,6 +95,16 @@ struct ServiceOptions {
   // How long a brownout level is held after the pressure signal stops;
   // bounds recovery time back to full quality.
   double brownout_hold_seconds = 2.0;
+
+  // ---- Durable result caches (DESIGN.md §14) ----
+  // Directory for append-only cache segments. Empty (default) disables
+  // persistence entirely. Start() validates it (create-if-missing, reject
+  // unwritable, refuse a directory another live daemon holds locked) and
+  // recovers any surviving warm set concurrently with serving.
+  std::string cache_dir;
+  // Background flusher wakeup period; each round spills only entries
+  // inserted since the last one (bounded write amplification).
+  double cache_flush_interval_seconds = 2.0;
 };
 
 class EstimationService {
@@ -165,6 +176,14 @@ class EstimationService {
   /// Drops only the whole-query cache (lets tests drive path-cache hits).
   void ClearQueryCache();
 
+  /// Synchronously spills everything queued for persistence (no-op without
+  /// --cache-dir). Test/shutdown hook; the background flusher normally
+  /// handles this on its interval.
+  Status FlushPersistNow();
+  /// Blocks until boot-time cache recovery (which runs concurrent with
+  /// serving) has finished. Test hook; no-op without --cache-dir.
+  void WaitForPersistRecovery();
+
   ModelRegistry& registry() { return registry_; }
   const ServiceOptions& options() const { return opts_; }
 
@@ -225,12 +244,22 @@ class EstimationService {
   /// Circuit-breaker trip handler: rolls back to the last good snapshot
   /// when the freshly published model is the one killing workers.
   void OnBreakerTrip(const Hash128& digest);
+  /// Boot-time durable-cache replay (runs on recovery_, concurrent with
+  /// serving): decodes each surviving record, drops entries whose model
+  /// digest no longer matches the registry, inserts the rest.
+  void RecoverPersistedCaches();
 
   const ServiceOptions opts_;
   ModelRegistry registry_;
   LruCache<QueryResponse> query_cache_;
   LruCache<PathEstimate> path_cache_;
   std::unique_ptr<WorkerSupervisor> supervisor_;  // null in in-process mode
+
+  // Durable-cache persistence (null / unheld without --cache-dir).
+  std::unique_ptr<CachePersister> persister_;
+  CacheDirLock dir_lock_;
+  std::mutex recovery_mu_;  // guards recovery_ join
+  std::thread recovery_;
 
   // Serializes reload/rollback decisions (quarantine check + publish must
   // be atomic against each other); also guards last_good_.

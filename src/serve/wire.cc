@@ -387,8 +387,22 @@ void EncodeStatsBody(Writer& w, const ServerStatsWire& s, std::uint32_t v) {
     w.U32(s.brownout_level);
     w.F64(s.in_flight_cost);
     w.F64(s.cost_budget);
+    // Persistence tail (v4 additive): appended last so decoders written
+    // before it see a clean end-of-body, and this decoder length-gates it.
+    w.Bool(s.persist_enabled);
+    w.U64(s.persist_segments_loaded);
+    w.U64(s.persist_entries_loaded);
+    w.U64(s.persist_entries_flushed);
+    w.U64(s.persist_records_corrupt);
+    w.U64(s.persist_digest_dropped);
+    w.U64(s.persist_flush_backlog);
   }
 }
+
+// Size of the v4 persistence tail: enabled bool + 6 u64 counters. The
+// stats body is always the last element of its payload, so remaining()
+// tells us whether the peer's build had it.
+constexpr std::size_t kPersistTailBytes = 1 + 6 * 8;
 
 Status DecodeStatsBody(Reader& r, ServerStatsWire* s, std::uint32_t v) {
   M3_RETURN_IF_ERROR(r.U64(&s->queries_received));
@@ -444,6 +458,15 @@ Status DecodeStatsBody(Reader& r, ServerStatsWire* s, std::uint32_t v) {
     M3_RETURN_IF_ERROR(r.U32(&s->brownout_level));
     M3_RETURN_IF_ERROR(r.F64(&s->in_flight_cost));
     M3_RETURN_IF_ERROR(r.F64(&s->cost_budget));
+    if (r.remaining() >= kPersistTailBytes) {
+      M3_RETURN_IF_ERROR(r.Bool(&s->persist_enabled));
+      M3_RETURN_IF_ERROR(r.U64(&s->persist_segments_loaded));
+      M3_RETURN_IF_ERROR(r.U64(&s->persist_entries_loaded));
+      M3_RETURN_IF_ERROR(r.U64(&s->persist_entries_flushed));
+      M3_RETURN_IF_ERROR(r.U64(&s->persist_records_corrupt));
+      M3_RETURN_IF_ERROR(r.U64(&s->persist_digest_dropped));
+      M3_RETURN_IF_ERROR(r.U64(&s->persist_flush_backlog));
+    }
   }
   return Status::Ok();
 }
@@ -656,8 +679,9 @@ Status DecodePingRequest(const std::string& payload) {
 }
 
 std::string EncodePingResponse(const PingResponse& resp, std::uint32_t version) {
+  const std::uint32_t v = ClampVersion(version);
   Writer w;
-  w.U32(ClampVersion(version));
+  w.U32(v);
   w.Bool(resp.ready);
   w.Bool(resp.worker_mode);
   w.U64(resp.model_version);
@@ -665,6 +689,7 @@ std::string EncodePingResponse(const PingResponse& resp, std::uint32_t version) 
   w.Bool(resp.router_mode);
   w.U32(resp.shards_healthy);
   w.U32(resp.shards_total);
+  if (v >= 4) w.U32(resp.model_crc);
   return w.Take();
 }
 
@@ -680,6 +705,8 @@ StatusOr<PingResponse> DecodePingResponse(const std::string& payload) {
   M3_RETURN_IF_ERROR(r.Bool(&resp.router_mode));
   M3_RETURN_IF_ERROR(r.U32(&resp.shards_healthy));
   M3_RETURN_IF_ERROR(r.U32(&resp.shards_total));
+  // model_crc is a v4 additive tail: absent from older v4 builds' payloads.
+  if (v >= 4 && r.remaining() >= 4) M3_RETURN_IF_ERROR(r.U32(&resp.model_crc));
   M3_RETURN_IF_ERROR(r.ExpectEnd());
   return resp;
 }
@@ -761,6 +788,44 @@ StatusOr<ShardQueryResponse> DecodeShardQueryResponse(const std::string& payload
   }
   M3_RETURN_IF_ERROR(r.ExpectEnd());
   return resp;
+}
+
+std::string EncodePathEstimateValue(const PathEstimate& pe, std::uint32_t version) {
+  Writer w;
+  w.U32(ClampVersion(version));
+  EncodePathEstimate(w, pe);
+  return w.Take();
+}
+
+StatusOr<PathEstimate> DecodePathEstimateValue(const std::string& payload) {
+  Reader r(payload);
+  std::uint32_t v;
+  M3_RETURN_IF_ERROR(ReadVersion(r, &v));
+  PathEstimate pe{};
+  M3_RETURN_IF_ERROR(DecodePathEstimate(r, &pe));
+  M3_RETURN_IF_ERROR(r.ExpectEnd());
+  return pe;
+}
+
+std::string EncodeRouterPathValue(const RouterPathValue& rv, std::uint32_t version) {
+  Writer w;
+  w.U32(ClampVersion(version));
+  w.U64(rv.model_version);
+  w.U32(rv.model_crc);
+  EncodePathEstimate(w, rv.estimate);
+  return w.Take();
+}
+
+StatusOr<RouterPathValue> DecodeRouterPathValue(const std::string& payload) {
+  Reader r(payload);
+  std::uint32_t v;
+  M3_RETURN_IF_ERROR(ReadVersion(r, &v));
+  RouterPathValue rv;
+  M3_RETURN_IF_ERROR(r.U64(&rv.model_version));
+  M3_RETURN_IF_ERROR(r.U32(&rv.model_crc));
+  M3_RETURN_IF_ERROR(DecodePathEstimate(r, &rv.estimate));
+  M3_RETURN_IF_ERROR(r.ExpectEnd());
+  return rv;
 }
 
 Hash128 QueryCacheKey(const QueryRequest& req, const Hash128& model_digest) {

@@ -209,6 +209,15 @@ struct ServerStatsWire {
   std::uint32_t brownout_level = 0;    // current gauge (0 = full quality)
   double in_flight_cost = 0.0;         // admitted-but-unanswered cost units
   double cost_budget = 0.0;            // admission budget (0 = derived)
+  // Durable-cache persistence (v4 additive tail; zero when the peer
+  // predates it or runs without --cache-dir). See serve/persist.h.
+  bool persist_enabled = false;
+  std::uint64_t persist_segments_loaded = 0;
+  std::uint64_t persist_entries_loaded = 0;
+  std::uint64_t persist_entries_flushed = 0;
+  std::uint64_t persist_records_corrupt = 0;
+  std::uint64_t persist_digest_dropped = 0;
+  std::uint64_t persist_flush_backlog = 0;
 };
 
 /// Per-shard attribution for one answer assembled by m3d-router (empty when
@@ -292,6 +301,11 @@ struct PingResponse {
   bool router_mode = false;
   std::uint32_t shards_healthy = 0;
   std::uint32_t shards_total = 0;
+  // Content CRC of the served model parameters (v4 additive tail; zero
+  // from older peers). Unlike model_version — a per-process load counter —
+  // this survives restarts, so the router uses it to validate persisted
+  // per-path cache entries against the live fleet.
+  std::uint32_t model_crc = 0;
 };
 
 struct ReloadResponse {
@@ -353,6 +367,27 @@ StatusOr<ShardQueryRequest> DecodeShardQueryRequest(const std::string& payload);
 std::string EncodeShardQueryResponse(const ShardQueryResponse& resp,
                                      std::uint32_t version = kWireVersion);
 StatusOr<ShardQueryResponse> DecodeShardQueryResponse(const std::string& payload);
+
+// ----- persisted cache values (serve/persist.h segment payloads) -----
+
+/// Standalone PathEstimate codec for the durable per-path cache. Same
+/// field order as the in-response encoding; versioned like every payload.
+std::string EncodePathEstimateValue(const PathEstimate& pe,
+                                    std::uint32_t version = kWireVersion);
+StatusOr<PathEstimate> DecodePathEstimateValue(const std::string& payload);
+
+/// A router-side persisted per-path result: the estimate plus the model
+/// identity it was computed under. `model_crc` (content-derived) is the
+/// cross-restart validity guard; `model_version` is advisory diagnostics.
+struct RouterPathValue {
+  std::uint64_t model_version = 0;
+  std::uint32_t model_crc = 0;
+  PathEstimate estimate{};
+};
+
+std::string EncodeRouterPathValue(const RouterPathValue& v,
+                                  std::uint32_t version = kWireVersion);
+StatusOr<RouterPathValue> DecodeRouterPathValue(const std::string& payload);
 
 // ----- cache keys -----
 

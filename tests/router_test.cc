@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -712,6 +713,82 @@ TEST(RouterChaos, FleetRecoveryReclosesBreakersAndRestoresFullQuality) {
 TEST(RouterChaos, RouterStartRequiresShards) {
   Router router(RouterOptions{});
   EXPECT_EQ(router.Start().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RouterChaos, RouterCacheServesRepeatsAndSurvivesRestart) {
+  const std::vector<std::string> paths = FleetPaths("rc_warm", 2);
+  TestShard shards[2];
+  for (int i = 0; i < 2; ++i) shards[i].Start(paths[i]);
+
+  const std::string cache_dir = ::testing::TempDir() + "/rc_warm_cache";
+  std::filesystem::remove_all(cache_dir);
+  RouterOptions ro = FastRouterOptions(paths);
+  ro.cache_dir = cache_dir;
+  ro.cache_flush_interval_seconds = 60.0;  // the test flushes explicitly
+
+  const QueryRequest req = FleetQuery(5);
+  QueryResponse first;
+  {
+    Router router(ro);
+    ASSERT_TRUE(router.Start().ok());
+    router.WaitForPersistRecovery();
+    first = router.Query(req);
+    ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+    EXPECT_EQ(first.degradation.paths_cached, 0);
+
+    // Identical repeat: every slot answered from the router cache, no
+    // scatter, bitwise identical to the scattered answer.
+    const QueryResponse repeat = router.Query(req);
+    ASSERT_TRUE(repeat.status.ok());
+    ExpectBitwiseEqual(first, repeat);
+    EXPECT_EQ(repeat.degradation.paths_cached, 5);
+    EXPECT_EQ(repeat.degradation.paths_ok, 0);
+    // A fully-cached answer must still carry the fleet's model identity,
+    // not a zero version/crc from the skipped scatter.
+    EXPECT_NE(first.model_crc, 0u);
+    EXPECT_EQ(repeat.model_version, first.model_version);
+    EXPECT_EQ(repeat.model_crc, first.model_crc);
+
+    ASSERT_TRUE(router.FlushPersistNow().ok());
+    EXPECT_GE(router.Stats().persist_entries_flushed, 5u);
+    router.Stop();
+  }
+
+  // Router restart, same directory, same fleet: the warm set comes back
+  // (validated against the fleet's model CRC) and the first query after
+  // boot is already fully cache-served.
+  {
+    Router router(ro);
+    ASSERT_TRUE(router.Start().ok());
+    router.WaitForPersistRecovery();
+    const ServerStatsWire st = router.Stats();
+    EXPECT_TRUE(st.persist_enabled);
+    EXPECT_GE(st.persist_entries_loaded, 5u);
+    EXPECT_EQ(st.persist_records_corrupt, 0u);
+
+    const QueryResponse warm = router.Query(req);
+    ASSERT_TRUE(warm.status.ok());
+    ExpectBitwiseEqual(first, warm);
+    EXPECT_EQ(warm.degradation.paths_cached, 5);
+    EXPECT_EQ(warm.model_version, first.model_version);
+    EXPECT_EQ(warm.model_crc, first.model_crc);
+    router.Stop();
+  }
+}
+
+TEST(RouterChaos, NoCacheRequestBypassesRouterCache) {
+  const std::vector<std::string> paths = FleetPaths("rc_nocache", 2);
+  TestShard shards[2];
+  for (int i = 0; i < 2; ++i) shards[i].Start(paths[i]);
+
+  Router router(FastRouterOptions(paths));
+  ASSERT_TRUE(router.Start().ok());
+  QueryRequest req = FleetQuery(4);
+  ASSERT_TRUE(router.Query(req).status.ok());
+  req.no_cache = true;
+  const QueryResponse again = router.Query(req);
+  ASSERT_TRUE(again.status.ok());
+  EXPECT_EQ(again.degradation.paths_cached, 0);
 }
 
 }  // namespace

@@ -95,7 +95,8 @@ constexpr const char* kUsage =
     "Load generation:\n"
     "  --concurrency N          parallel connections, >= 1         (1)\n"
     "  --repeat N               queries per connection, >= 1       (1)\n"
-    "  --json                   print the load-gen summary as one JSON line\n"
+    "  --json                   print the load-gen summary (or, with --stats,\n"
+    "                           the server stats) as one JSON line\n"
     "                           (answered/degraded/shed/rejected/failed\n"
     "                           counts, latency percentiles — for harnesses\n"
     "                           and check.sh; answered + shed + failed = total)\n"
@@ -351,6 +352,17 @@ void PrintStats(const ServerStatsWire& s) {
   };
   line("query", s.query_cache);
   line(" path", s.path_cache);
+  if (s.persist_enabled) {
+    std::printf("persist: %llu segments loaded, %llu entries recovered\n",
+                static_cast<unsigned long long>(s.persist_segments_loaded),
+                static_cast<unsigned long long>(s.persist_entries_loaded));
+    std::printf("persist: %llu entries flushed, %llu flush backlog\n",
+                static_cast<unsigned long long>(s.persist_entries_flushed),
+                static_cast<unsigned long long>(s.persist_flush_backlog));
+    std::printf("persist: %llu corrupt records skipped, %llu digest-mismatch drops\n",
+                static_cast<unsigned long long>(s.persist_records_corrupt),
+                static_cast<unsigned long long>(s.persist_digest_dropped));
+  }
   if (s.worker_mode) {
     std::printf("worker pool: %u/%u alive; %llu spawns, %llu restarts, "
                 "%llu crashes, %llu watchdog kills, %llu garbage replies\n",
@@ -383,6 +395,35 @@ void PrintStats(const ServerStatsWire& s) {
                   static_cast<unsigned long long>(sh.slots_dropped));
     }
   }
+}
+
+// One JSON object on one line: stable keys for scripts (check.sh's
+// warm-restart tier greps these instead of parsing the prose output).
+void PrintStatsJson(const ServerStatsWire& s) {
+  const auto cache = [](const std::uint64_t c[5]) {
+    return "{\"hits\":" + std::to_string(c[0]) + ",\"misses\":" + std::to_string(c[1]) +
+           ",\"inserts\":" + std::to_string(c[2]) + ",\"evictions\":" + std::to_string(c[3]) +
+           ",\"entries\":" + std::to_string(c[4]) + "}";
+  };
+  std::string out = "{";
+  out += "\"model_version\":" + std::to_string(s.model_version);
+  out += ",\"model_crc\":" + std::to_string(s.model_crc);
+  out += ",\"queries_received\":" + std::to_string(s.queries_received);
+  out += ",\"queries_ok\":" + std::to_string(s.queries_ok);
+  out += ",\"queries_rejected\":" + std::to_string(s.queries_rejected);
+  out += ",\"queries_shed\":" + std::to_string(s.queries_shed);
+  out += ",\"queries_failed\":" + std::to_string(s.queries_failed);
+  out += ",\"query_cache\":" + cache(s.query_cache);
+  out += ",\"path_cache\":" + cache(s.path_cache);
+  out += ",\"persist_enabled\":" + std::string(s.persist_enabled ? "true" : "false");
+  out += ",\"persist_segments_loaded\":" + std::to_string(s.persist_segments_loaded);
+  out += ",\"persist_entries_loaded\":" + std::to_string(s.persist_entries_loaded);
+  out += ",\"persist_entries_flushed\":" + std::to_string(s.persist_entries_flushed);
+  out += ",\"persist_records_corrupt\":" + std::to_string(s.persist_records_corrupt);
+  out += ",\"persist_digest_dropped\":" + std::to_string(s.persist_digest_dropped);
+  out += ",\"persist_flush_backlog\":" + std::to_string(s.persist_flush_backlog);
+  out += "}";
+  std::printf("%s\n", out.c_str());
 }
 
 struct WorkerResult {
@@ -466,7 +507,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "m3_client: %s\n", stats.status().ToString().c_str());
       return ExitCodeFor(stats.status().code());
     }
-    PrintStats(*stats);
+    if (a.json) {
+      PrintStatsJson(*stats);
+    } else {
+      PrintStats(*stats);
+    }
     return 0;
   }
 

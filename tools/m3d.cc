@@ -48,6 +48,11 @@ constexpr const char* kUsage =
     "                      waited this long (CoDel-style; 0 = off)\n"
     "  --brownout MODE     on|off: reduce quality (fewer paths, then\n"
     "                      flowSim) under sustained pressure (on)\n"
+    "  --cache-dir PATH    durable result-cache directory: caches are spilled\n"
+    "                      here and recovered warm on restart (off). Created\n"
+    "                      if missing; locked against sharing by a second\n"
+    "                      daemon.\n"
+    "  --cache-flush-interval SECS   background cache flush cadence (2)\n"
     "  --help              show this message\n"
     "\n"
     "With --workers N > 0 queries execute in forked worker subprocesses: a\n"
@@ -144,6 +149,8 @@ int main(int argc, char** argv) {
       else if (std::strcmp(v, "off") == 0) opts.brownout_enabled = false;
       else UsageError("invalid --brownout '" + std::string(v) + "' (expected on|off)");
     }
+    else if (key == "--cache-dir") opts.cache_dir = v;
+    else if (key == "--cache-flush-interval") opts.cache_flush_interval_seconds = ParseSeconds(key, v);
     else UsageError("unknown flag '" + key + "'");
     i += 2;
   }
@@ -214,6 +221,10 @@ int main(int argc, char** argv) {
   if (!listen_tcp.empty()) {
     std::printf("m3d: also listening on %s\n", tcp_ep.ToString().c_str());
   }
+  if (!opts.cache_dir.empty()) {
+    std::printf("m3d: durable caches in %s (flush every %.3gs), recovering in background\n",
+                opts.cache_dir.c_str(), opts.cache_flush_interval_seconds);
+  }
   std::fflush(stdout);
 
   while (g_signal.load(std::memory_order_relaxed) == 0) {
@@ -246,6 +257,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.shed_by_reason[4]),
                 static_cast<unsigned long long>(s.shed_by_reason[5]),
                 static_cast<unsigned long long>(s.brownout_queries));
+  }
+  if (s.persist_enabled) {
+    std::printf("m3d: durable caches: %llu segments loaded, %llu entries recovered, "
+                "%llu flushed, %llu corrupt skipped, %llu digest-dropped, %llu backlog\n",
+                static_cast<unsigned long long>(s.persist_segments_loaded),
+                static_cast<unsigned long long>(s.persist_entries_loaded),
+                static_cast<unsigned long long>(s.persist_entries_flushed),
+                static_cast<unsigned long long>(s.persist_records_corrupt),
+                static_cast<unsigned long long>(s.persist_digest_dropped),
+                static_cast<unsigned long long>(s.persist_flush_backlog));
   }
   if (s.worker_mode) {
     std::printf("m3d: worker pool: %llu spawns, %llu restarts, %llu crashes, "

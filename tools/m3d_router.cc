@@ -52,6 +52,13 @@ constexpr const char* kUsage =
     "  --breaker-cooloff S     open time before a half-open probe    (2)\n"
     "  --fallback-threads N    flowSim fallback threads, 0 = all     (0)\n"
     "  --pool N             idle connections kept per shard          (4)\n"
+    "  --path-cache N       router-side per-path result cache entries,\n"
+    "                       consulted before scatter, >= 0           (4096)\n"
+    "  --cache-dir PATH     durable cache directory: the path cache is\n"
+    "                       spilled here and recovered warm on restart\n"
+    "                       (off). Created if missing; locked against\n"
+    "                       sharing by a second daemon.\n"
+    "  --cache-flush-interval SECS   background cache flush cadence  (2)\n"
     "  --help               show this message\n"
     "\n"
     "Slots are placed by path-content hashing, so each shard's per-path\n"
@@ -133,6 +140,9 @@ int main(int argc, char** argv) {
     else if (key == "--breaker-cooloff") opts.breaker.cooloff_seconds = ParseSeconds(key, v, 0.01);
     else if (key == "--fallback-threads") opts.fallback_threads = static_cast<unsigned>(ParseInt(key, v, 0, 1024));
     else if (key == "--pool") opts.pool_per_shard = static_cast<std::size_t>(ParseInt(key, v, 0, 1024));
+    else if (key == "--path-cache") opts.path_cache_entries = static_cast<std::size_t>(ParseInt(key, v, 0, 1 << 24));
+    else if (key == "--cache-dir") opts.cache_dir = v;
+    else if (key == "--cache-flush-interval") opts.cache_flush_interval_seconds = ParseSeconds(key, v, 0.001);
     else UsageError("unknown flag '" + key + "'");
     i += 2;
   }
@@ -184,6 +194,11 @@ int main(int argc, char** argv) {
     std::printf("m3d_router:   shard %s — %s\n", s.address.c_str(),
                 s.healthy ? "healthy" : "unreachable");
   }
+  if (!opts.cache_dir.empty()) {
+    std::printf("m3d_router: durable path cache in %s (flush every %.3gs), "
+                "recovering in background\n",
+                opts.cache_dir.c_str(), opts.cache_flush_interval_seconds);
+  }
   std::fflush(stdout);
 
   while (g_signal.load(std::memory_order_relaxed) == 0) {
@@ -196,10 +211,24 @@ int main(int argc, char** argv) {
   server.Stop();
   router.Stop();
   const ServerStatsWire s = router.Stats();
-  std::printf("m3d_router: routed %llu queries (%llu answered, %llu failed)\n",
+  std::printf("m3d_router: routed %llu queries (%llu answered, %llu failed); "
+              "path cache %llu/%llu hit\n",
               static_cast<unsigned long long>(s.queries_received),
               static_cast<unsigned long long>(s.queries_ok),
-              static_cast<unsigned long long>(s.queries_failed));
+              static_cast<unsigned long long>(s.queries_failed),
+              static_cast<unsigned long long>(s.path_cache[0]),
+              static_cast<unsigned long long>(s.path_cache[0] + s.path_cache[1]));
+  if (s.persist_enabled) {
+    std::printf("m3d_router: durable cache: %llu segments loaded, %llu entries "
+                "recovered, %llu flushed, %llu corrupt skipped, %llu digest-dropped, "
+                "%llu backlog\n",
+                static_cast<unsigned long long>(s.persist_segments_loaded),
+                static_cast<unsigned long long>(s.persist_entries_loaded),
+                static_cast<unsigned long long>(s.persist_entries_flushed),
+                static_cast<unsigned long long>(s.persist_records_corrupt),
+                static_cast<unsigned long long>(s.persist_digest_dropped),
+                static_cast<unsigned long long>(s.persist_flush_backlog));
+  }
   for (const ShardHealthWire& sh : s.shards) {
     std::printf("m3d_router:   %s — %llu dispatches, %llu failures, %llu retries, "
                 "%llu hedges, %llu fallback slots, %llu dropped slots%s\n",
